@@ -1,0 +1,181 @@
+// Command educe is an interactive shell for the Educe* engine.
+//
+// Usage:
+//
+//	educe [-db kb.edb] [-mode compiled|source] [-external] [file.pl ...]
+//
+// Files named on the command line are consulted into main memory (or, with
+// -external, compiled into the EDB). The shell then reads goals, one per
+// line, and prints solutions; press enter on an empty line (or type ';')
+// for more solutions, anything else for the next goal. Type 'halt.' to
+// leave.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/educe"
+	"repro/internal/core"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "page file backing the EDB (empty = in-memory)")
+	mode := flag.String("mode", "compiled", "rule storage: compiled (Educe*) or source (Educe baseline)")
+	external := flag.Bool("external", false, "consult files into the EDB instead of main memory")
+	stats := flag.Bool("stats", false, "print engine statistics after every goal")
+	goal := flag.String("goal", "", "run one goal non-interactively, print all solutions, exit")
+	flag.Parse()
+
+	opts := educe.Options{StorePath: *dbPath}
+	switch *mode {
+	case "compiled":
+	case "source":
+		opts.RuleStorage = educe.RuleStorageSource
+	default:
+		fmt.Fprintln(os.Stderr, "educe: -mode must be compiled or source")
+		os.Exit(2)
+	}
+	eng, err := educe.NewWithOptions(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "educe:", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "educe:", err)
+			os.Exit(1)
+		}
+		if *external {
+			err = eng.ConsultExternal(string(src))
+		} else {
+			err = eng.Consult(string(src))
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "educe: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%% consulted %s\n", path)
+	}
+
+	if *goal != "" {
+		if err := runBatch(eng, strings.TrimSuffix(*goal, ".")); err != nil {
+			fmt.Fprintln(os.Stderr, "educe:", err)
+			os.Exit(1)
+		}
+		if *stats {
+			printStats(eng.Stats())
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("Educe* shell — enter goals terminated by '.', 'halt.' to quit")
+	for {
+		fmt.Print("?- ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		goal := strings.TrimSpace(in.Text())
+		goal = strings.TrimSuffix(goal, ".")
+		if goal == "" {
+			continue
+		}
+		if goal == "halt" {
+			return
+		}
+		runGoal(eng, in, goal)
+		if *stats {
+			printStats(eng.Stats())
+		}
+	}
+}
+
+func runGoal(eng *educe.Engine, in *bufio.Scanner, goal string) {
+	sols, err := eng.Query(goal)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer sols.Close()
+	any := false
+	for sols.Next() {
+		any = true
+		names := sols.Vars()
+		sort.Strings(names)
+		if len(names) == 0 {
+			fmt.Println("true.")
+			return
+		}
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s = %s", n, sols.Binding(n)))
+		}
+		fmt.Print(strings.Join(parts, ", "), " ")
+		if !in.Scan() {
+			return
+		}
+		more := strings.TrimSpace(in.Text())
+		if more != ";" && more != "" {
+			fmt.Println(".")
+			return
+		}
+	}
+	if err := sols.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if !any {
+		fmt.Println("false.")
+	} else {
+		fmt.Println("no more solutions.")
+	}
+}
+
+func printStats(st core.Stats) {
+	fmt.Printf("%% instrs=%d calls=%d choicepoints=%d gc=%d heap-peak=%d\n",
+		st.Machine.Instructions, st.Machine.Calls, st.Machine.ChoicePoints,
+		st.Machine.GCRuns, st.Machine.HeapPeak)
+	fmt.Printf("%% edb: retrievals=%d candidates=%d io: acc=%d rd=%d wr=%d\n",
+		st.EDB.Retrievals, st.EDB.CandidatesReturned,
+		st.IO.Accesses, st.IO.Reads, st.IO.Writes)
+}
+
+// runBatch prints every solution of one goal.
+func runBatch(eng *educe.Engine, goal string) error {
+	sols, err := eng.Query(goal)
+	if err != nil {
+		return err
+	}
+	defer sols.Close()
+	n := 0
+	for sols.Next() {
+		n++
+		names := sols.Vars()
+		sort.Strings(names)
+		if len(names) == 0 {
+			fmt.Println("true.")
+			return nil
+		}
+		parts := make([]string, 0, len(names))
+		for _, v := range names {
+			parts = append(parts, fmt.Sprintf("%s = %s", v, sols.Binding(v)))
+		}
+		fmt.Println(strings.Join(parts, ", "))
+	}
+	if err := sols.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		fmt.Println("false.")
+	}
+	return nil
+}

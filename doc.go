@@ -1,0 +1,9 @@
+// Package repro is the root of a reproduction of "Compilation of Logic
+// Programs to Implement Very Large Knowledge Base Systems — A Case Study:
+// Educe*" (J. Bocca, ICDE 1990).
+//
+// The public API lives in package educe; the benchmark harness that
+// regenerates the paper's tables is bench_test.go in this directory and
+// the cmd/benchtool executable. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

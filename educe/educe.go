@@ -1,0 +1,94 @@
+// Package educe is the public API of this reproduction of Educe* (Bocca,
+// ICDE 1990): a knowledge base management system that couples a WAM-based
+// Prolog compiler with a relational storage engine and keeps externally
+// stored rules as relocatable compiled code.
+//
+// Quick start:
+//
+//	eng, err := educe.New()                      // in-memory EDB
+//	eng.Consult("likes(sam, curry).")            // rules in main memory
+//	eng.ConsultExternal("edge(a, b). ...")       // facts/rules in the EDB
+//	sols, _ := eng.Query("edge(a, X)")
+//	for sols.Next() { fmt.Println(sols.Binding("X")) }
+//
+// The engine evaluates queries on the WAM; calls to externally stored
+// procedures trap into the dynamic loader, which pre-unifies inside the
+// storage engine and links only the candidate clauses. SetRuleStorage
+// switches to the Educe baseline (source text + interpreter) used by the
+// paper's comparisons.
+package educe
+
+import (
+	"repro/internal/core"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// Engine is one Educe* session. Not safe for concurrent use.
+type Engine = core.Engine
+
+// Solutions iterates query answers.
+type Solutions = core.Solutions
+
+// Stats aggregates engine counters.
+type Stats = core.Stats
+
+// PhaseStats breaks down rule-pipeline time (parse/compile/link/store).
+type PhaseStats = core.PhaseStats
+
+// Options configures an Engine; the zero value is a usable in-memory
+// compiled-mode engine.
+type Options = core.Options
+
+// RuleStorage selects how externally stored rules are represented.
+type RuleStorage = core.RuleStorage
+
+// Rule storage modes.
+const (
+	// RuleStorageCompiled stores relocatable WAM code (Educe*).
+	RuleStorageCompiled = core.RuleStorageCompiled
+	// RuleStorageSource stores clause text and interprets it (Educe).
+	RuleStorageSource = core.RuleStorageSource
+)
+
+// Term is a Prolog term as returned by Solutions bindings.
+type Term = term.Term
+
+// Relational types, for the set-oriented API.
+type (
+	// Schema describes a relation.
+	Schema = rel.Schema
+	// Attr is one attribute of a schema.
+	Attr = rel.Attr
+	// Tuple is a relational row.
+	Tuple = rel.Tuple
+	// Value is one attribute value.
+	Value = rel.Value
+)
+
+// Attribute types for schemas.
+const (
+	Int    = rel.Int
+	Float  = rel.Float
+	String = rel.String
+)
+
+// IntV makes an integer attribute value.
+func IntV(v int64) Value { return rel.IntV(v) }
+
+// FloatV makes a float attribute value.
+func FloatV(v float64) Value { return rel.FloatV(v) }
+
+// StringV makes a string attribute value.
+func StringV(v string) Value { return rel.StringV(v) }
+
+// New creates an engine with default options (in-memory store, compiled
+// rule storage, GC and indexing enabled).
+func New() (*Engine, error) { return core.New(core.Options{}) }
+
+// NewWithOptions creates an engine with explicit options.
+func NewWithOptions(opts Options) (*Engine, error) { return core.New(opts) }
+
+// Open creates an engine backed by the page file at path, creating the
+// file if needed and reconnecting to any procedures already stored in it.
+func Open(path string) (*Engine, error) { return core.New(core.Options{StorePath: path}) }

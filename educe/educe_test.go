@@ -1,0 +1,75 @@
+package educe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/educe"
+	"repro/internal/rel"
+)
+
+func TestFacadeTypesAndConstructors(t *testing.T) {
+	if educe.IntV(3).I != 3 || educe.FloatV(1.5).F != 1.5 || educe.StringV("s").S != "s" {
+		t.Fatal("value constructors broken")
+	}
+	eng, err := educe.NewWithOptions(educe.Options{DictSegment: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.RuleStorage() != educe.RuleStorageCompiled {
+		t.Fatal("default storage mode should be compiled")
+	}
+	eng.SetRuleStorage(educe.RuleStorageSource)
+	if eng.RuleStorage() != educe.RuleStorageSource {
+		t.Fatal("mode switch lost")
+	}
+}
+
+func TestFacadeOpenPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kb.edb")
+	e1, err := educe.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.ConsultExternal("f(1)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := educe.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if n, _ := e2.QueryCount("f(1)"); n != 1 {
+		t.Fatal("fact lost across sessions")
+	}
+}
+
+func TestFacadeRelations(t *testing.T) {
+	eng, _ := educe.New()
+	defer eng.Close()
+	r, err := eng.CreateRelation(educe.Schema{
+		Name:  "t",
+		Attrs: []educe.Attr{{Name: "k", Type: educe.Int}, {Name: "v", Type: educe.String}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(educe.Tuple{educe.IntV(1), educe.StringV("one")}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rel.Collect(rel.SeqScan(eng.Relation("t")))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("scan: %v %v", rows, err)
+	}
+	if err := eng.BindRelation("t"); err != nil {
+		t.Fatal(err)
+	}
+	sol, ok, err := eng.QueryOnce("t(1, V)")
+	if err != nil || !ok || sol["V"].String() != "one" {
+		t.Fatalf("bound relation query: %v %v %v", sol, ok, err)
+	}
+}

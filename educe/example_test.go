@@ -1,0 +1,88 @@
+package educe_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/educe"
+)
+
+// The basic flow: facts in the external database, rules in main memory,
+// one query spanning both.
+func Example() {
+	eng, err := educe.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	if err := eng.ConsultExternal(`
+		parent(tom, bob).
+		parent(bob, ann).
+	`); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Consult(`
+		grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	sols, err := eng.Query("grandparent(tom, W)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sols.Close()
+	for sols.Next() {
+		fmt.Println(sols.Binding("W"))
+	}
+	// Output: ann
+}
+
+// QueryAll collects every solution at once.
+func ExampleEngine_queryAll() {
+	eng, _ := educe.New()
+	defer eng.Close()
+	eng.Consult("n(1). n(2). n(3).")
+	sols, _ := eng.QueryAll("n(X), X > 1")
+	for _, s := range sols {
+		fmt.Println(s["X"])
+	}
+	// Output:
+	// 2
+	// 3
+}
+
+// The Educe baseline interprets source-form rules; both modes give the
+// same answers, at different cost.
+func ExampleRuleStorage() {
+	base, _ := educe.NewWithOptions(educe.Options{RuleStorage: educe.RuleStorageSource})
+	defer base.Close()
+	base.ConsultExternal(`
+		edge(a, b). edge(b, c).
+		path(X, Y) :- edge(X, Y).
+		path(X, Z) :- edge(X, Y), path(Y, Z).
+	`)
+	n, _ := base.QueryCount("path(a, X)")
+	fmt.Println(n, "destinations")
+	// Output: 2 destinations
+}
+
+// Exceptions thrown by Prolog code are catchable in Prolog and surface as
+// Go errors when uncaught.
+func ExampleEngine_exceptions() {
+	eng, _ := educe.New()
+	defer eng.Close()
+	eng.Consult(`
+		guarded(X, R) :- catch(check(X), bad(Why), R = rejected(Why)).
+		check(X) :- X < 0, throw(bad(negative)).
+		check(_).
+	`)
+	sol, _, _ := eng.QueryOnce("guarded(-1, R)")
+	fmt.Println(sol["R"])
+	_, err := eng.QueryAll("throw(boom)")
+	fmt.Println(err)
+	// Output:
+	// rejected(negative)
+	// wam: uncaught exception: boom
+}

@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete Educe* program — rules in main memory,
+// facts in the external database, one query spanning both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/educe"
+)
+
+func main() {
+	eng, err := educe.New() // in-memory EDB
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Facts go to the external database: they are compiled to relocatable
+	// WAM code, stored with per-argument index keys, and retrieved by
+	// pre-unification when queried.
+	err = eng.ConsultExternal(`
+		parent(tom, bob).   parent(tom, liz).
+		parent(bob, ann).   parent(bob, pat).
+		parent(pat, jim).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rules stay in main memory, compiled once.
+	err = eng.Consult(`
+		ancestor(X, Y) :- parent(X, Y).
+		ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sols, err := eng.Query("ancestor(tom, Who)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sols.Close()
+	fmt.Println("tom's descendants:")
+	for sols.Next() {
+		fmt.Println("  ", sols.Binding("Who"))
+	}
+	if err := sols.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The engine keeps statistics on how selective the EDB retrieval was.
+	st := eng.Stats()
+	fmt.Printf("EDB retrievals: %d, candidate clauses returned: %d (of %d stored)\n",
+		st.EDB.Retrievals, st.EDB.CandidatesReturned, st.EDB.ClausesStored)
+}

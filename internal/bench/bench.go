@@ -1,0 +1,424 @@
+// Package bench contains the experiment runners that regenerate every
+// table in the paper's evaluation (§5). The same runners back the
+// testing.B benchmarks in the repository root and the cmd/benchtool
+// table printer.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench/icheck"
+	"repro/internal/bench/mvv"
+	"repro/internal/bench/wisconsin"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/rel"
+	"repro/internal/store"
+)
+
+// System identifies which engine configuration runs a workload.
+type System string
+
+// Systems under comparison.
+const (
+	// Educe is the loosely-coupled baseline: source rules, interpreter.
+	Educe System = "educe"
+	// EduceStar is the paper's system: compiled rules in the EDB, WAM.
+	EduceStar System = "educe*"
+	// GoodCompiler is a pure in-memory WAM compiler (no EDB), the "GC"
+	// column of Table 3.
+	GoodCompiler System = "gc"
+)
+
+// CPUScale models the paper's §5.4 diskless-workstation experiment: the
+// Sun 3/280S (25 MHz, ~4 MIPS) versus the Sun 3/60 (20 MHz, ~3 MIPS).
+// Measured times are multiplied by ServerScale for the "server" column and
+// ClientScale for the slower "client".
+const (
+	ServerScale = 1.0
+	ClientScale = 4.0 / 3.0
+)
+
+// --- E1: the MVV knowledge base (Table 1) ----------------------------------
+
+// MVVRow is one cell of Table 1.
+type MVVRow struct {
+	System    System
+	Class     int // 1 or 2
+	Run       int // 1 = first run, 2 = second run (buffer warmth)
+	Elapsed   time.Duration
+	PerQuery  time.Duration
+	Solutions int
+}
+
+// SetupMVV builds an engine loaded with the MVV knowledge base: facts in
+// the EDB, route rules in internal storage (paper §5.1).
+func SetupMVV(sys System, data *mvv.Data) (*core.Engine, error) {
+	opts := core.Options{}
+	if sys == Educe {
+		opts.RuleStorage = core.RuleStorageSource
+	}
+	e, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ConsultExternalTerms(data.Facts()); err != nil {
+		e.Close()
+		return nil, err
+	}
+	switch sys {
+	case Educe:
+		// Rules are internal: resident in the interpreter.
+		if err := consultInterp(e, mvv.Rules); err != nil {
+			e.Close()
+			return nil, err
+		}
+	default:
+		if err := e.Consult(mvv.Rules); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// consultInterp asserts a program into the baseline interpreter.
+func consultInterp(e *core.Engine, src string) error {
+	p := parser.New(src)
+	terms, err := p.ReadAll()
+	if err != nil {
+		return err
+	}
+	for _, tm := range terms {
+		if err := e.Interp().Assert(tm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMVVClass runs one query class once, returning elapsed time and the
+// total number of solutions.
+func RunMVVClass(e *core.Engine, queries []string) (time.Duration, int, error) {
+	start := time.Now()
+	total := 0
+	for _, q := range queries {
+		n, err := e.QueryCount(q)
+		if err != nil {
+			return 0, 0, fmt.Errorf("query %q: %w", q, err)
+		}
+		total += n
+	}
+	return time.Since(start), total, nil
+}
+
+// MVVTable regenerates Table 1: both systems, both classes, two runs.
+func MVVTable() ([]MVVRow, error) {
+	data := mvv.Generate()
+	var rows []MVVRow
+	for _, sys := range []System{EduceStar, Educe} {
+		e, err := SetupMVV(sys, data)
+		if err != nil {
+			return nil, err
+		}
+		for run := 1; run <= 2; run++ {
+			for class, queries := range [][]string{1: data.Class1, 2: data.Class2} {
+				if class == 0 {
+					continue
+				}
+				el, sols, err := RunMVVClass(e, queries)
+				if err != nil {
+					e.Close()
+					return nil, fmt.Errorf("%s class %d: %w", sys, class, err)
+				}
+				rows = append(rows, MVVRow{
+					System: sys, Class: class, Run: run,
+					Elapsed:   el,
+					PerQuery:  el / time.Duration(len(queries)),
+					Solutions: sols,
+				})
+			}
+		}
+		e.Close()
+	}
+	return rows, nil
+}
+
+// --- E2/E3: Wisconsin (Tables 2a and 2b) ------------------------------------
+
+// WiscRow is one Wisconsin query measurement.
+type WiscRow struct {
+	Query   string
+	Format  string // "set" or "term"
+	Elapsed time.Duration
+	Rows    int
+	IO      store.IOStats
+}
+
+// WisconsinEnv holds the built benchmark relations.
+type WisconsinEnv struct {
+	Engine  *core.Engine
+	A, B, C *rel.Relation
+	N       int
+}
+
+// SetupWisconsin builds relations a and b with n tuples and c with n/10,
+// indexed on unique1/unique2, and binds them as predicates.
+func SetupWisconsin(n int) (*WisconsinEnv, error) {
+	e, err := core.New(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cat := e.Catalog()
+	a, err := wisconsin.Build(cat, "wisc_a", n, 1)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	b, err := wisconsin.Build(cat, "wisc_b", n, 2)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	c, err := wisconsin.Build(cat, "wisc_c", n/10, 3)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	for _, name := range []string{"wisc_a", "wisc_b", "wisc_c"} {
+		if err := e.BindRelation(name); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	return &WisconsinEnv{Engine: e, A: a, B: b, C: c, N: n}, nil
+}
+
+// Close releases the environment.
+func (w *WisconsinEnv) Close() { w.Engine.Close() }
+
+// WisconsinTable regenerates Tables 2a/2b over the standard query classes,
+// each in set-oriented and (where sensible) term-oriented format.
+func WisconsinTable(n int) ([]WiscRow, error) {
+	env, err := SetupWisconsin(n)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	st := env.Engine.DB().Store()
+	var rows []WiscRow
+	measureSet := func(name string, f func() (int, error)) error {
+		st.ResetStats()
+		t0 := time.Now()
+		cnt, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, WiscRow{
+			Query: name, Format: "set",
+			Elapsed: time.Since(t0), Rows: cnt, IO: st.Stats(),
+		})
+		return nil
+	}
+	if err := measureSet("sel1pct", func() (int, error) { return wisconsin.Select1Pct(env.A) }); err != nil {
+		return nil, err
+	}
+	if err := measureSet("sel10pct", func() (int, error) { return wisconsin.Select10Pct(env.A) }); err != nil {
+		return nil, err
+	}
+	if err := measureSet("selone", func() (int, error) { return wisconsin.SelectOne(env.A) }); err != nil {
+		return nil, err
+	}
+	if err := measureSet("join2", func() (int, error) { return wisconsin.JoinAselB(env.A, env.B) }); err != nil {
+		return nil, err
+	}
+	if err := measureSet("join3", func() (int, error) {
+		return wisconsin.JoinCselAselB(env.A, env.B, env.C)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Term-oriented formats of the same queries.
+	for name, q := range wisconsin.TermQueries("wisc_a", "wisc_b", "wisc_c", n) {
+		st.ResetStats()
+		t0 := time.Now()
+		cnt, err := env.Engine.QueryCount(q)
+		if err != nil {
+			return nil, fmt.Errorf("term %s: %w", name, err)
+		}
+		rows = append(rows, WiscRow{
+			Query: name, Format: "term",
+			Elapsed: time.Since(t0), Rows: cnt, IO: st.Stats(),
+		})
+	}
+	return rows, nil
+}
+
+// --- E4: integrity constraint checking (Table 3) ----------------------------
+
+// ICRow is one preprocess measurement.
+type ICRow struct {
+	Update  int
+	System  System
+	Elapsed time.Duration
+}
+
+// SetupIC prepares an engine for the integrity-check preprocess test.
+// GoodCompiler holds everything in main memory; EduceStar stores the
+// specialisation program (and the database) in the EDB in compiled form.
+func SetupIC(sys System) (*core.Engine, error) {
+	e, err := core.New(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	switch sys {
+	case GoodCompiler:
+		if err := e.Consult(icheck.Program + icheck.Rules); err != nil {
+			e.Close()
+			return nil, err
+		}
+		if err := e.ConsultTerms(icheck.Facts()); err != nil {
+			e.Close()
+			return nil, err
+		}
+	default:
+		if err := e.ConsultExternal(icheck.Program + icheck.Rules); err != nil {
+			e.Close()
+			return nil, err
+		}
+		if err := e.ConsultExternalTerms(icheck.Facts()); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// ICTable regenerates Table 3's preprocess column for both systems.
+func ICTable() ([]ICRow, error) {
+	var rows []ICRow
+	for _, sys := range []System{GoodCompiler, EduceStar} {
+		e, err := SetupIC(sys)
+		if err != nil {
+			return nil, err
+		}
+		// Average over repetitions, as the paper averages its query
+		// samples; the first repetition carries Educe*'s dynamic load.
+		const reps = 20
+		for i, q := range icheck.Updates() {
+			t0 := time.Now()
+			for r := 0; r < reps; r++ {
+				n, err := e.QueryCount(q)
+				if err != nil {
+					e.Close()
+					return nil, fmt.Errorf("%s update %d: %w", sys, i+1, err)
+				}
+				if n == 0 {
+					e.Close()
+					return nil, fmt.Errorf("%s update %d: no specialisation produced", sys, i+1)
+				}
+			}
+			rows = append(rows, ICRow{Update: i + 1, System: sys, Elapsed: time.Since(t0) / reps})
+		}
+		e.Close()
+	}
+	return rows, nil
+}
+
+// --- E6: compile-phase split (§3.1's 90/10 claim) ----------------------------
+
+// PhaseRow reports where rule-pipeline time goes for a program corpus.
+type PhaseRow struct {
+	Corpus  string
+	Parse   time.Duration
+	Compile time.Duration
+	Link    time.Duration
+}
+
+// PhaseTable measures parse vs code generation vs loader time on the
+// benchmark programs.
+func PhaseTable() ([]PhaseRow, error) {
+	var rows []PhaseRow
+	for _, c := range []struct{ name, src string }{
+		{"mvv-rules", mvv.Rules},
+		{"icheck", icheck.Program + icheck.Rules},
+	} {
+		e, err := core.New(core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		e.ResetStats()
+		// Repeat to get measurable durations.
+		for i := 0; i < 50; i++ {
+			if err := e.Consult(c.src); err != nil {
+				e.Close()
+				return nil, err
+			}
+		}
+		ph := e.Stats().Phases
+		rows = append(rows, PhaseRow{Corpus: c.name, Parse: ph.Parse, Compile: ph.Compile, Link: ph.Link})
+		e.Close()
+	}
+	return rows, nil
+}
+
+// --- E7: per-use rule cost (compiled load vs parse+assert) -------------------
+
+// RuleUseRow compares the cost of using an externally stored rule set.
+type RuleUseRow struct {
+	System   System
+	Uses     int
+	Elapsed  time.Duration
+	PerUse   time.Duration
+	Asserts  uint64
+	Retrieve time.Duration
+}
+
+// RuleUseTable measures repeated use of an externally stored rule set
+// under both storage forms (the §2/§3.1 orders-of-magnitude argument).
+// Each "use" is one query that loads the rule set and evaluates it many
+// times, the usage pattern the paper describes for EDB-resident rules.
+func RuleUseTable(uses int) ([]RuleUseRow, error) {
+	src := `
+		f(0, 1).
+		f(N, V) :- N > 0, N1 is N - 1, f(N1, V1), V is V1 + N.
+		work :- g0(_), g1(_), g2(_), g3(_), g4(_), g5(_), g6(_), g7(_), g8(_), g9(_).
+	`
+	for i := 0; i < 10; i++ {
+		src += fmt.Sprintf("g%d(X) :- f(%d, X).\n", i, 60+i)
+	}
+	var rows []RuleUseRow
+	for _, sys := range []System{EduceStar, Educe} {
+		opts := core.Options{}
+		if sys == Educe {
+			opts.RuleStorage = core.RuleStorageSource
+		}
+		e, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.ConsultExternal(src); err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.ResetStats()
+		t0 := time.Now()
+		for i := 0; i < uses; i++ {
+			if _, err := e.QueryAll("work"); err != nil {
+				e.Close()
+				return nil, fmt.Errorf("%s: %w", sys, err)
+			}
+		}
+		el := time.Since(t0)
+		ph := e.Stats().Phases
+		rows = append(rows, RuleUseRow{
+			System: sys, Uses: uses, Elapsed: el,
+			PerUse:  el / time.Duration(uses),
+			Asserts: ph.Asserts, Retrieve: ph.Retrieve,
+		})
+		e.Close()
+	}
+	return rows, nil
+}

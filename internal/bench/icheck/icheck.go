@@ -1,0 +1,169 @@
+// Package icheck reproduces the database integrity checking task of the
+// paper's §5.3 (designed by F. Bry, measured by M. Dahmen at ECRC): a
+// database with one ~4000-tuple seven-field relation, fifteen small
+// relations, a 50-tuple relation, seven rules and five integrity
+// constraints of very different complexity.
+//
+// The benchmark times the *preprocess* phase: computing a specialisation
+// of the integrity constraints with respect to an update, a pure symbolic
+// computation that needs no access to the stored facts — which is why the
+// paper uses it to compare Educe* against a conventional Prolog compiler.
+package icheck
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// NEmp is the size of the large relation.
+const NEmp = 4000
+
+// Facts returns the database facts: emp/7 with NEmp tuples, fifteen small
+// relations (codes_N/1..2, up to 20 tuples each) and works/2 with 50.
+func Facts() []term.Term {
+	var out []term.Term
+	for i := 0; i < NEmp; i++ {
+		out = append(out, term.Comp("emp",
+			term.Int(int64(i)),                      // employee id
+			term.Atom(fmt.Sprintf("name_%d", i)),    // name
+			term.Atom(fmt.Sprintf("dept_%d", i%17)), // department
+			term.Int(int64(20000+(i*37)%180000)),    // salary
+			term.Int(int64(i%200)),                  // manager id
+			term.Int(int64(18+(i*13)%50)),           // age
+			term.Atom(fmt.Sprintf("proj_%d", i%29)), // project
+		))
+	}
+	// Fifteen small relations with one or two fields.
+	for r := 0; r < 15; r++ {
+		n := 5 + r
+		if n > 20 {
+			n = 20
+		}
+		for i := 0; i < n; i++ {
+			if r%2 == 0 {
+				out = append(out, term.Comp(fmt.Sprintf("codes_%d", r),
+					term.Atom(fmt.Sprintf("c%d_%d", r, i))))
+			} else {
+				out = append(out, term.Comp(fmt.Sprintf("codes_%d", r),
+					term.Atom(fmt.Sprintf("c%d_%d", r, i)), term.Int(int64(i))))
+			}
+		}
+	}
+	// works/2: 50 tuples.
+	for i := 0; i < 50; i++ {
+		out = append(out, term.Comp("works",
+			term.Atom(fmt.Sprintf("proj_%d", i%29)),
+			term.Atom(fmt.Sprintf("dept_%d", i%17))))
+	}
+	return out
+}
+
+// Rules is the deductive part of the database (seven rules).
+const Rules = `
+senior(E) :- emp(E, _, _, _, _, A, _), A > 60.
+well_paid(E) :- emp(E, _, _, S, _, _, _), S > 150000.
+manages(M, E) :- emp(E, _, _, _, M, _, _).
+colleague(A, B) :- emp(A, _, D, _, _, _, _), emp(B, _, D, _, _, _, _), A \= B.
+on_project(E, P) :- emp(E, _, _, _, _, _, P).
+dept_project(D, P) :- works(P, D).
+chain(A, C) :- manages(A, B), manages(B, C).
+`
+
+// Program is the constraint base plus the specialisation ("preprocess")
+// program. The five constraints differ widely in complexity, as in the
+// paper. specialise_all/2 partially evaluates every constraint against an
+// update pattern, simplifying the residue — symbolic work only.
+const Program = `
+% ---- the five integrity constraints --------------------------------------
+ic(salary_cap,
+   forall(e(E), emp(E, N, D, S, M, A, P), leq(S, 200000))).
+ic(age_range,
+   forall(e(E), emp(E, N, D, S, M, A, P), and(geq(A, 16), leq(A, 70)))).
+ic(mgr_is_emp,
+   forall(e(E), emp(E, N, D, S, M, A, P),
+          exists(m(M), emp(M, N2, D2, S2, M2, A2, P2), true))).
+ic(proj_has_dept,
+   forall(e(E), emp(E, N, D, S, M, A, P),
+          exists(w(P), works(P, D2), true))).
+ic(no_self_manage,
+   forall(e(E), emp(E, N, D, S, M, A, P), neq(E, M))).
+
+% ---- specialisation --------------------------------------------------------
+% specialise_all(+Update, -Pairs): for every constraint, the simplified
+% residual checks induced by the update.
+specialise_all(U, Pairs) :-
+	findall(Name-Checks, (ic(Name, F), specialise(U, F, Checks)), Pairs).
+
+specialise(inserted(Fact), Formula, Checks) :-
+	findall(C, induced_check(Fact, Formula, C), Raw),
+	simplify_all(Raw, Checks).
+specialise(deleted(Fact), Formula, Checks) :-
+	% Deletions can only violate existential conditions.
+	findall(C, induced_exist_check(Fact, Formula, C), Raw),
+	simplify_all(Raw, Checks).
+
+% An inserted fact matching the universal pattern induces the instantiated
+% consequent as a check.
+induced_check(Fact, forall(_, Pattern, Conseq), Check) :-
+	copy_term(Pattern-Conseq, Fact-Conseq1),
+	simplify(Conseq1, Check).
+% It can also affect a nested existential positively: nothing to check.
+% A deleted fact matching an existential pattern requires re-checking the
+% enclosing universal for all witnesses — approximated by the pattern
+% residue.
+induced_exist_check(Fact, forall(V, Pattern, exists(_, EPat, _)), recheck(V, Pattern)) :-
+	copy_term(EPat, Fact).
+
+% ---- formula simplification -------------------------------------------------
+simplify(and(A, B), S) :- !,
+	simplify(A, SA), simplify(B, SB), simp_and(SA, SB, S).
+simplify(or(A, B), S) :- !,
+	simplify(A, SA), simplify(B, SB), simp_or(SA, SB, S).
+simplify(leq(X, Y), true) :- number(X), number(Y), X =< Y, !.
+simplify(leq(X, Y), false) :- number(X), number(Y), X > Y, !.
+simplify(geq(X, Y), true) :- number(X), number(Y), X >= Y, !.
+simplify(geq(X, Y), false) :- number(X), number(Y), X < Y, !.
+simplify(neq(X, Y), true) :- number(X), number(Y), X \== Y, !.
+simplify(neq(X, Y), false) :- number(X), number(Y), X == Y, !.
+simplify(exists(V, P, C), exists(V, P, SC)) :- !, simplify(C, SC).
+simplify(X, X).
+
+simp_and(true, B, B) :- !.
+simp_and(A, true, A) :- !.
+simp_and(false, _, false) :- !.
+simp_and(_, false, false) :- !.
+simp_and(A, B, and(A, B)).
+
+simp_or(true, _, true) :- !.
+simp_or(_, true, true) :- !.
+simp_or(false, B, B) :- !.
+simp_or(A, false, A) :- !.
+simp_or(A, B, or(A, B)).
+
+% simplify_all: simplify, drop satisfied checks, deduplicate.
+simplify_all([], []).
+simplify_all([C|T], Out) :-
+	simplify(C, S),
+	simplify_all(T, Rest),
+	( S == true -> Out = Rest
+	; memberchk(S, Rest) -> Out = Rest
+	; Out = [S|Rest]
+	).
+`
+
+// Updates returns the five update query texts of increasing complexity.
+func Updates() []string {
+	return []string{
+		// 1. an insert violating nothing obvious.
+		"specialise_all(inserted(emp(4001, new_a, dept_3, 50000, 17, 34, proj_5)), P)",
+		// 2. an insert with boundary values.
+		"specialise_all(inserted(emp(4002, new_b, dept_4, 200000, 18, 70, proj_6)), P)",
+		// 3. an insert violating the salary cap (false residue).
+		"specialise_all(inserted(emp(4003, new_c, dept_5, 250000, 19, 30, proj_7)), P)",
+		// 4. a self-managing insert (neq residue false).
+		"specialise_all(inserted(emp(4004, new_d, dept_6, 90000, 4004, 41, proj_8)), P)",
+		// 5. a deletion affecting existential constraints.
+		"specialise_all(deleted(emp(17, old_a, dept_0, 60000, 3, 55, proj_2)), P)",
+	}
+}

@@ -1,0 +1,180 @@
+// Package mvv generates the Muenchner Verkehrs Verbund workload of the
+// paper's §5.1: a knowledge base modelling a city transport network that
+// combines buses, trams, underground and commuter trains.
+//
+// The real Munich data is not available, so the generator produces a
+// deterministic synthetic network with the same relation shapes and
+// cardinalities the paper reports:
+//
+//	location2 /2 — 2307 tuples (stop, zone)
+//	schedule3 /11 — 8776 tuples (expanded timetable)
+//	schedule2 /5 — 7260 tuples (line, kind, from, to, minutes)
+//
+// The facts live in the EDB; the route-finding rules are held internally,
+// exactly as in the paper's experimental setup. Class 1 queries ask for
+// direct connections between adjacent stops; Class 2 queries allow one
+// change between lines, with several kinds of transport to choose from.
+package mvv
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// Counts from the paper.
+const (
+	NLocations = 2307
+	NSchedule3 = 8776
+	NSchedule2 = 7260
+)
+
+// Data is a generated MVV knowledge base.
+type Data struct {
+	// Location2, Schedule3, Schedule2 are the fact clauses for the EDB.
+	Location2, Schedule3, Schedule2 []term.Term
+	// Class1 and Class2 are the sampled query texts (10 each).
+	Class1, Class2 []string
+}
+
+// kinds of transport in the network.
+var kinds = []string{"bus", "tram", "ubahn", "sbahn"}
+
+// rng is a small deterministic linear congruential generator so the
+// workload is reproducible without math/rand.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generate builds the synthetic network deterministically.
+func Generate() *Data {
+	r := &rng{s: 0x5DEECE66D}
+	d := &Data{}
+
+	stops := make([]string, NLocations)
+	for i := range stops {
+		stops[i] = fmt.Sprintf("stop_%d", i)
+		zone := fmt.Sprintf("zone_%d", i%16)
+		d.Location2 = append(d.Location2,
+			term.Comp("location", term.Atom(stops[i]), term.Atom(zone)))
+	}
+
+	// Lines: each visits a pseudo-random but deterministic sequence of
+	// stops. Segment tuples are emitted until schedule2 reaches its
+	// target cardinality.
+	type segment struct {
+		line, kind, from, to string
+		minutes              int
+	}
+	var segments []segment
+	line := 0
+	for len(segments) < NSchedule2 {
+		kind := kinds[line%len(kinds)]
+		lineName := fmt.Sprintf("%s_%d", kind, line)
+		length := 20 + r.intn(20)
+		at := r.intn(NLocations)
+		for s := 0; s < length && len(segments) < NSchedule2; s++ {
+			next := (at + 1 + r.intn(40)) % NLocations
+			segments = append(segments, segment{
+				line: lineName, kind: kind,
+				from: stops[at], to: stops[next],
+				minutes: 2 + r.intn(9),
+			})
+			at = next
+		}
+		line++
+	}
+	for _, s := range segments {
+		d.Schedule2 = append(d.Schedule2, term.Comp("schedule2",
+			term.Atom(s.line), term.Atom(s.kind),
+			term.Atom(s.from), term.Atom(s.to), term.Int(int64(s.minutes))))
+	}
+
+	// schedule3/11: expanded timetable entries derived from segments,
+	// repeated across departure runs until the target count.
+	run := 0
+	for len(d.Schedule3) < NSchedule3 {
+		s := segments[(run*397)%len(segments)]
+		depH := 5 + (run % 18)
+		depM := (run * 7) % 60
+		arrM := depM + s.minutes
+		arrH := depH + arrM/60
+		arrM %= 60
+		d.Schedule3 = append(d.Schedule3, term.Comp("schedule3",
+			term.Atom(s.line), term.Atom(s.kind),
+			term.Atom(s.from), term.Atom(s.to),
+			term.Int(int64(depH)), term.Int(int64(depM)),
+			term.Int(int64(arrH)), term.Int(int64(arrM)),
+			term.Atom("weekday"),
+			term.Atom(fmt.Sprintf("zone_%d", run%16)),
+			term.Int(int64(run))))
+		run++
+	}
+
+	// Sample queries. Class 1: direct connections (adjacent stops on
+	// some line). Class 2: routes with at most one change.
+	for i := 0; i < 10; i++ {
+		s := segments[(i*631)%len(segments)]
+		d.Class1 = append(d.Class1,
+			fmt.Sprintf("direct(%s, %s, Line, T)", s.from, s.to))
+	}
+	// Class 2 pairs are connected through an intermediate stop: pick a
+	// segment, then a segment departing from its destination, so a
+	// one-change route exists (possibly among several alternatives).
+	bySrc := map[string][]segment{}
+	for _, s := range segments {
+		bySrc[s.from] = append(bySrc[s.from], s)
+	}
+	count := 0
+	for i := 0; count < 10; i++ {
+		a := segments[(i*977)%len(segments)]
+		conts := bySrc[a.to]
+		if len(conts) == 0 {
+			continue
+		}
+		b := conts[i%len(conts)]
+		d.Class2 = append(d.Class2,
+			fmt.Sprintf("route(%s, %s, T)", a.from, b.to))
+		count++
+	}
+	return d
+}
+
+// Rules is the route-finding program, held in internal storage during the
+// experiment (paper §5.1).
+const Rules = `
+direct(From, To, Line, T) :- schedule2(Line, _, From, To, T).
+
+% A route is a direct connection or one with a single change; the change
+% adds a five-minute penalty. Several kinds of transport compete.
+route(From, To, T) :- schedule2(_, _, From, To, T).
+route(From, To, T) :-
+	schedule2(L1, _, From, Mid, T1),
+	schedule2(L2, _, Mid, To, T2),
+	L1 \= L2,
+	T is T1 + T2 + 5.
+
+% Timetable variant: a departure after a given time, using the expanded
+% schedule3 relation.
+departure_after(From, To, H0, Line, H, M) :-
+	schedule3(Line, _, From, To, H, M, _, _, _, _, _),
+	H >= H0.
+
+% Reachability within a zone (uses location2).
+same_zone(A, B) :- location(A, Z), location(B, Z).
+zone_hop(A, B, T) :- route(A, B, T), same_zone(A, B).
+`
+
+// Facts returns all fact clauses (for bulk loading into an engine).
+func (d *Data) Facts() []term.Term {
+	out := make([]term.Term, 0, len(d.Location2)+len(d.Schedule2)+len(d.Schedule3))
+	out = append(out, d.Location2...)
+	out = append(out, d.Schedule2...)
+	out = append(out, d.Schedule3...)
+	return out
+}

@@ -1,0 +1,187 @@
+// Package wisconsin generates the Wisconsin benchmark relations and the
+// query classes the paper's §5.2 selects from it: 1% and 10% range
+// selections over a 10000-tuple relation, a single-tuple selection, a
+// two-way join with a selection, and a three-way join with two selections.
+//
+// The schema follows Bitton, DeWitt and Turbyfill's standard definition
+// (integer attributes unique1, unique2, two ... tenthous plus three string
+// attributes); each query exists in a set-oriented format (relational
+// operator tree) and a term-oriented format (Prolog goals over the bound
+// relations), reproducing the paper's "each query was expressed in a
+// different format".
+package wisconsin
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+)
+
+// Attrs is the Wisconsin attribute list.
+var Attrs = []rel.Attr{
+	{Name: "unique1", Type: rel.Int},
+	{Name: "unique2", Type: rel.Int},
+	{Name: "two", Type: rel.Int},
+	{Name: "four", Type: rel.Int},
+	{Name: "ten", Type: rel.Int},
+	{Name: "twenty", Type: rel.Int},
+	{Name: "hundred", Type: rel.Int},
+	{Name: "thousand", Type: rel.Int},
+	{Name: "twothous", Type: rel.Int},
+	{Name: "fivethous", Type: rel.Int},
+	{Name: "tenthous", Type: rel.Int},
+	{Name: "stringu1", Type: rel.String},
+	{Name: "stringu2", Type: rel.String},
+	{Name: "string4", Type: rel.String},
+}
+
+var fourNames = []string{"aaaa", "hhhh", "oooo", "vvvv"}
+
+// Build creates and fills a Wisconsin relation of n tuples named name,
+// with indexes on unique1 and unique2. unique1 is a pseudo-random
+// permutation (seeded deterministically), unique2 is sequential.
+func Build(cat *rel.Catalog, name string, n int, seed uint64) (*rel.Relation, error) {
+	r, err := cat.Create(rel.Schema{Name: name, Attrs: Attrs})
+	if err != nil {
+		return nil, err
+	}
+	perm := permutation(n, seed)
+	tuples := make([]rel.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		u1 := int64(perm[i])
+		u2 := int64(i)
+		tuples = append(tuples, rel.Tuple{
+			rel.IntV(u1),
+			rel.IntV(u2),
+			rel.IntV(u1 % 2),
+			rel.IntV(u1 % 4),
+			rel.IntV(u1 % 10),
+			rel.IntV(u1 % 20),
+			rel.IntV(u1 % 100),
+			rel.IntV(u1 % 1000),
+			rel.IntV(u1 % 2000),
+			rel.IntV(u1 % 5000),
+			rel.IntV(u1 % 10000),
+			rel.StringV(stringU(u1)),
+			rel.StringV(stringU(u2)),
+			rel.StringV(fourNames[u1%4]),
+		})
+	}
+	if err := r.InsertAll(tuples); err != nil {
+		return nil, err
+	}
+	if err := r.CreateIndex("unique1"); err != nil {
+		return nil, err
+	}
+	if err := r.CreateIndex("unique2"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// permutation returns a deterministic pseudo-random permutation of 0..n-1.
+func permutation(n int, seed uint64) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		s = s*6364136223846793005 + 1442695040888963407
+		j := int((s >> 17) % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// stringU builds the Wisconsin-style padded unique string.
+func stringU(v int64) string {
+	letters := make([]byte, 7)
+	for i := 6; i >= 0; i-- {
+		letters[i] = byte('A' + v%26)
+		v /= 26
+	}
+	return fmt.Sprintf("%s%s", letters, "xxxxxxxxxx")
+}
+
+// --- the paper's query classes (set-oriented formats) ---------------------
+
+// Select1Pct runs the 1% range selection over r, returning the row count.
+func Select1Pct(r *rel.Relation) (int, error) {
+	n := int64(r.Count())
+	lo := n / 3
+	hi := lo + n/100 - 1
+	return rel.Count(rel.IndexScan(r, "unique2", rel.IntV(lo), rel.IntV(hi)))
+}
+
+// Select10Pct runs the 10% range selection.
+func Select10Pct(r *rel.Relation) (int, error) {
+	n := int64(r.Count())
+	lo := n / 3
+	hi := lo + n/10 - 1
+	return rel.Count(rel.IndexScan(r, "unique2", rel.IntV(lo), rel.IntV(hi)))
+}
+
+// SelectOne fetches a single tuple by unique2 key.
+func SelectOne(r *rel.Relation) (int, error) {
+	k := int64(r.Count() / 2)
+	return rel.Count(rel.IndexScan(r, "unique2", rel.IntV(k), rel.IntV(k)))
+}
+
+// JoinAselB is the two-way join: select 10% of a (on unique2), join to b
+// on unique1 via b's index.
+func JoinAselB(a, b *rel.Relation) (int, error) {
+	n := int64(a.Count())
+	lo := n / 4
+	hi := lo + n/10 - 1
+	sel := rel.IndexScan(a, "unique2", rel.IntV(lo), rel.IntV(hi))
+	u1 := 0 // position of unique1
+	return rel.Count(rel.IndexJoin(sel, b, u1, "unique1"))
+}
+
+// JoinCselAselB is the three-way join: selections over the two large
+// relations, both joined through the small relation's keys.
+func JoinCselAselB(a, b, small *rel.Relation) (int, error) {
+	n := int64(a.Count())
+	loA := n / 4
+	hiA := loA + n/10 - 1
+	selA := rel.IndexScan(a, "unique2", rel.IntV(loA), rel.IntV(hiA))
+	// Join selA to small on unique1 (small has unique1 in 0..|small|).
+	j1 := rel.IndexJoin(selA, small, 0, "unique1")
+	// Then join the result to a 10% selection of b on unique1: the
+	// joined tuple's small.unique1 is at offset len(a.attrs)+0.
+	off := len(a.Schema.Attrs)
+	j2 := rel.IndexJoin(j1, b, off, "unique1")
+	// Residual selection on b's unique2 (10%).
+	loB := n / 2
+	hiB := loB + n/10 - 1
+	u2b := off + len(small.Schema.Attrs) + 1
+	final := rel.Select(j2, func(t rel.Tuple) bool {
+		return t[u2b].I >= loB && t[u2b].I <= hiB
+	})
+	return rel.Count(final)
+}
+
+// --- term-oriented formats -------------------------------------------------
+
+// TermQueries returns the Prolog texts of the same query classes for an
+// engine where relations a, b (10000 tuples) and c (1000 tuples) are bound
+// as predicates. Arguments: unique1 is the first attribute, unique2 the
+// second.
+func TermQueries(a, b, c string, n int) map[string]string {
+	lo1 := n / 3
+	hi1 := lo1 + n/100 - 1
+	lo10 := n / 3
+	hi10 := lo10 + n/10 - 1
+	args := "U1, U2, _, _, _, _, _, _, _, _, _, _, _, _"
+	return map[string]string{
+		"sel1pct": fmt.Sprintf("%s(%s), U2 >= %d, U2 =< %d", a, args, lo1, hi1),
+		"sel10pct": fmt.Sprintf("%s(%s), U2 >= %d, U2 =< %d",
+			a, args, lo10, hi10),
+		"selone": fmt.Sprintf("%s(U1, %d, _, _, _, _, _, _, _, _, _, _, _, _)", a, n/2),
+		"join2": fmt.Sprintf(
+			"%s(U1, U2, _, _, _, _, _, _, _, _, _, _, _, _), U2 >= %d, U2 =< %d, "+
+				"%s(U1, V2, _, _, _, _, _, _, _, _, _, _, _, _)",
+			a, n/4, n/4+n/10-1, b),
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/term"
+	"repro/internal/wam"
+)
+
+// registerEngineBuiltins adds builtins that need the compiler: the dynamic
+// database (assert/retract — §2 item 3 of the paper stresses how expensive
+// these are, and here assert really does run the incremental compiler) and
+// clause inspection.
+func (e *Engine) registerEngineBuiltins() {
+	m := e.m
+
+	m.RegisterBuiltin(wam.Builtin{Name: "assert", Arity: 1, Fn: e.biAssert(false)})
+	m.RegisterBuiltin(wam.Builtin{Name: "assertz", Arity: 1, Fn: e.biAssert(false)})
+	m.RegisterBuiltin(wam.Builtin{Name: "asserta", Arity: 1, Fn: e.biAssert(true)})
+	m.RegisterBuiltin(wam.Builtin{Name: "retract", Arity: 1, Fn: e.biRetract})
+	m.RegisterBuiltin(wam.Builtin{Name: "abolish", Arity: 1, Fn: e.biAbolish})
+	m.RegisterBuiltin(wam.Builtin{Name: "clause", Arity: 2, Fn: e.biClause})
+	m.RegisterBuiltin(wam.Builtin{Name: "educe_statistics", Arity: 2, Fn: e.biStatistics})
+}
+
+// biStatistics exposes engine counters to Prolog:
+// educe_statistics(Key, Value) with keys instructions, calls,
+// choice_points, gc_runs, heap_peak, edb_retrievals, edb_candidates,
+// io_accesses, io_reads, io_writes, dict_entries.
+func (e *Engine) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
+	st := e.Stats()
+	stats := map[string]int64{
+		"instructions":   int64(st.Machine.Instructions),
+		"calls":          int64(st.Machine.Calls),
+		"choice_points":  int64(st.Machine.ChoicePoints),
+		"gc_runs":        int64(st.Machine.GCRuns),
+		"heap_peak":      int64(st.Machine.HeapPeak),
+		"edb_retrievals": int64(st.EDB.Retrievals),
+		"edb_candidates": int64(st.EDB.CandidatesReturned),
+		"io_accesses":    int64(st.IO.Accesses),
+		"io_reads":       int64(st.IO.Reads),
+		"io_writes":      int64(st.IO.Writes),
+		"dict_entries":   int64(st.Dict.Live),
+	}
+	key := m.Deref(args[0])
+	if key.Tag() == wam.TagCon {
+		v, ok := stats[m.Dict.Name(key.AtomID())]
+		if !ok {
+			return false, nil
+		}
+		return m.Unify(args[1], wam.MakeInt(v)), nil
+	}
+	// Unbound key: enumerate.
+	names := make([]string, 0, len(stats))
+	for k := range stats {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	i := 0
+	redo := func(m *wam.Machine) (bool, error) {
+		for i < len(names) {
+			k := names[i]
+			i++
+			ok := m.TryUnify(func() bool {
+				return m.Unify(m.Reg(0), wam.MakeCon(m.Dict.Intern(k, 0))) &&
+					m.Unify(m.Reg(1), wam.MakeInt(stats[k]))
+			})
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	m.PushRedo(redo)
+	return redo(m)
+}
+
+func (e *Engine) biAssert(front bool) wam.BuiltinFn {
+	return func(m *wam.Machine, args []wam.Cell) (bool, error) {
+		t := m.DecodeTerm(args[0])
+		if err := e.AssertTerm(t, front); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+}
+
+// ensureDyn registers pi as a dynamic predicate (initially empty).
+func (e *Engine) ensureDyn(pi term.Indicator) *dynPred {
+	if dp, ok := e.dyn[pi]; ok {
+		return dp
+	}
+	dp := &dynPred{}
+	e.dyn[pi] = dp
+	e.relinkDyn(pi, dp)
+	return dp
+}
+
+// AssertTerm adds a clause to a dynamic in-memory predicate, compiling it
+// immediately (the incremental compiler at work).
+func (e *Engine) AssertTerm(t term.Term, front bool) error {
+	head, _ := splitClauseTerm(t)
+	pi := head.Indicator()
+	if pi.Name == "" {
+		return fmt.Errorf("core: cannot assert %s", t)
+	}
+	ccs, err := e.comp.CompileClause(t)
+	if err != nil {
+		return err
+	}
+	dp := e.ensureDyn(pi)
+	if front {
+		dp.terms = append([]term.Term{t}, dp.terms...)
+		dp.clauses = append([][]compiler.ClauseCode{ccs}, dp.clauses...)
+	} else {
+		dp.terms = append(dp.terms, t)
+		dp.clauses = append(dp.clauses, ccs)
+	}
+	// Auxiliary predicates get unique names; install them permanently.
+	for _, cc := range ccs[1:] {
+		if err := e.link(cc.Pred, []compiler.ClauseCode{cc}, false); err != nil {
+			return err
+		}
+	}
+	return e.relinkDyn(pi, dp)
+}
+
+// relinkDyn rebuilds a dynamic predicate's code from its clause list.
+func (e *Engine) relinkDyn(pi term.Indicator, dp *dynPred) error {
+	main := make([]compiler.ClauseCode, 0, len(dp.clauses))
+	for _, unit := range dp.clauses {
+		main = append(main, unit[0])
+	}
+	if err := e.link(pi, main, false); err != nil {
+		return err
+	}
+	fn := e.m.Dict.Intern(pi.Name, pi.Arity)
+	if p := e.m.Proc(fn); p != nil {
+		p.Dynamic = true
+	}
+	return nil
+}
+
+func (e *Engine) biRetract(m *wam.Machine, args []wam.Cell) (bool, error) {
+	t := m.DecodeTerm(args[0])
+	head, body := splitClauseTerm(t)
+	pi := head.Indicator()
+	dp, ok := e.dyn[pi]
+	if !ok {
+		return false, nil
+	}
+	env := interp.NewEnv()
+	for i, ct := range dp.terms {
+		mark := env.Mark()
+		r := term.Rename(ct)
+		rh, rb := splitClauseTerm(r)
+		if env.Unify(head, rh) && env.Unify(body, rb) {
+			dp.terms = append(append([]term.Term{}, dp.terms[:i]...), dp.terms[i+1:]...)
+			dp.clauses = append(append([][]compiler.ClauseCode{}, dp.clauses[:i]...), dp.clauses[i+1:]...)
+			if err := e.relinkDyn(pi, dp); err != nil {
+				return false, err
+			}
+			// Transfer bindings to the WAM by unifying the caller's
+			// term with the matched (renamed) clause.
+			matched := term.Comp(":-", rh, rb)
+			var matchCell wam.Cell
+			if _, isRule := t.(*term.Compound); isRule && t.Indicator() == (term.Indicator{Name: ":-", Arity: 2}) {
+				matchCell = m.EncodeTerm(matched, map[*term.Var]wam.Cell{})
+			} else {
+				matchCell = m.EncodeTerm(rh, map[*term.Var]wam.Cell{})
+			}
+			return m.Unify(args[0], matchCell), nil
+		}
+		env.Undo(mark)
+	}
+	return false, nil
+}
+
+func (e *Engine) biAbolish(m *wam.Machine, args []wam.Cell) (bool, error) {
+	t := m.DecodeTerm(args[0])
+	pi, err := parseIndicator(t)
+	if err != nil {
+		return false, err
+	}
+	delete(e.dyn, pi)
+	e.m.RemoveProc(e.m.Dict.Intern(pi.Name, pi.Arity))
+	return true, nil
+}
+
+// biClause enumerates clauses of a dynamic predicate: clause(Head, Body).
+func (e *Engine) biClause(m *wam.Machine, args []wam.Cell) (bool, error) {
+	headT := m.DecodeTerm(args[0])
+	pi := headT.Indicator()
+	if pi.Name == "" {
+		return false, fmt.Errorf("core: clause/2: head must be callable")
+	}
+	dp, ok := e.dyn[pi]
+	if !ok {
+		return false, nil
+	}
+	// Snapshot the clause list; enumeration is over this snapshot.
+	terms := append([]term.Term{}, dp.terms...)
+	i := 0
+	redo := func(m *wam.Machine) (bool, error) {
+		for i < len(terms) {
+			ct := terms[i]
+			i++
+			r := term.Rename(ct)
+			rh, rb := splitClauseTerm(r)
+			env := map[*term.Var]wam.Cell{}
+			hc := m.EncodeTerm(rh, env)
+			bc := m.EncodeTerm(rb, env)
+			ok := m.TryUnify(func() bool {
+				return m.Unify(m.Reg(0), hc) && m.Unify(m.Reg(1), bc)
+			})
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	m.PushRedo(redo)
+	return redo(m)
+}

@@ -1,0 +1,654 @@
+// Package core implements the Educe* engine: the integration of the WAM
+// emulator, the incremental compiler, the dynamic loader and the external
+// database described throughout the paper. The public API is re-exported
+// by the root educe package.
+//
+// The engine runs in one of two rule-storage modes:
+//
+//   - RuleStorageCompiled (Educe*): externally stored procedures hold
+//     relocatable compiled code; calls to them trap into the dynamic
+//     loader, which pre-unifies in the EDB, links the candidate clauses
+//     and executes them on the WAM (paper §3.1, §4).
+//   - RuleStorageSource (the Educe baseline): externally stored
+//     procedures hold source text; queries run on a resolution
+//     interpreter that parses and asserts the text on demand — the
+//     configuration whose costs §2 of the paper analyses.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/dict"
+	"repro/internal/edb"
+	"repro/internal/interp"
+	"repro/internal/loader"
+	"repro/internal/parser"
+	"repro/internal/rel"
+	"repro/internal/store"
+	"repro/internal/term"
+	"repro/internal/wam"
+)
+
+// RuleStorage selects how externally stored rules are represented.
+type RuleStorage int
+
+// Rule storage modes.
+const (
+	// RuleStorageCompiled stores relocatable WAM code in the EDB
+	// (Educe*, the paper's contribution).
+	RuleStorageCompiled RuleStorage = iota
+	// RuleStorageSource stores clause text and interprets it (the
+	// original Educe, the baseline).
+	RuleStorageSource
+)
+
+// PhaseStats breaks the rule-management pipeline into the phases the
+// paper's §3.1 compares: reading (lexing+parsing), code generation, and
+// loader/link time, plus EDB store/retrieve time.
+type PhaseStats struct {
+	Parse    time.Duration
+	Compile  time.Duration
+	Link     time.Duration
+	Store    time.Duration
+	Retrieve time.Duration
+	Asserts  uint64 // baseline-mode assert operations
+}
+
+// Stats aggregates engine counters for the benchmark harness.
+type Stats struct {
+	Machine wam.Stats
+	EDB     edb.Stats
+	IO      store.IOStats
+	Phases  PhaseStats
+	Dict    dict.Stats
+}
+
+// Options configures an Engine.
+type Options struct {
+	// StorePath is the page file backing the EDB; empty means in-memory.
+	StorePath string
+	// PoolPages is the buffer pool size (0 = store.DefaultPoolPages).
+	PoolPages int
+	// DictSegment is the internal dictionary segment size (0 = default).
+	DictSegment int
+	// DisableGC turns the WAM garbage collector off (ablation A5).
+	DisableGC bool
+	// DisableIndexing turns first-argument indexing off (ablation A4).
+	DisableIndexing bool
+	// DisablePreUnification makes EDB retrieval fetch all clauses
+	// (ablation A1).
+	DisablePreUnification bool
+	// RuleStorage selects the mode (default RuleStorageCompiled).
+	RuleStorage RuleStorage
+}
+
+// Engine is one Educe* session.
+type Engine struct {
+	opts Options
+
+	m    *wam.Machine
+	comp *compiler.Compiler
+	ops  *parser.OpTable
+
+	st  *store.Store
+	db  *edb.DB
+	cat *rel.Catalog
+
+	in *interp.Interp // baseline interpreter (source mode)
+
+	// dynamic (assert/retract) predicates: source terms + compiled code.
+	dyn map[term.Indicator]*dynPred
+
+	// typed holds declared type signatures (the typed sub-language).
+	typed map[term.Indicator][]ArgType
+
+	// per-query transient state.
+	queryProcs   []dict.ID // procs to drop at query end
+	loadedCache  map[string]*wam.Proc
+	interpLoaded []term.Indicator       // baseline-mode asserted predicates
+	factCaches   []map[uint32]term.Term // baseline per-query tuple caches
+
+	phases PhaseStats
+}
+
+type dynPred struct {
+	terms   []term.Term
+	clauses [][]compiler.ClauseCode // compiled units per source clause
+}
+
+// New creates an engine.
+func New(opts Options) (*Engine, error) {
+	segment := opts.DictSegment
+	if segment == 0 {
+		segment = 4096
+	}
+	d := dict.New(dict.WithSegmentSize(segment))
+	m := wam.NewMachine(d)
+	if opts.DisableGC {
+		m.SetGC(false)
+	}
+	st, err := store.Open(opts.StorePath, opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	db, err := edb.Open(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	cat, err := rel.OpenCatalog(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	e := &Engine{
+		opts:        opts,
+		m:           m,
+		comp:        compiler.New(compiler.Options{Transparent: transparentFor(m)}),
+		ops:         parser.NewOpTable(),
+		st:          st,
+		db:          db,
+		cat:         cat,
+		in:          interp.New(),
+		dyn:         map[term.Indicator]*dynPred{},
+		loadedCache: map[string]*wam.Proc{},
+	}
+	m.OnUndefined = e.onUndefined
+	e.registerEngineBuiltins()
+	if err := e.loadBootstrap(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	e.in.OnUndefined = e.interpTrap
+	// Reconnect procedures already stored in the EDB from a previous
+	// session: mark them external so calls trap to the loader, and give
+	// the baseline interpreter direct access to facts-only relations.
+	for _, p := range db.Procs() {
+		fn := m.Dict.Intern(p.Name, p.Arity)
+		if m.Proc(fn) == nil {
+			m.DefineProc(&wam.Proc{Fn: fn, Arity: p.Arity, External: true})
+		}
+		if p.Form == edb.FormSource && p.FactsOnly {
+			e.registerFactResolver(p)
+		}
+	}
+	return e, nil
+}
+
+// transparentFor returns the inline-builtin test bound to machine m.
+func transparentFor(m *wam.Machine) func(string, int) bool {
+	return func(name string, arity int) bool {
+		if !compiler.DefaultTransparent(name, arity) {
+			return false
+		}
+		return m.BuiltinIndex(name, arity) >= 0
+	}
+}
+
+// Close flushes and closes the store.
+func (e *Engine) Close() error { return e.st.Close() }
+
+// Machine exposes the WAM (benchmarks and tests).
+func (e *Engine) Machine() *wam.Machine { return e.m }
+
+// DB exposes the external database layer.
+func (e *Engine) DB() *edb.DB { return e.db }
+
+// Catalog exposes the relational catalog.
+func (e *Engine) Catalog() *rel.Catalog { return e.cat }
+
+// Interp exposes the baseline interpreter.
+func (e *Engine) Interp() *interp.Interp { return e.in }
+
+// RuleStorage reports the current mode.
+func (e *Engine) RuleStorage() RuleStorage { return e.opts.RuleStorage }
+
+// SetRuleStorage switches between Educe* and baseline evaluation.
+func (e *Engine) SetRuleStorage(rs RuleStorage) { e.opts.RuleStorage = rs }
+
+// Stats returns aggregated counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Machine: e.m.Stats(),
+		EDB:     e.db.Stats(),
+		IO:      e.st.Stats(),
+		Phases:  e.phases,
+		Dict:    e.m.Dict.Stats(),
+	}
+}
+
+// ResetStats zeroes all counters.
+func (e *Engine) ResetStats() {
+	e.m.ResetStats()
+	e.db.ResetStats()
+	e.st.ResetStats()
+	e.in.ResetStats()
+	e.phases = PhaseStats{}
+}
+
+// --- consulting -------------------------------------------------------------
+
+// Consult compiles src into main memory (rules resident, like a
+// conventional Prolog compiler).
+func (e *Engine) Consult(src string) error {
+	terms, err := e.parseProgram(src)
+	if err != nil {
+		return err
+	}
+	units, order, err := e.compileProgram(terms)
+	if err != nil {
+		return err
+	}
+	for _, pi := range order {
+		if err := e.link(pi, units[pi], false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConsultExternal compiles src and stores every clause in the EDB in the
+// engine's current rule-storage form. The predicates become external:
+// calling them traps into the dynamic loader.
+func (e *Engine) ConsultExternal(src string) error {
+	terms, err := e.parseProgram(src)
+	if err != nil {
+		return err
+	}
+	if e.opts.RuleStorage == RuleStorageSource {
+		return e.storeSourceClauses(terms)
+	}
+	return e.storeCompiledClauses(terms)
+}
+
+// parseProgram reads all clauses, executing directives.
+func (e *Engine) parseProgram(src string) ([]term.Term, error) {
+	t0 := time.Now()
+	defer func() { e.phases.Parse += time.Since(t0) }()
+	p := parser.NewWithOps(src, e.ops)
+	var out []term.Term
+	for {
+		tm, _, err := p.ReadTerm()
+		if err != nil {
+			return nil, err
+		}
+		if tm == nil {
+			return out, nil
+		}
+		if d, ok := tm.(*term.Compound); ok && d.Functor == ":-" && len(d.Args) == 1 {
+			if err := e.directive(d.Args[0]); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		out = append(out, tm)
+	}
+}
+
+func (e *Engine) directive(d term.Term) error {
+	c, ok := d.(*term.Compound)
+	if !ok {
+		return fmt.Errorf("core: unsupported directive %s", d)
+	}
+	switch {
+	case c.Functor == "op" && len(c.Args) == 3:
+		p, ok1 := c.Args[0].(term.Int)
+		ts, ok2 := c.Args[1].(term.Atom)
+		name, ok3 := c.Args[2].(term.Atom)
+		if !ok1 || !ok2 || !ok3 {
+			return fmt.Errorf("core: malformed op/3 directive")
+		}
+		typ, err := parser.ParseOpType(string(ts))
+		if err != nil {
+			return err
+		}
+		return e.ops.Define(int(p), typ, string(name))
+	case c.Functor == "dynamic" && len(c.Args) == 1:
+		pi, err := parseIndicator(c.Args[0])
+		if err != nil {
+			return err
+		}
+		e.ensureDyn(pi)
+		return nil
+	case c.Functor == "typed" && len(c.Args) == 1:
+		return e.typedDirective(c.Args[0])
+	}
+	return fmt.Errorf("core: unsupported directive %s", d)
+}
+
+func parseIndicator(t term.Term) (term.Indicator, error) {
+	c, ok := t.(*term.Compound)
+	if !ok || c.Functor != "/" || len(c.Args) != 2 {
+		return term.Indicator{}, fmt.Errorf("core: expected Name/Arity, got %s", t)
+	}
+	name, ok1 := c.Args[0].(term.Atom)
+	arity, ok2 := c.Args[1].(term.Int)
+	if !ok1 || !ok2 {
+		return term.Indicator{}, fmt.Errorf("core: expected Name/Arity, got %s", t)
+	}
+	return term.Indicator{Name: string(name), Arity: int(arity)}, nil
+}
+
+// compileProgram compiles clauses grouped by predicate (aux predicates
+// included), preserving first-definition order.
+func (e *Engine) compileProgram(terms []term.Term) (map[term.Indicator][]compiler.ClauseCode, []term.Indicator, error) {
+	t0 := time.Now()
+	defer func() { e.phases.Compile += time.Since(t0) }()
+	units := map[term.Indicator][]compiler.ClauseCode{}
+	var order []term.Indicator
+	for _, tm := range terms {
+		ccs, err := e.comp.CompileClause(tm)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, cc := range ccs {
+			if _, ok := units[cc.Pred]; !ok {
+				order = append(order, cc.Pred)
+			}
+			units[cc.Pred] = append(units[cc.Pred], cc)
+		}
+	}
+	return units, order, nil
+}
+
+// link installs a predicate's clauses on the machine.
+func (e *Engine) link(pi term.Indicator, ccs []compiler.ClauseCode, transient bool) error {
+	t0 := time.Now()
+	defer func() { e.phases.Link += time.Since(t0) }()
+	opts := loader.Options{Index: !e.opts.DisableIndexing, Transient: transient}
+	_, err := loader.LinkPredicate(e.m, pi.Name, pi.Arity, ccs, opts)
+	return err
+}
+
+// storeCompiledClauses compiles and stores clauses (and their auxiliary
+// predicates) in the EDB in compiled form.
+func (e *Engine) storeCompiledClauses(terms []term.Term) error {
+	for _, tm := range terms {
+		head, _ := splitClauseTerm(tm)
+		if err := e.checkTyped(head); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		ccs, err := e.comp.CompileClause(tm)
+		e.phases.Compile += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		_, body := splitClauseTerm(tm)
+		// The first unit is the clause itself; the rest are auxiliary
+		// predicate clauses that must be stored alongside it. Auxiliary
+		// predicates always count as rules (they exist to carry control
+		// constructs).
+		for i, cc := range ccs {
+			keys := argKeysOf(nil)
+			isRule := true
+			if i == 0 {
+				keys = argKeysOf(headArgsOf(head))
+				isRule = body != term.TrueAtom
+			}
+			if err := e.storeOneCompiled(cc, keys, isRule); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) storeOneCompiled(cc compiler.ClauseCode, keys []edb.ArgKey, isRule bool) error {
+	t0 := time.Now()
+	defer func() { e.phases.Store += time.Since(t0) }()
+	p, err := e.db.EnsureProc(cc.Pred.Name, cc.Pred.Arity, edb.FormCode)
+	if err != nil {
+		return err
+	}
+	if isRule {
+		if err := e.db.MarkRule(p); err != nil {
+			return err
+		}
+	}
+	// Register every symbol in the external dictionary (paper §4 item 2).
+	for _, s := range cc.Symbols {
+		if _, err := e.db.Ext().Intern(s.Name, s.Arity); err != nil {
+			return err
+		}
+	}
+	for len(keys) < p.K {
+		keys = append(keys, edb.WildKey())
+	}
+	if _, err := e.db.StoreClause(p, keys, loader.EncodeClause(cc)); err != nil {
+		return err
+	}
+	e.invalidateLoaded(cc.Pred.Name, cc.Pred.Arity)
+	e.markExternal(cc.Pred)
+	return nil
+}
+
+// storeSourceClauses stores clause text (Educe baseline form). Facts-only
+// procedures keep the baseline's tuple-at-a-time access path; storing a
+// rule switches the procedure to assert-based loading.
+func (e *Engine) storeSourceClauses(terms []term.Term) error {
+	t0 := time.Now()
+	defer func() { e.phases.Store += time.Since(t0) }()
+	touched := map[*edb.ProcInfo]bool{}
+	for _, tm := range terms {
+		head, body := splitClauseTerm(tm)
+		if err := e.checkTyped(head); err != nil {
+			return err
+		}
+		pi := head.Indicator()
+		p, err := e.db.EnsureProc(pi.Name, pi.Arity, edb.FormSource)
+		if err != nil {
+			return err
+		}
+		if body != term.TrueAtom {
+			if err := e.db.MarkRule(p); err != nil {
+				return err
+			}
+		}
+		touched[p] = true
+		keys := argKeysOf(headArgsOf(head))
+		for len(keys) < p.K {
+			keys = append(keys, edb.WildKey())
+		}
+		if _, err := e.db.StoreClause(p, keys, []byte(tm.String()+".")); err != nil {
+			return err
+		}
+		e.invalidateLoaded(pi.Name, pi.Arity)
+		e.markExternal(pi)
+	}
+	for p := range touched {
+		if p.FactsOnly {
+			e.registerFactResolver(p)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) markExternal(pi term.Indicator) {
+	fn := e.m.Dict.Intern(pi.Name, pi.Arity)
+	if p := e.m.Proc(fn); p == nil {
+		e.m.DefineProc(&wam.Proc{Fn: fn, Arity: pi.Arity, External: true})
+	} else {
+		p.External = true
+	}
+}
+
+func splitClauseTerm(t term.Term) (head, body term.Term) {
+	if c, ok := t.(*term.Compound); ok && c.Functor == ":-" && len(c.Args) == 2 {
+		return c.Args[0], c.Args[1]
+	}
+	return t, term.TrueAtom
+}
+
+func headArgsOf(head term.Term) []term.Term {
+	if c, ok := head.(*term.Compound); ok {
+		return c.Args
+	}
+	return nil
+}
+
+// argKeysOf derives EDB attribute keys from clause head arguments.
+func argKeysOf(args []term.Term) []edb.ArgKey {
+	keys := make([]edb.ArgKey, 0, len(args))
+	for _, a := range args {
+		keys = append(keys, argKeyOf(a))
+	}
+	return keys
+}
+
+func argKeyOf(a term.Term) edb.ArgKey {
+	switch x := a.(type) {
+	case term.Atom:
+		return edb.AtomKey(string(x))
+	case term.Int:
+		return edb.IntKey(int64(x))
+	case term.Float:
+		return edb.FloatKey(floatBits(float64(x)))
+	case *term.Compound:
+		if _, ok := term.IsCons(x); ok {
+			return edb.ListKey()
+		}
+		return edb.StructKey(x.Functor, len(x.Args))
+	default:
+		return edb.WildKey()
+	}
+}
+
+// ConsultTerms compiles pre-parsed clause terms into main memory (bulk
+// loading path for workload generators).
+func (e *Engine) ConsultTerms(terms []term.Term) error {
+	units, order, err := e.compileProgram(terms)
+	if err != nil {
+		return err
+	}
+	for _, pi := range order {
+		if err := e.link(pi, units[pi], false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConsultExternalTerms stores pre-parsed clause terms in the EDB in the
+// engine's current rule-storage form.
+func (e *Engine) ConsultExternalTerms(terms []term.Term) error {
+	if e.opts.RuleStorage == RuleStorageSource {
+		return e.storeSourceClauses(terms)
+	}
+	return e.storeCompiledClauses(terms)
+}
+
+// Flush writes all buffered pages to the store.
+func (e *Engine) Flush() error { return e.st.Flush() }
+
+// AssertExternalTerm stores a single clause in the EDB in the engine's
+// current rule-storage form (the paper's assertion of externally
+// maintained code, one of the triggers of §3.3.2's garbage collection).
+func (e *Engine) AssertExternalTerm(t term.Term) error {
+	return e.ConsultExternalTerms([]term.Term{t})
+}
+
+// RetractExternal removes the first stored clause matching t (a fact, or
+// Head :- Body) from the EDB and reports whether one was removed.
+//
+// Compiled-form matching compares relocatable code bytes, which is exact
+// for clauses without control constructs; clauses containing ;/->/\+
+// compile to uniquely named auxiliary predicates and cannot be matched
+// this way (an error is returned). Source-form matching unifies terms.
+func (e *Engine) RetractExternal(t term.Term) (bool, error) {
+	head, body := splitClauseTerm(t)
+	pi := head.Indicator()
+	p := e.db.Proc(pi.Name, pi.Arity)
+	if p == nil {
+		return false, nil
+	}
+	keys := argKeysOf(headArgsOf(head))
+	for len(keys) < p.K {
+		keys = append(keys, edb.WildKey())
+	}
+	scs, err := e.db.Retrieve(p, keys)
+	if err != nil {
+		return false, err
+	}
+	switch p.Form {
+	case edb.FormCode:
+		if hasControl(body) {
+			return false, fmt.Errorf("core: cannot retract compiled clause with control constructs: %s", t)
+		}
+		ccs, err := compiler.New(compiler.Options{Transparent: transparentFor(e.m)}).CompileClause(t)
+		if err != nil {
+			return false, err
+		}
+		want := loader.EncodeClause(ccs[0])
+		for _, sc := range scs {
+			if string(sc.Blob) == string(want) {
+				if err := e.db.DeleteClause(p, sc); err != nil {
+					return false, err
+				}
+				e.invalidateLoaded(pi.Name, pi.Arity)
+				return true, nil
+			}
+		}
+		return false, nil
+	default: // FormSource
+		env := interp.NewEnv()
+		for _, sc := range scs {
+			stored, _, perr := parser.ParseTermWithOps(trimDot(string(sc.Blob)), e.ops)
+			if perr != nil {
+				return false, perr
+			}
+			sh, sb := splitClauseTerm(term.Rename(stored))
+			mark := env.Mark()
+			if env.Unify(head, sh) && env.Unify(body, sb) {
+				if err := e.db.DeleteClause(p, sc); err != nil {
+					return false, err
+				}
+				e.invalidateLoaded(pi.Name, pi.Arity)
+				return true, nil
+			}
+			env.Undo(mark)
+		}
+		return false, nil
+	}
+}
+
+// hasControl reports whether a body contains control constructs that
+// compile to auxiliary predicates.
+func hasControl(t term.Term) bool {
+	c, ok := t.(*term.Compound)
+	if !ok {
+		return false
+	}
+	switch {
+	case c.Functor == "," && len(c.Args) == 2:
+		return hasControl(c.Args[0]) || hasControl(c.Args[1])
+	case (c.Functor == ";" || c.Functor == "->") && len(c.Args) == 2:
+		return true
+	case (c.Functor == "\\+" || c.Functor == "not") && len(c.Args) == 1:
+		return true
+	}
+	return false
+}
+
+func trimDot(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '.' || s[len(s)-1] == ' ' || s[len(s)-1] == '\n') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// DropExternal removes an entire externally stored procedure.
+func (e *Engine) DropExternal(name string, arity int) error {
+	p := e.db.Proc(name, arity)
+	if p == nil {
+		return fmt.Errorf("core: no external procedure %s/%d", name, arity)
+	}
+	if err := e.db.DropProc(p); err != nil {
+		return err
+	}
+	e.invalidateLoaded(name, arity)
+	e.m.RemoveProc(e.m.Dict.Intern(name, arity))
+	return nil
+}

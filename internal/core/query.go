@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/term"
+	"repro/internal/wam"
+)
+
+// Solutions iterates over the answers of one query. Starting a new query
+// on the same engine invalidates any live Solutions.
+type Solutions struct {
+	e     *Engine
+	names []string
+	err   error
+	done  bool
+	cur   map[string]term.Term
+
+	// compiled (WAM) execution
+	run  *wam.Run
+	args []wam.Cell
+
+	// baseline (interpreter) execution
+	gen *interpGen
+}
+
+// Query parses and runs a goal, returning a Solutions iterator. The query
+// executes on the WAM in compiled mode, or on the resolution interpreter
+// in baseline (source) mode.
+func (e *Engine) Query(q string) (*Solutions, error) {
+	e.endQuery()
+	body, vars, err := parser.ParseTermWithOps(q, e.ops)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if e.opts.RuleStorage == RuleStorageSource {
+		goal := body
+		vlist := make(map[string]*term.Var, len(vars))
+		for n, v := range vars {
+			vlist[n] = v
+		}
+		return &Solutions{
+			e:     e,
+			names: names,
+			gen:   newInterpGen(e.in, goal, vlist),
+		}, nil
+	}
+
+	vlist := make([]*term.Var, len(names))
+	for i, n := range names {
+		vlist[i] = vars[n]
+	}
+	ccs, err := e.comp.CompileQuery("$query", vlist, body)
+	if err != nil {
+		return nil, err
+	}
+	units := map[term.Indicator][]compiler.ClauseCode{}
+	for _, cc := range ccs {
+		units[cc.Pred] = append(units[cc.Pred], cc)
+	}
+	for pi, cs := range units {
+		if err := e.link(pi, cs, true); err != nil {
+			return nil, err
+		}
+		e.queryProcs = append(e.queryProcs, e.m.Dict.Intern(pi.Name, pi.Arity))
+	}
+	e.m.Reset()
+	args := make([]wam.Cell, len(vlist))
+	for i := range args {
+		args[i] = wam.MakeRef(e.m.NewVar())
+	}
+	fn := e.m.Dict.Intern("$query", len(args))
+	return &Solutions{
+		e:     e,
+		names: names,
+		run:   e.m.Call(fn, args),
+		args:  args,
+	}, nil
+}
+
+// Next advances to the next solution, returning false when exhausted or
+// on error (check Err).
+func (s *Solutions) Next() bool {
+	if s.done {
+		return false
+	}
+	if s.run != nil {
+		ok, err := s.run.Next()
+		if err != nil {
+			s.err = err
+			s.done = true
+			return false
+		}
+		if !ok {
+			s.done = true
+			return false
+		}
+		s.cur = map[string]term.Term{}
+		for i, n := range s.names {
+			s.cur[n] = s.e.m.DecodeTerm(s.args[i])
+		}
+		return true
+	}
+	sol, ok, err := s.gen.next()
+	if err != nil {
+		s.err = err
+		s.done = true
+		return false
+	}
+	if !ok {
+		s.done = true
+		return false
+	}
+	s.cur = sol
+	return true
+}
+
+// Binding returns the current solution's value for the named variable.
+func (s *Solutions) Binding(name string) term.Term { return s.cur[name] }
+
+// Map returns the current solution's full binding map.
+func (s *Solutions) Map() map[string]term.Term { return s.cur }
+
+// Vars lists the query's variable names.
+func (s *Solutions) Vars() []string { return s.names }
+
+// Err reports the first error encountered.
+func (s *Solutions) Err() error { return s.err }
+
+// Close abandons the query and releases per-query state.
+func (s *Solutions) Close() {
+	if !s.done {
+		s.done = true
+		if s.gen != nil {
+			s.gen.stop()
+		}
+	}
+	s.e.endQuery()
+}
+
+// QueryAll runs a query to exhaustion, returning all binding maps.
+func (e *Engine) QueryAll(q string) ([]map[string]term.Term, error) {
+	s, err := e.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	var out []map[string]term.Term
+	for s.Next() {
+		out = append(out, s.Map())
+	}
+	return out, s.Err()
+}
+
+// QueryCount counts a query's solutions.
+func (e *Engine) QueryCount(q string) (int, error) {
+	s, err := e.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	n := 0
+	for s.Next() {
+		n++
+	}
+	return n, s.Err()
+}
+
+// QueryOnce reports whether the query has at least one solution, with its
+// bindings.
+func (e *Engine) QueryOnce(q string) (map[string]term.Term, bool, error) {
+	s, err := e.Query(q)
+	if err != nil {
+		return nil, false, err
+	}
+	defer s.Close()
+	if s.Next() {
+		return s.Map(), true, s.Err()
+	}
+	return nil, false, s.Err()
+}
+
+// interpGen adapts the interpreter's push-style enumeration to the
+// pull-style Solutions iterator with a worker goroutine.
+type interpGen struct {
+	sols    chan map[string]term.Term
+	resume  chan bool
+	errCh   chan error
+	started bool
+	stopped bool
+}
+
+func newInterpGen(in *interp.Interp, goal term.Term, vars map[string]*term.Var) *interpGen {
+	g := &interpGen{
+		sols:   make(chan map[string]term.Term),
+		resume: make(chan bool),
+		errCh:  make(chan error, 1),
+	}
+	go func() {
+		env := interp.NewEnv()
+		err := in.Solve(goal, env, func(e *interp.Env) bool {
+			sol := map[string]term.Term{}
+			for n, v := range vars {
+				sol[n] = e.ResolveDeep(v)
+			}
+			g.sols <- sol
+			return <-g.resume
+		})
+		g.errCh <- err
+		close(g.sols)
+	}()
+	return g
+}
+
+func (g *interpGen) next() (map[string]term.Term, bool, error) {
+	if g.stopped {
+		return nil, false, nil
+	}
+	if g.started {
+		g.resume <- true
+	}
+	g.started = true
+	sol, ok := <-g.sols
+	if !ok {
+		g.stopped = true
+		return nil, false, <-g.errCh
+	}
+	return sol, true, nil
+}
+
+// stop cancels the enumeration, unblocking the worker goroutine whether it
+// is waiting to deliver a solution or waiting for a resume signal.
+func (g *interpGen) stop() {
+	if g.stopped {
+		return
+	}
+	g.stopped = true
+	go func() {
+		for {
+			select {
+			case _, ok := <-g.sols:
+				if !ok {
+					return
+				}
+			case g.resume <- false:
+			}
+		}
+	}()
+}

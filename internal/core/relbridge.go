@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/wam"
+)
+
+// CreateRelation registers a relation in the catalog.
+func (e *Engine) CreateRelation(schema rel.Schema) (*rel.Relation, error) {
+	return e.cat.Create(schema)
+}
+
+// Relation fetches a relation by name.
+func (e *Engine) Relation(name string) *rel.Relation { return e.cat.Get(name) }
+
+// BindRelation exposes a stored relation as a Prolog predicate of the same
+// name and arity, implemented as a nondeterministic cursor over the record
+// manager — the deterministic low-level interface of §3.2.1 wrapped in a
+// single choice point. When an argument with an index is bound, the cursor
+// uses an index scan (choice-point elision for selective access); otherwise
+// it scans sequentially, filtering on whatever arguments are bound.
+//
+// This is the term-oriented face of the dual evaluation strategy (§4); the
+// set-oriented face is the rel package's operator tree.
+func (e *Engine) BindRelation(name string) error {
+	r := e.cat.Get(name)
+	if r == nil {
+		return fmt.Errorf("core: no relation %s", name)
+	}
+	arity := len(r.Schema.Attrs)
+	cursor := func(m *wam.Machine, args []wam.Cell) (bool, error) {
+		// Snapshot bound argument values.
+		type boundArg struct {
+			pos int
+			val rel.Value
+		}
+		var bound []boundArg
+		for i := 0; i < arity; i++ {
+			if v, ok := e.cellToRelValue(m.Deref(m.Reg(i)), r.Schema.Attrs[i].Type); ok {
+				bound = append(bound, boundArg{pos: i, val: v})
+			}
+		}
+		// Pick an access path: an indexed bound attribute if available.
+		var it rel.Iterator
+		usedIndex := -1
+		for _, ba := range bound {
+			if r.HasIndex(r.Schema.Attrs[ba.pos].Name) {
+				it = rel.IndexScan(r, r.Schema.Attrs[ba.pos].Name, ba.val, ba.val)
+				usedIndex = ba.pos
+				break
+			}
+		}
+		if it == nil {
+			it = rel.SeqScan(r)
+		}
+		// Residual filter over the remaining bound attributes.
+		filter := make([]boundArg, 0, len(bound))
+		for _, ba := range bound {
+			if ba.pos != usedIndex {
+				filter = append(filter, ba)
+			}
+		}
+		redo := func(m *wam.Machine) (bool, error) {
+			for {
+				t, err := it.Next()
+				if err != nil {
+					return false, err
+				}
+				if t == nil {
+					return false, nil
+				}
+				match := true
+				for _, ba := range filter {
+					if t[ba.pos].Compare(ba.val) != 0 {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				ok := m.TryUnify(func() bool {
+					for i := 0; i < arity; i++ {
+						if !m.Unify(m.Reg(i), e.relValueToCell(t[i])) {
+							return false
+						}
+					}
+					return true
+				})
+				if ok {
+					return true, nil
+				}
+			}
+		}
+		m.PushRedo(redo)
+		return redo(m)
+	}
+
+	idx := e.m.RegisterBuiltin(wam.Builtin{Name: "$rel_" + name, Arity: arity, Fn: cursor})
+	// Also install the relation under its own name.
+	blk := e.m.AddBlock(&wam.CodeBlock{
+		Name: fmt.Sprintf("$relation %s/%d", name, arity),
+		Instrs: []wam.Instr{
+			{Op: wam.OpBuiltin, N: int32(idx), Ar: int32(arity)},
+			{Op: wam.OpProceed},
+		},
+	})
+	fn := e.m.Dict.Intern(name, arity)
+	e.m.DefineProc(&wam.Proc{Fn: fn, Arity: arity, Block: blk})
+	return nil
+}
+
+// cellToRelValue converts a bound cell to a relational value of the
+// attribute's type; ok is false for unbound or mismatched cells.
+func (e *Engine) cellToRelValue(c wam.Cell, typ rel.Type) (rel.Value, bool) {
+	switch c.Tag() {
+	case wam.TagInt:
+		if typ == rel.Int {
+			return rel.IntV(c.IntVal()), true
+		}
+	case wam.TagFlt:
+		if typ == rel.Float {
+			return rel.FloatV(e.m.Float(c)), true
+		}
+	case wam.TagCon:
+		if typ == rel.String {
+			return rel.StringV(e.m.Dict.Name(c.AtomID())), true
+		}
+	}
+	return rel.Value{}, false
+}
+
+// relValueToCell converts a relational value to a heap cell.
+func (e *Engine) relValueToCell(v rel.Value) wam.Cell {
+	switch v.Type {
+	case rel.Int:
+		return wam.MakeInt(v.I)
+	case rel.Float:
+		return e.m.PushFloat(v.F)
+	default:
+		return wam.MakeCon(e.m.Dict.Intern(v.S, 0))
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/dict"
+	"repro/internal/edb"
+	"repro/internal/interp"
+	"repro/internal/loader"
+	"repro/internal/parser"
+	"repro/internal/term"
+	"repro/internal/wam"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// onUndefined is the interpreter trap of §3.2.1: a call to a procedure
+// with no resident code consults the procedures table and, for an external
+// procedure, invokes the dynamic loader. The loader pre-unifies in the EDB
+// using the call's bound arguments, decodes the candidate relocatable
+// clauses, resolves their associative addresses and splices control code.
+func (e *Engine) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
+	name := m.Dict.Name(fn)
+	arity := m.Dict.Arity(fn)
+	p := e.db.Proc(name, arity)
+	if p == nil {
+		return nil, nil // genuinely unknown
+	}
+
+	// Build the pre-unification filter from the call's argument
+	// registers. Rule procedures are always loaded whole and frozen for
+	// the query (the paper's §3.2.1 "freeze the definition": in-memory
+	// switch instructions then dispatch between their clauses); facts
+	// relations are filtered per goal, where EDB selectivity pays.
+	keys := make([]edb.ArgKey, p.K)
+	allWild := true
+	for i := 0; i < p.K; i++ {
+		if e.opts.DisablePreUnification || !p.FactsOnly {
+			keys[i] = edb.WildKey()
+			continue
+		}
+		keys[i] = e.cellArgKey(m.Deref(m.Reg(i)))
+		if !keys[i].Wild {
+			allWild = false
+		}
+	}
+
+	cacheKey := cacheKeyFor(name, arity, keys)
+	if proc, ok := e.loadedCache[cacheKey]; ok {
+		return proc, nil
+	}
+
+	t0 := time.Now()
+	scs, err := e.db.Retrieve(p, keys)
+	e.phases.Retrieve += time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+
+	var proc *wam.Proc
+	switch p.Form {
+	case edb.FormCode:
+		clauses, err := decodeClauses(scs)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%d: %w", name, arity, err)
+		}
+		t1 := time.Now()
+		blk, err := loader.BuildBlock(m, name, arity, clauses, loader.Options{
+			Index:     !e.opts.DisableIndexing,
+			Transient: true,
+		})
+		e.phases.Link += time.Since(t1)
+		if err != nil {
+			return nil, err
+		}
+		m.AddBlock(blk)
+		proc = &wam.Proc{Fn: fn, Arity: arity, Block: blk, External: true, Transient: true}
+	case edb.FormSource:
+		// A source-form procedure reached from compiled execution:
+		// parse and compile on the fly (the hybrid path).
+		var terms []term.Term
+		t1 := time.Now()
+		for _, sc := range scs {
+			tm, _, err := parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), e.ops)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s/%d clause %d: %w", name, arity, sc.ClauseID, err)
+			}
+			terms = append(terms, tm)
+		}
+		e.phases.Parse += time.Since(t1)
+		units, _, err := e.compileProgram(terms)
+		if err != nil {
+			return nil, err
+		}
+		pi := term.Indicator{Name: name, Arity: arity}
+		t2 := time.Now()
+		blk, err := loader.BuildBlock(m, name, arity, units[pi], loader.Options{
+			Index:     !e.opts.DisableIndexing,
+			Transient: true,
+		})
+		e.phases.Link += time.Since(t2)
+		if err != nil {
+			return nil, err
+		}
+		m.AddBlock(blk)
+		// Auxiliary predicates (from control constructs) are installed
+		// for the query's duration.
+		for api, accs := range units {
+			if api == pi {
+				continue
+			}
+			if err := e.link(api, accs, true); err != nil {
+				return nil, err
+			}
+			e.queryProcs = append(e.queryProcs, m.Dict.Intern(api.Name, api.Arity))
+		}
+		proc = &wam.Proc{Fn: fn, Arity: arity, Block: blk, External: true, Transient: true}
+	}
+
+	e.loadedCache[cacheKey] = proc
+	if allWild {
+		// The whole definition was loaded: install it so every later
+		// call — in this query and the following ones — skips the trap
+		// entirely. This is the paper's "freezing" of the procedure
+		// definition; the in-memory switch instructions now dispatch
+		// between its clauses. The stub returns when the stored
+		// procedure is updated (invalidateLoaded) or the code garbage
+		// collector evicts the cache.
+		m.DefineProc(proc)
+	}
+	return proc, nil
+}
+
+func decodeClauses(scs []edb.StoredClause) ([]compiler.ClauseCode, error) {
+	out := make([]compiler.ClauseCode, 0, len(scs))
+	for _, sc := range scs {
+		cc, err := loader.DecodeClause(sc.Blob)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cc)
+	}
+	return out, nil
+}
+
+// cellArgKey derives a pre-unification key from an argument cell.
+func (e *Engine) cellArgKey(c wam.Cell) edb.ArgKey {
+	m := e.m
+	switch c.Tag() {
+	case wam.TagCon:
+		return edb.AtomKey(m.Dict.Name(c.AtomID()))
+	case wam.TagInt:
+		return edb.IntKey(c.IntVal())
+	case wam.TagFlt:
+		return edb.FloatKey(floatBits(m.Float(c)))
+	case wam.TagLis:
+		return edb.ListKey()
+	case wam.TagStr:
+		f := m.Heap(c.Val())
+		return edb.StructKey(m.Dict.Name(f.FunID()), f.FunArity())
+	default:
+		return edb.WildKey()
+	}
+}
+
+func cacheKeyFor(name string, arity int, keys []edb.ArgKey) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%d", name, arity)
+	for _, k := range keys {
+		if k.Wild {
+			b.WriteString("|*")
+		} else {
+			fmt.Fprintf(&b, "|%x", k.Hash)
+		}
+	}
+	return b.String()
+}
+
+// endQuery tears down per-query transient state: procedures loaded from
+// the EDB, query-local auxiliary predicates and, in baseline mode, rules
+// asserted into the interpreter (the paper's "erased to make room").
+func (e *Engine) endQuery() {
+	for _, fn := range e.queryProcs {
+		if p := e.m.Proc(fn); p != nil {
+			if p.External {
+				// Restore the trap stub; the loaded block stays alive
+				// because the session code cache owns it.
+				e.m.DefineProc(&wam.Proc{Fn: fn, Arity: p.Arity, External: true})
+			} else {
+				if p.Block != nil {
+					e.m.RemoveBlock(p.Block)
+				}
+				e.m.RemoveProc(fn)
+			}
+		}
+	}
+	e.queryProcs = e.queryProcs[:0]
+	// The loaded-code cache survives across queries: the paper keeps
+	// dynamically loaded procedures in main memory until the code
+	// garbage collector reclaims them. A simple epoch clear bounds it.
+	if len(e.loadedCache) > loadedCacheLimit {
+		e.evictLoadedCode()
+	}
+	for _, pi := range e.interpLoaded {
+		e.in.RetractAll(pi)
+	}
+	e.interpLoaded = e.interpLoaded[:0]
+	for _, c := range e.factCaches {
+		for k := range c {
+			delete(c, k)
+		}
+	}
+}
+
+// interpTrap serves the baseline interpreter: rules are fetched from the
+// EDB in source form, parsed and asserted — the per-use cost the paper's
+// §2 itemises. They are erased again at query end.
+func (e *Engine) interpTrap(in *interp.Interp, pi term.Indicator) (bool, error) {
+	p := e.db.Proc(pi.Name, pi.Arity)
+	if p == nil {
+		return false, nil
+	}
+	// Poor selectivity: the baseline retrieves every clause of the
+	// procedure (paper §3.2.1).
+	t0 := time.Now()
+	scs, err := e.db.AllClauses(p)
+	e.phases.Retrieve += time.Since(t0)
+	if err != nil {
+		return false, err
+	}
+	for _, sc := range scs {
+		var tm term.Term
+		switch p.Form {
+		case edb.FormSource:
+			t1 := time.Now()
+			tm, _, err = parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), e.ops)
+			e.phases.Parse += time.Since(t1)
+			if err != nil {
+				return false, err
+			}
+		case edb.FormCode:
+			return false, fmt.Errorf("core: %s stored compiled; baseline engine cannot interpret it", pi)
+		}
+		if err := in.Assert(tm); err != nil {
+			return false, err
+		}
+		e.phases.Asserts++
+	}
+	e.interpLoaded = append(e.interpLoaded, pi)
+	return true, nil
+}
+
+// registerFactResolver gives the baseline interpreter tuple-at-a-time
+// access to a facts-only external procedure — Educe's deterministic
+// interface to the record manager (§3.2.1) — instead of assert-based
+// loading. Parsed tuples are cached per clause so repeated access models
+// cheap tuple interpretation rather than re-parsing.
+func (e *Engine) registerFactResolver(p *edb.ProcInfo) {
+	pi := term.Indicator{Name: p.Name, Arity: p.Arity}
+	// Parsed tuples are cached only for the current query: Educe pays
+	// for parsing terms retrieved from the DBMS on each use (§2.3), and
+	// the cache is flushed with the rest of the per-query state.
+	cache := map[uint32]term.Term{}
+	e.factCaches = append(e.factCaches, cache)
+	e.in.RegisterExternal(pi, func(goal term.Term, env *interp.Env, emit func() bool) error {
+		keys := make([]edb.ArgKey, p.K)
+		gargs := goalTermArgs(goal)
+		for i := 0; i < p.K && i < len(gargs); i++ {
+			keys[i] = argKeyOf(env.ResolveDeep(gargs[i]))
+		}
+		t0 := time.Now()
+		scs, err := e.db.Retrieve(p, keys)
+		e.phases.Retrieve += time.Since(t0)
+		if err != nil {
+			return err
+		}
+		for _, sc := range scs {
+			tm, ok := cache[sc.ClauseID]
+			if !ok {
+				var perr error
+				t1 := time.Now()
+				tm, _, perr = parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), e.ops)
+				e.phases.Parse += time.Since(t1)
+				if perr != nil {
+					return perr
+				}
+				cache[sc.ClauseID] = tm
+			}
+			mark := env.Mark()
+			if env.Unify(goal, term.Rename(tm)) {
+				if !emit() {
+					return nil
+				}
+			}
+			env.Undo(mark)
+		}
+		return nil
+	})
+}
+
+func goalTermArgs(goal term.Term) []term.Term {
+	if c, ok := goal.(*term.Compound); ok {
+		return c.Args
+	}
+	return nil
+}
+
+// loadedCacheLimit caps the number of resident dynamically loaded
+// procedure variants before the code garbage collector clears them
+// (paper §3.3.2: main-memory code is garbage collected, the EDB copy
+// needs none).
+const loadedCacheLimit = 1024
+
+// evictLoadedCode drops every cached loaded procedure, restoring trap
+// stubs for the installed ones.
+func (e *Engine) evictLoadedCode() {
+	for k, p := range e.loadedCache {
+		if p != nil && p.Block != nil {
+			e.m.RemoveBlock(p.Block)
+		}
+		if p != nil {
+			if cur := e.m.Proc(p.Fn); cur == p {
+				e.m.DefineProc(&wam.Proc{Fn: p.Fn, Arity: p.Arity, External: true})
+			}
+		}
+		delete(e.loadedCache, k)
+	}
+}
+
+// InvalidateLoaded drops cached (and installed) code for one external
+// procedure, restoring the trap stub so the next call reloads from the
+// EDB. The engine calls it automatically when stored clauses change.
+func (e *Engine) InvalidateLoaded(name string, arity int) { e.invalidateLoaded(name, arity) }
+
+// invalidateLoaded drops cached (and installed) code for one procedure
+// after its stored clauses changed, restoring the trap stub.
+func (e *Engine) invalidateLoaded(name string, arity int) {
+	prefix := fmt.Sprintf("%s/%d|", name, arity)
+	exact := fmt.Sprintf("%s/%d", name, arity)
+	for k, p := range e.loadedCache {
+		if k == exact || strings.HasPrefix(k, prefix) {
+			if p != nil && p.Block != nil {
+				e.m.RemoveBlock(p.Block)
+			}
+			delete(e.loadedCache, k)
+		}
+	}
+	fn := e.m.Dict.Intern(name, arity)
+	if p := e.m.Proc(fn); p != nil && p.Transient {
+		e.m.DefineProc(&wam.Proc{Fn: fn, Arity: arity, External: true})
+	}
+}

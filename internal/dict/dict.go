@@ -1,0 +1,338 @@
+// Package dict implements the segmented closed-hash dictionary of atoms and
+// functors described in §3.3.1 of the Educe* paper.
+//
+// The dictionary provides a stable unique identifier for every interned
+// (name, arity) pair; unification then compares identifiers instead of
+// strings. The design follows the paper's eight principles:
+//
+//   - IDs are a concatenation of segment number and slot index, so an entry
+//     is never relocated while live (principle 4).
+//   - Each segment is a fixed-size closed (open-addressing) hash table;
+//     the table as a whole is extended by chaining new segments when every
+//     existing segment passes a high-water mark, default 70% (principle 5).
+//   - New insertions go to the "hot" segment — the one with the lowest
+//     occupancy — to balance load across segments (paper §3.3.1).
+//   - Deleted slots become tombstones and are reused by later insertions
+//     without moving live entries (principle 3 reconciled with 4).
+//   - A segment whose occupancy drops to zero has its backing storage
+//     released and is reallocated lazily (the paper's segment GC).
+//
+// Entries are reference counted: the engine retains an entry for each use in
+// resident code and releases it when the code is discarded, which is what
+// triggers dictionary garbage collection in the paper.
+package dict
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ID identifies an interned atom or functor. The zero ID is invalid.
+// Layout: segment number in the high bits, slot index plus one in the low
+// bits (so that ID 0 never denotes a real entry).
+type ID uint32
+
+// None is the invalid ID.
+const None ID = 0
+
+const (
+	// DefaultSegmentSize matches the paper's test configuration order of
+	// magnitude ("32000 entries per segment") rounded to a power of two.
+	DefaultSegmentSize = 32768
+	// DefaultHighWater is the paper's 70% occupancy mark.
+	DefaultHighWater = 0.70
+)
+
+type slotState uint8
+
+const (
+	slotFree slotState = iota // never used; terminates probe chains
+	slotUsed
+	slotDead // tombstone; reusable but does not terminate probes
+)
+
+type entry struct {
+	name  string
+	arity int32
+	state slotState
+	refs  int32
+}
+
+type segment struct {
+	entries []entry // nil when released; reallocated lazily
+	used    int     // live entries
+	dead    int     // tombstones
+}
+
+// Table is a segmented closed-hash dictionary. Create one with New; the
+// zero value is not usable.
+type Table struct {
+	segs      []*segment
+	segSize   int
+	segBits   uint    // log2(segSize)
+	highWater int     // used-count threshold per segment
+	hwFrac    float64 // configured high-water fraction
+	live      int     // total live entries
+	// stats
+	probes  uint64
+	inserts uint64
+	lookups uint64
+}
+
+// Option configures a Table.
+type Option func(*Table)
+
+// WithSegmentSize sets the per-segment capacity; it is rounded up to a
+// power of two, minimum 16.
+func WithSegmentSize(n int) Option {
+	return func(t *Table) {
+		if n < 16 {
+			n = 16
+		}
+		t.segSize = 1 << uint(bits.Len(uint(n-1)))
+	}
+}
+
+// WithHighWater sets the occupancy fraction (0,1] past which a new segment
+// is chained.
+func WithHighWater(f float64) Option {
+	return func(t *Table) {
+		if f <= 0 || f > 1 {
+			f = DefaultHighWater
+		}
+		t.highWater = -1 // recomputed in New after segSize is final
+		t.hwFrac = f
+	}
+}
+
+// New returns an empty dictionary.
+func New(opts ...Option) *Table {
+	t := &Table{segSize: DefaultSegmentSize, hwFrac: DefaultHighWater}
+	for _, o := range opts {
+		o(t)
+	}
+	t.segBits = uint(bits.TrailingZeros(uint(t.segSize)))
+	t.highWater = int(float64(t.segSize) * t.hwFrac)
+	if t.highWater < 1 {
+		t.highWater = 1
+	}
+	t.segs = []*segment{newSegment(t.segSize)}
+	return t
+}
+
+func newSegment(size int) *segment { return &segment{entries: make([]entry, size)} }
+
+// Hash returns the dictionary hash of a (name, arity) pair. It is exported
+// because the external dictionary stores this value alongside each atom so
+// the storage engine can pre-unify on it (paper §4).
+func Hash(name string, arity int) uint64 {
+	// FNV-1a over the name, then mix in the arity.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= uint64(arity) + 0x9e3779b97f4a7c15
+	h *= prime64
+	return h
+}
+
+func (t *Table) makeID(seg, slot int) ID { return ID(uint32(seg)<<t.segBits | uint32(slot) + 1) }
+
+func (t *Table) split(id ID) (seg, slot int) {
+	v := uint32(id) - 1
+	return int(v >> t.segBits), int(v & uint32(t.segSize-1))
+}
+
+// Intern returns the ID for (name, arity), inserting it if absent. The
+// entry's reference count is not changed; see Retain.
+func (t *Table) Intern(name string, arity int) ID {
+	h := Hash(name, arity)
+	if id, ok := t.find(h, name, arity); ok {
+		return id
+	}
+	t.inserts++
+	seg := t.hotSegment()
+	s := t.segs[seg]
+	if s.entries == nil {
+		s.entries = make([]entry, t.segSize)
+	}
+	mask := t.segSize - 1
+	start := int(h) & mask
+	insertAt := -1
+	for i := 0; i < t.segSize; i++ {
+		j := (start + i) & mask
+		e := &s.entries[j]
+		switch e.state {
+		case slotFree:
+			if insertAt < 0 {
+				insertAt = j
+			}
+			i = t.segSize // break out
+		case slotDead:
+			if insertAt < 0 {
+				insertAt = j
+			}
+		}
+	}
+	if insertAt < 0 {
+		// Hot segment completely full of live entries (can only happen
+		// with a high-water mark of 1.0): chain a fresh segment.
+		t.segs = append(t.segs, newSegment(t.segSize))
+		seg = len(t.segs) - 1
+		s = t.segs[seg]
+		insertAt = int(h) & mask
+	}
+	e := &s.entries[insertAt]
+	if e.state == slotDead {
+		s.dead--
+	}
+	*e = entry{name: name, arity: int32(arity), state: slotUsed}
+	s.used++
+	t.live++
+	t.maybeGrow()
+	return t.makeID(seg, insertAt)
+}
+
+// Lookup returns the ID for (name, arity) if it is interned.
+func (t *Table) Lookup(name string, arity int) (ID, bool) {
+	t.lookups++
+	return t.find(Hash(name, arity), name, arity)
+}
+
+func (t *Table) find(h uint64, name string, arity int) (ID, bool) {
+	mask := t.segSize - 1
+	start := int(h) & mask
+	for si, s := range t.segs {
+		if s.entries == nil || s.used == 0 {
+			continue
+		}
+		for i := 0; i < t.segSize; i++ {
+			j := (start + i) & mask
+			e := &s.entries[j]
+			t.probes++
+			if e.state == slotFree {
+				break // end of this segment's probe chain
+			}
+			if e.state == slotUsed && int(e.arity) == arity && e.name == name {
+				return t.makeID(si, j), true
+			}
+		}
+	}
+	return None, false
+}
+
+// hotSegment returns the index of the segment with the lowest occupancy.
+func (t *Table) hotSegment() int {
+	best, bestUsed := 0, t.segSize+1
+	for i, s := range t.segs {
+		if s.used < bestUsed {
+			best, bestUsed = i, s.used
+		}
+	}
+	return best
+}
+
+// maybeGrow chains a new segment once every segment has passed the
+// high-water mark.
+func (t *Table) maybeGrow() {
+	for _, s := range t.segs {
+		if s.used < t.highWater {
+			return
+		}
+	}
+	t.segs = append(t.segs, newSegment(t.segSize))
+}
+
+// Name returns the name of an interned entry. It panics on an invalid or
+// deleted ID, which always indicates an engine bug.
+func (t *Table) Name(id ID) string { return t.entry(id).name }
+
+// Arity returns the arity of an interned entry.
+func (t *Table) Arity(id ID) int { return int(t.entry(id).arity) }
+
+// Refs returns the current reference count of an entry.
+func (t *Table) Refs(id ID) int { return int(t.entry(id).refs) }
+
+func (t *Table) entry(id ID) *entry {
+	if id == None {
+		panic("dict: invalid ID 0")
+	}
+	seg, slot := t.split(id)
+	if seg >= len(t.segs) || t.segs[seg].entries == nil {
+		panic(fmt.Sprintf("dict: ID %d refers to missing segment", id))
+	}
+	e := &t.segs[seg].entries[slot]
+	if e.state != slotUsed {
+		panic(fmt.Sprintf("dict: ID %d refers to deleted entry", id))
+	}
+	return e
+}
+
+// Retain increments the reference count of id.
+func (t *Table) Retain(id ID) { t.entry(id).refs++ }
+
+// Release decrements the reference count of id and deletes the entry when
+// the count reaches zero. Deleting frees the slot for reuse (the ID becomes
+// invalid) and releases a segment's storage when it empties entirely.
+func (t *Table) Release(id ID) {
+	e := t.entry(id)
+	if e.refs > 0 {
+		e.refs--
+	}
+	if e.refs == 0 {
+		t.remove(id)
+	}
+}
+
+// Remove deletes the entry regardless of its reference count.
+func (t *Table) Remove(id ID) { t.remove(id) }
+
+func (t *Table) remove(id ID) {
+	seg, slot := t.split(id)
+	s := t.segs[seg]
+	e := &s.entries[slot]
+	if e.state != slotUsed {
+		return
+	}
+	*e = entry{state: slotDead}
+	s.used--
+	s.dead++
+	t.live--
+	if s.used == 0 {
+		// Segment garbage collection: drop the backing array; it is
+		// reallocated on the next insertion into this segment.
+		s.entries = nil
+		s.dead = 0
+	}
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return t.live }
+
+// Segments returns the number of chained segments.
+func (t *Table) Segments() int { return len(t.segs) }
+
+// SegmentSize returns the per-segment capacity.
+func (t *Table) SegmentSize() int { return t.segSize }
+
+// Stats reports cumulative probe/insert/lookup counters, and per-segment
+// occupancy, for benchmarks and tests.
+type Stats struct {
+	Probes, Inserts, Lookups uint64
+	Live                     int
+	SegmentUsed              []int
+}
+
+// Stats returns a snapshot of the dictionary's counters.
+func (t *Table) Stats() Stats {
+	st := Stats{Probes: t.probes, Inserts: t.inserts, Lookups: t.lookups, Live: t.live}
+	for _, s := range t.segs {
+		st.SegmentUsed = append(st.SegmentUsed, s.used)
+	}
+	return st
+}

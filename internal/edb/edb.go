@@ -1,0 +1,384 @@
+// Package edb implements Educe*'s External Data Base layer (paper §4): the
+// procedures table, the external dictionary, the per-procedure clause
+// relations and the clauses relation holding relocatable compiled code,
+// plus the pre-unification filter that selects candidate clauses inside
+// the storage engine before any code is loaded.
+//
+// Layout on top of package store:
+//
+//   - a procedures heap file holds one descriptor record per external
+//     procedure (the paper's procedures table);
+//   - per procedure, a BANG-style grid index maps the hash values of the
+//     first k head arguments to clause records (the paper's procedures
+//     relation), and a variable-list heap holds clauses with variables in
+//     indexed positions (those match any query and bypass the grid);
+//   - one shared clauses heap stores the code/source blobs (the paper's
+//     clauses relation: procedure_id, clause_id, relative_code);
+//   - the external dictionary heap records (name, arity, hash) for every
+//     atom and functor referenced by stored code, with the hash computed
+//     by the same function as the internal dictionary so the storage
+//     engine can pre-unify on hash values alone.
+package edb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// MaxIndexedArgs caps how many head arguments contribute to the grid
+// index. Indexing on more arguments grows code and directory size
+// exponentially (the paper's §3.2.2 observation), so the index uses the
+// leading arguments only.
+const MaxIndexedArgs = 4
+
+// Form says how a procedure's clauses are stored.
+type Form uint8
+
+// Clause storage forms.
+const (
+	// FormCode stores relocatable compiled WAM code (Educe*).
+	FormCode Form = iota
+	// FormSource stores clause source text (the Educe baseline).
+	FormSource
+)
+
+// ProcInfo is one entry of the procedures table.
+type ProcInfo struct {
+	Name   string
+	Arity  int
+	ProcID uint32
+	Form   Form
+	// FactsOnly records that every stored clause is a ground-headed
+	// fact; the baseline engine uses tuple-at-a-time retrieval for such
+	// procedures instead of assert-based loading.
+	FactsOnly bool
+	// K is the number of indexed head arguments (0 for arity-0 procs).
+	K int
+	// ClauseCount is the number of stored clauses.
+	ClauseCount int
+
+	nextClauseID uint32
+	gridHeader   store.PageID
+	varRoot      store.PageID
+	attrAnchors  []store.PageID // per-attribute secondary index anchors
+	rid          store.RID      // descriptor record
+	grid         *store.Grid
+	varHeap      *store.Heap
+	attrIdx      []*store.BTree
+}
+
+// Indicator renders name/arity.
+func (p *ProcInfo) Indicator() string { return fmt.Sprintf("%s/%d", p.Name, p.Arity) }
+
+// DB is an open external database.
+type DB struct {
+	st       *store.Store
+	clauses  *store.Heap // shared clause-blob relation
+	procHeap *store.Heap // procedure descriptors
+	ext      *ExtDict
+	procs    map[string]*ProcInfo
+	nextProc uint32
+
+	stats Stats
+}
+
+// Stats counts pre-unification effectiveness.
+type Stats struct {
+	// Retrievals counts clause-set retrievals.
+	Retrievals uint64
+	// CandidatesReturned counts clauses that passed pre-unification.
+	CandidatesReturned uint64
+	// ClausesStored is the total clauses currently stored.
+	ClausesStored uint64
+	// FullScans counts retrievals with no usable constraint.
+	FullScans uint64
+}
+
+// Open attaches to (creating if necessary) the EDB inside st.
+func Open(st *store.Store) (*DB, error) {
+	db := &DB{st: st, procs: map[string]*ProcInfo{}}
+	if root, ok := st.GetMeta("edb.clauses"); ok {
+		db.clauses = store.OpenHeap(st.Pool(), store.PageID(root))
+	} else {
+		h, err := store.CreateHeap(st.Pool())
+		if err != nil {
+			return nil, err
+		}
+		db.clauses = h
+		if err := st.SetMeta("edb.clauses", uint64(h.Root())); err != nil {
+			return nil, err
+		}
+	}
+	if root, ok := st.GetMeta("edb.procs"); ok {
+		db.procHeap = store.OpenHeap(st.Pool(), store.PageID(root))
+	} else {
+		h, err := store.CreateHeap(st.Pool())
+		if err != nil {
+			return nil, err
+		}
+		db.procHeap = h
+		if err := st.SetMeta("edb.procs", uint64(h.Root())); err != nil {
+			return nil, err
+		}
+	}
+	ext, err := openExtDict(st)
+	if err != nil {
+		return nil, err
+	}
+	db.ext = ext
+	if err := db.loadProcs(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Store returns the underlying store (for I/O statistics).
+func (db *DB) Store() *store.Store { return db.st }
+
+// Ext returns the external dictionary.
+func (db *DB) Ext() *ExtDict { return db.ext }
+
+// Stats returns pre-unification counters.
+func (db *DB) Stats() Stats { return db.stats }
+
+// ResetStats zeroes the counters.
+func (db *DB) ResetStats() { db.stats = Stats{} }
+
+func procKey(name string, arity int) string { return fmt.Sprintf("%s/%d", name, arity) }
+
+func (db *DB) loadProcs() error {
+	return db.procHeap.Scan(func(rid store.RID, data []byte) (bool, error) {
+		p, err := decodeProc(data)
+		if err != nil {
+			return false, err
+		}
+		p.rid = rid
+		if p.ProcID >= db.nextProc {
+			db.nextProc = p.ProcID + 1
+		}
+		db.procs[procKey(p.Name, p.Arity)] = p
+		db.stats.ClausesStored += uint64(p.ClauseCount)
+		return true, nil
+	})
+}
+
+func encodeProc(p *ProcInfo) []byte {
+	var b bytes.Buffer
+	wu := func(v uint64) {
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], v)
+		b.Write(tmp[:n])
+	}
+	wu(uint64(len(p.Name)))
+	b.WriteString(p.Name)
+	wu(uint64(p.Arity))
+	wu(uint64(p.ProcID))
+	wu(uint64(p.Form))
+	if p.FactsOnly {
+		wu(1)
+	} else {
+		wu(0)
+	}
+	wu(uint64(p.K))
+	wu(uint64(p.ClauseCount))
+	wu(uint64(p.nextClauseID))
+	wu(uint64(p.gridHeader))
+	wu(uint64(p.varRoot))
+	wu(uint64(len(p.attrAnchors)))
+	for _, a := range p.attrAnchors {
+		wu(uint64(a))
+	}
+	return b.Bytes()
+}
+
+func decodeProc(data []byte) (*ProcInfo, error) {
+	r := bytes.NewReader(data)
+	var err error
+	ru := func() uint64 {
+		v, e := binary.ReadUvarint(r)
+		if e != nil && err == nil {
+			err = e
+		}
+		return v
+	}
+	n := ru()
+	name := make([]byte, n)
+	if _, e := r.Read(name); e != nil && err == nil {
+		err = e
+	}
+	p := &ProcInfo{Name: string(name)}
+	p.Arity = int(ru())
+	p.ProcID = uint32(ru())
+	p.Form = Form(ru())
+	p.FactsOnly = ru() == 1
+	p.K = int(ru())
+	p.ClauseCount = int(ru())
+	p.nextClauseID = uint32(ru())
+	p.gridHeader = store.PageID(ru())
+	p.varRoot = store.PageID(ru())
+	na := int(ru())
+	for i := 0; i < na; i++ {
+		p.attrAnchors = append(p.attrAnchors, store.PageID(ru()))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("edb: corrupt procedure descriptor: %w", err)
+	}
+	return p, nil
+}
+
+// Proc looks up the procedures table.
+func (db *DB) Proc(name string, arity int) *ProcInfo {
+	return db.procs[procKey(name, arity)]
+}
+
+// Procs returns all procedure descriptors sorted by indicator.
+func (db *DB) Procs() []*ProcInfo {
+	out := make([]*ProcInfo, 0, len(db.procs))
+	for _, p := range db.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// CreateProc registers a new external procedure with the given storage
+// form. It is an error if the procedure already exists.
+func (db *DB) CreateProc(name string, arity int, form Form) (*ProcInfo, error) {
+	if db.Proc(name, arity) != nil {
+		return nil, fmt.Errorf("edb: procedure %s/%d already exists", name, arity)
+	}
+	k := arity
+	if k > MaxIndexedArgs {
+		k = MaxIndexedArgs
+	}
+	p := &ProcInfo{
+		Name:      name,
+		Arity:     arity,
+		ProcID:    db.nextProc,
+		Form:      form,
+		FactsOnly: true, // cleared on the first rule stored
+		K:         k,
+	}
+	db.nextProc++
+	if k > 0 {
+		g, err := store.CreateGrid(db.st.Pool(), k)
+		if err != nil {
+			return nil, err
+		}
+		p.grid = g
+		p.gridHeader = g.Header()
+		// Secondary indices, one per indexed head argument (the paper's
+		// "primary keys and secondary indices" used for clause filtering,
+		// §3.2.1): a hash index per attribute gives full selectivity for
+		// single-attribute constraints, where the grid's bit-interleaved
+		// partitioning only contributes depth/k bits.
+		for i := 0; i < k; i++ {
+			bt, err := store.CreateBTree(db.st.Pool())
+			if err != nil {
+				return nil, err
+			}
+			p.attrAnchors = append(p.attrAnchors, bt.Anchor())
+			p.attrIdx = append(p.attrIdx, bt)
+		}
+	}
+	vh, err := store.CreateHeap(db.st.Pool())
+	if err != nil {
+		return nil, err
+	}
+	p.varHeap = vh
+	p.varRoot = vh.Root()
+	rid, err := db.procHeap.Insert(encodeProc(p))
+	if err != nil {
+		return nil, err
+	}
+	p.rid = rid
+	db.procs[procKey(name, arity)] = p
+	return p, nil
+}
+
+// EnsureProc returns the procedure, creating it when absent.
+func (db *DB) EnsureProc(name string, arity int, form Form) (*ProcInfo, error) {
+	if p := db.Proc(name, arity); p != nil {
+		return p, nil
+	}
+	return db.CreateProc(name, arity, form)
+}
+
+// DropProc removes the procedure and all its clauses.
+func (db *DB) DropProc(p *ProcInfo) error {
+	scs, err := db.AllClauses(p)
+	if err != nil {
+		return err
+	}
+	for _, sc := range scs {
+		if err := db.DeleteClause(p, sc); err != nil {
+			return err
+		}
+	}
+	if err := db.procHeap.Delete(p.rid); err != nil {
+		return err
+	}
+	delete(db.procs, procKey(p.Name, p.Arity))
+	return nil
+}
+
+// saveProc rewrites the descriptor after mutation.
+func (db *DB) saveProc(p *ProcInfo) error {
+	rid, err := db.procHeap.Update(p.rid, encodeProc(p))
+	if err != nil {
+		return err
+	}
+	p.rid = rid
+	return nil
+}
+
+func (db *DB) procGrid(p *ProcInfo) (*store.Grid, error) {
+	if p.K == 0 {
+		return nil, nil
+	}
+	if p.grid == nil {
+		g, err := store.OpenGrid(db.st.Pool(), p.gridHeader)
+		if err != nil {
+			return nil, err
+		}
+		p.grid = g
+	}
+	return p.grid, nil
+}
+
+func (db *DB) procVarHeap(p *ProcInfo) *store.Heap {
+	if p.varHeap == nil {
+		p.varHeap = store.OpenHeap(db.st.Pool(), p.varRoot)
+	}
+	return p.varHeap
+}
+
+// MarkRule records that p holds at least one non-fact clause, disabling
+// the baseline's tuple-at-a-time access path for it.
+func (db *DB) MarkRule(p *ProcInfo) error {
+	if !p.FactsOnly {
+		return nil
+	}
+	p.FactsOnly = false
+	return db.saveProc(p)
+}
+
+// procAttrIdx opens (lazily) the secondary index on attribute i.
+func (db *DB) procAttrIdx(p *ProcInfo, i int) *store.BTree {
+	for len(p.attrIdx) < len(p.attrAnchors) {
+		p.attrIdx = append(p.attrIdx, nil)
+	}
+	if p.attrIdx[i] == nil {
+		p.attrIdx[i] = store.OpenBTree(db.st.Pool(), p.attrAnchors[i])
+	}
+	return p.attrIdx[i]
+}

@@ -1,0 +1,287 @@
+package edb
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func memDB(t *testing.T) *DB {
+	t.Helper()
+	st, err := store.Open("", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateAndLookupProc(t *testing.T) {
+	db := memDB(t)
+	p, err := db.CreateProc("route", 3, FormCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 3 {
+		t.Fatalf("K = %d", p.K)
+	}
+	if got := db.Proc("route", 3); got != p {
+		t.Fatal("lookup mismatch")
+	}
+	if db.Proc("route", 2) != nil {
+		t.Fatal("wrong-arity lookup should miss")
+	}
+	if _, err := db.CreateProc("route", 3, FormCode); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	// K capped.
+	p2, _ := db.CreateProc("wide", 11, FormCode)
+	if p2.K != MaxIndexedArgs {
+		t.Fatalf("K for arity 11 = %d", p2.K)
+	}
+}
+
+func TestStoreRetrieveGroundClauses(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.CreateProc("edge", 2, FormCode)
+	for i := 0; i < 100; i++ {
+		keys := []ArgKey{AtomKey(fmt.Sprintf("n%d", i)), AtomKey(fmt.Sprintf("n%d", i+1))}
+		if _, err := db.StoreClause(p, keys, []byte(fmt.Sprintf("blob%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Constrain first argument: exactly one candidate.
+	scs, err := db.Retrieve(p, []ArgKey{AtomKey("n42"), WildKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 || string(scs[0].Blob) != "blob42" {
+		t.Fatalf("retrieve n42 = %d clauses (%v)", len(scs), blobs(scs))
+	}
+	// Constrain second argument only.
+	scs, err = db.Retrieve(p, []ArgKey{WildKey(), AtomKey("n8")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 || string(scs[0].Blob) != "blob7" {
+		t.Fatalf("retrieve _,n8 = %v", scs)
+	}
+	// No constraint: all clauses in clause order.
+	scs, _ = db.AllClauses(p)
+	if len(scs) != 100 {
+		t.Fatalf("all clauses = %d", len(scs))
+	}
+	for i := 1; i < len(scs); i++ {
+		if scs[i].ClauseID <= scs[i-1].ClauseID {
+			t.Fatal("clauses out of order")
+		}
+	}
+}
+
+func TestVariableHeadedClauses(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.CreateProc("p", 2, FormCode)
+	db.StoreClause(p, []ArgKey{AtomKey("a"), AtomKey("x")}, []byte("c0"))
+	db.StoreClause(p, []ArgKey{WildKey(), AtomKey("y")}, []byte("c1")) // p(_, y)
+	db.StoreClause(p, []ArgKey{AtomKey("b"), WildKey()}, []byte("c2"))
+
+	// Query p(a, _): must include c0 (match) and c1 (var first arg),
+	// exclude c2 (first arg b).
+	scs, err := db.Retrieve(p, []ArgKey{AtomKey("a"), WildKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := blobs(scs)
+	if len(got) != 2 || got[0] != "c0" || got[1] != "c1" {
+		t.Fatalf("retrieve p(a,_) = %v", got)
+	}
+	// Query p(_, y): c1 only? c0 has x, c2 has wild second arg.
+	scs, _ = db.Retrieve(p, []ArgKey{WildKey(), AtomKey("y")})
+	got = blobs(scs)
+	if len(got) != 2 || got[0] != "c1" || got[1] != "c2" {
+		t.Fatalf("retrieve p(_,y) = %v", got)
+	}
+}
+
+func blobs(scs []StoredClause) []string {
+	var out []string
+	for _, sc := range scs {
+		out = append(out, string(sc.Blob))
+	}
+	return out
+}
+
+func TestTypeAndValueIndexing(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.CreateProc("t", 1, FormCode)
+	db.StoreClause(p, []ArgKey{AtomKey("foo")}, []byte("atom"))
+	db.StoreClause(p, []ArgKey{IntKey(7)}, []byte("int"))
+	db.StoreClause(p, []ArgKey{StructKey("foo", 2)}, []byte("struct"))
+	db.StoreClause(p, []ArgKey{ListKey()}, []byte("list"))
+
+	cases := []struct {
+		key  ArgKey
+		want string
+	}{
+		{AtomKey("foo"), "atom"},
+		{IntKey(7), "int"},
+		{StructKey("foo", 2), "struct"},
+		{ListKey(), "list"},
+	}
+	for _, c := range cases {
+		scs, err := db.Retrieve(p, []ArgKey{c.key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scs) != 1 || string(scs[0].Blob) != c.want {
+			t.Errorf("retrieve %+v = %v, want [%s]", c.key, blobs(scs), c.want)
+		}
+	}
+	if scs, _ := db.Retrieve(p, []ArgKey{IntKey(8)}); len(scs) != 0 {
+		t.Errorf("retrieve 8 = %v", blobs(scs))
+	}
+}
+
+func TestDeleteClause(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.CreateProc("d", 1, FormCode)
+	db.StoreClause(p, []ArgKey{AtomKey("a")}, []byte("ca"))
+	db.StoreClause(p, []ArgKey{WildKey()}, []byte("cv"))
+	db.StoreClause(p, []ArgKey{AtomKey("b")}, []byte("cb"))
+
+	scs, _ := db.Retrieve(p, []ArgKey{AtomKey("a")})
+	if len(scs) != 2 {
+		t.Fatalf("before delete: %v", blobs(scs))
+	}
+	if err := db.DeleteClause(p, scs[0]); err != nil { // delete "ca"
+		t.Fatal(err)
+	}
+	scs, _ = db.Retrieve(p, []ArgKey{AtomKey("a")})
+	if len(scs) != 1 || string(scs[0].Blob) != "cv" {
+		t.Fatalf("after delete: %v", blobs(scs))
+	}
+	// Delete the var-list clause too.
+	if err := db.DeleteClause(p, scs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if p.ClauseCount != 1 {
+		t.Fatalf("clause count = %d", p.ClauseCount)
+	}
+}
+
+func TestDropProc(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.CreateProc("gone", 1, FormCode)
+	db.StoreClause(p, []ArgKey{AtomKey("x")}, []byte("1"))
+	if err := db.DropProc(p); err != nil {
+		t.Fatal(err)
+	}
+	if db.Proc("gone", 1) != nil {
+		t.Fatal("procedure still present")
+	}
+}
+
+func TestArityZeroProc(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.CreateProc("flag", 0, FormCode)
+	db.StoreClause(p, nil, []byte("only"))
+	scs, err := db.AllClauses(p)
+	if err != nil || len(scs) != 1 {
+		t.Fatalf("arity 0: %v %v", blobs(scs), err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edb.db")
+	st, err := store.Open(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := db.CreateProc("conn", 2, FormCode)
+	for i := 0; i < 50; i++ {
+		db.StoreClause(p, []ArgKey{AtomKey(fmt.Sprintf("s%d", i)), IntKey(int64(i))}, []byte(fmt.Sprintf("code%d", i)))
+	}
+	if _, err := db.Ext().Intern("station", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	db2, err := Open(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := db2.Proc("conn", 2)
+	if p2 == nil || p2.ClauseCount != 50 {
+		t.Fatalf("reopened proc: %+v", p2)
+	}
+	scs, err := db2.Retrieve(p2, []ArgKey{AtomKey("s33"), WildKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 || string(scs[0].Blob) != "code33" {
+		t.Fatalf("reopened retrieve: %v", blobs(scs))
+	}
+	if h, ok := db2.Ext().Lookup("station", 2); !ok || h == 0 {
+		t.Fatal("external dictionary lost")
+	}
+}
+
+func TestPreUnificationStats(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.CreateProc("s", 1, FormCode)
+	for i := 0; i < 1000; i++ {
+		db.StoreClause(p, []ArgKey{IntKey(int64(i))}, []byte{byte(i)})
+	}
+	db.ResetStats()
+	scs, _ := db.Retrieve(p, []ArgKey{IntKey(500)})
+	if len(scs) != 1 {
+		t.Fatalf("candidates = %d", len(scs))
+	}
+	st := db.Stats()
+	if st.Retrievals != 1 || st.CandidatesReturned != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The point of pre-unification: far fewer pages touched than a full
+	// scan would need. Compare candidate counts.
+	db.ResetStats()
+	scs, _ = db.AllClauses(p)
+	st = db.Stats()
+	if st.FullScans != 1 || int(st.CandidatesReturned) != len(scs) || len(scs) != 1000 {
+		t.Fatalf("full scan stats = %+v (%d clauses)", st, len(scs))
+	}
+}
+
+func TestExtDictIntern(t *testing.T) {
+	db := memDB(t)
+	h1, err := db.Ext().Intern("foo", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := db.Ext().Intern("foo", 2)
+	if h1 != h2 {
+		t.Fatal("intern not idempotent")
+	}
+	h3, _ := db.Ext().Intern("foo", 3)
+	if h1 == h3 {
+		t.Fatal("arity not mixed into hash")
+	}
+	if db.Ext().Len() != 2 {
+		t.Fatalf("Len = %d", db.Ext().Len())
+	}
+}

@@ -1,0 +1,605 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func pi(name string, arity int) term.Indicator { return term.Indicator{Name: name, Arity: arity} }
+
+func (in *Interp) registerBuiltins() {
+	reg := func(name string, arity int, fn builtinFn) { in.builtins[pi(name, arity)] = fn }
+
+	reg("=", 2, func(in *Interp, a []term.Term, env *Env, k cont) result {
+		mark := env.Mark()
+		if env.Unify(a[0], a[1]) {
+			r := k()
+			if r.stop || r.cut || r.err != nil {
+				return r
+			}
+		}
+		env.Undo(mark)
+		return proceed
+	})
+	reg("\\=", 2, func(in *Interp, a []term.Term, env *Env, k cont) result {
+		mark := env.Mark()
+		ok := env.Unify(a[0], a[1])
+		env.Undo(mark)
+		if ok {
+			return proceed
+		}
+		return k()
+	})
+
+	det := func(f func(in *Interp, a []term.Term, env *Env) (bool, error)) builtinFn {
+		return func(in *Interp, a []term.Term, env *Env, k cont) result {
+			mark := env.Mark()
+			ok, err := f(in, a, env)
+			if err != nil {
+				return result{err: err}
+			}
+			if ok {
+				r := k()
+				if r.stop || r.cut || r.err != nil {
+					return r
+				}
+			}
+			env.Undo(mark)
+			return proceed
+		}
+	}
+
+	typeTest := func(f func(term.Term) bool) builtinFn {
+		return det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+			return f(env.Resolve(a[0])), nil
+		})
+	}
+	isVar := func(t term.Term) bool { _, ok := t.(*term.Var); return ok }
+	reg("var", 1, typeTest(isVar))
+	reg("nonvar", 1, typeTest(func(t term.Term) bool { return !isVar(t) }))
+	reg("atom", 1, typeTest(func(t term.Term) bool { _, ok := t.(term.Atom); return ok }))
+	reg("number", 1, typeTest(func(t term.Term) bool {
+		switch t.(type) {
+		case term.Int, term.Float:
+			return true
+		}
+		return false
+	}))
+	reg("integer", 1, typeTest(func(t term.Term) bool { _, ok := t.(term.Int); return ok }))
+	reg("float", 1, typeTest(func(t term.Term) bool { _, ok := t.(term.Float); return ok }))
+	reg("atomic", 1, typeTest(func(t term.Term) bool {
+		switch t.(type) {
+		case term.Atom, term.Int, term.Float:
+			return true
+		}
+		return false
+	}))
+	reg("compound", 1, typeTest(func(t term.Term) bool { _, ok := t.(*term.Compound); return ok }))
+	reg("callable", 1, typeTest(func(t term.Term) bool {
+		switch t.(type) {
+		case term.Atom, *term.Compound:
+			return true
+		}
+		return false
+	}))
+	reg("ground", 1, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		return term.IsGround(env.ResolveDeep(a[0])), nil
+	}))
+	reg("is_list", 1, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		_, ok := term.UnpackList(env.ResolveDeep(a[0]))
+		return ok, nil
+	}))
+
+	cmp := func(f func(int) bool) builtinFn {
+		return det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+			return f(term.Compare(env.ResolveDeep(a[0]), env.ResolveDeep(a[1]))), nil
+		})
+	}
+	reg("==", 2, cmp(func(c int) bool { return c == 0 }))
+	reg("\\==", 2, cmp(func(c int) bool { return c != 0 }))
+	reg("@<", 2, cmp(func(c int) bool { return c < 0 }))
+	reg("@>", 2, cmp(func(c int) bool { return c > 0 }))
+	reg("@=<", 2, cmp(func(c int) bool { return c <= 0 }))
+	reg("@>=", 2, cmp(func(c int) bool { return c >= 0 }))
+	reg("compare", 3, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		c := term.Compare(env.ResolveDeep(a[1]), env.ResolveDeep(a[2]))
+		name := "="
+		if c < 0 {
+			name = "<"
+		} else if c > 0 {
+			name = ">"
+		}
+		return env.Unify(a[0], term.Atom(name)), nil
+	}))
+
+	reg("is", 2, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		v, err := evalArith(env, a[1])
+		if err != nil {
+			return false, err
+		}
+		return env.Unify(a[0], v), nil
+	}))
+	acmp := func(f func(float64, float64) bool) builtinFn {
+		return det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+			x, err := evalArith(env, a[0])
+			if err != nil {
+				return false, err
+			}
+			y, err := evalArith(env, a[1])
+			if err != nil {
+				return false, err
+			}
+			return f(numOf(x), numOf(y)), nil
+		})
+	}
+	reg("=:=", 2, acmp(func(a, b float64) bool { return a == b }))
+	reg("=\\=", 2, acmp(func(a, b float64) bool { return a != b }))
+	reg("<", 2, acmp(func(a, b float64) bool { return a < b }))
+	reg(">", 2, acmp(func(a, b float64) bool { return a > b }))
+	reg("=<", 2, acmp(func(a, b float64) bool { return a <= b }))
+	reg(">=", 2, acmp(func(a, b float64) bool { return a >= b }))
+
+	reg("functor", 3, det(biIFunctor))
+	reg("arg", 3, det(biIArg))
+	reg("=..", 2, det(biIUniv))
+	reg("copy_term", 2, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		return env.Unify(a[1], term.Rename(env.ResolveDeep(a[0]))), nil
+	}))
+	reg("length", 2, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		if items, ok := term.UnpackList(env.ResolveDeep(a[0])); ok {
+			return env.Unify(a[1], term.Int(len(items))), nil
+		}
+		if n, ok := env.Resolve(a[1]).(term.Int); ok && n >= 0 {
+			items := make([]term.Term, n)
+			for i := range items {
+				items[i] = &term.Var{Name: fmt.Sprintf("_L%d", i)}
+			}
+			return env.Unify(a[0], term.List(items...)), nil
+		}
+		return false, fmt.Errorf("interp: length/2: insufficiently instantiated")
+	}))
+	reg("msort", 2, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		items, ok := term.UnpackList(env.ResolveDeep(a[0]))
+		if !ok {
+			return false, fmt.Errorf("interp: msort/2: not a proper list")
+		}
+		term.SortTerms(items)
+		return env.Unify(a[1], term.List(items...)), nil
+	}))
+	reg("sort", 2, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		items, ok := term.UnpackList(env.ResolveDeep(a[0]))
+		if !ok {
+			return false, fmt.Errorf("interp: sort/2: not a proper list")
+		}
+		term.SortTerms(items)
+		var dedup []term.Term
+		for i, it := range items {
+			if i == 0 || term.Compare(items[i-1], it) != 0 {
+				dedup = append(dedup, it)
+			}
+		}
+		return env.Unify(a[1], term.List(dedup...)), nil
+	}))
+	reg("atom_codes", 2, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		switch x := env.Resolve(a[0]).(type) {
+		case term.Atom:
+			var items []term.Term
+			for _, r := range string(x) {
+				items = append(items, term.Int(r))
+			}
+			return env.Unify(a[1], term.List(items...)), nil
+		default:
+			items, ok := term.UnpackList(env.ResolveDeep(a[1]))
+			if !ok {
+				return false, fmt.Errorf("interp: atom_codes/2: insufficiently instantiated")
+			}
+			s := make([]rune, len(items))
+			for i, it := range items {
+				c, ok := it.(term.Int)
+				if !ok {
+					return false, fmt.Errorf("interp: atom_codes/2: bad code list")
+				}
+				s[i] = rune(c)
+			}
+			return env.Unify(a[0], term.Atom(string(s))), nil
+		}
+	}))
+	reg("atom_number", 2, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		if at, ok := env.Resolve(a[0]).(term.Atom); ok {
+			if v, err := strconv.ParseInt(string(at), 10, 64); err == nil {
+				return env.Unify(a[1], term.Int(v)), nil
+			}
+			if f, err := strconv.ParseFloat(string(at), 64); err == nil {
+				return env.Unify(a[1], term.Float(f)), nil
+			}
+			return false, nil
+		}
+		n := env.Resolve(a[1])
+		switch n.(type) {
+		case term.Int, term.Float:
+			return env.Unify(a[0], term.Atom(n.String())), nil
+		}
+		return false, fmt.Errorf("interp: atom_number/2: insufficiently instantiated")
+	}))
+
+	// call/1..call/4.
+	for n := 1; n <= 4; n++ {
+		n := n
+		in.builtins[pi("call", n)] = func(in *Interp, a []term.Term, env *Env, k cont) result {
+			goal := env.Resolve(a[0])
+			extra := a[1:]
+			if len(extra) > 0 {
+				switch g := goal.(type) {
+				case term.Atom:
+					goal = term.New(string(g), extra...)
+				case *term.Compound:
+					args := append(append([]term.Term{}, g.Args...), extra...)
+					goal = term.Comp(g.Functor, args...)
+				default:
+					return result{err: fmt.Errorf("interp: call/%d: not callable", n)}
+				}
+			}
+			r := in.solve(goal, env, k)
+			r.cut = false // cut is local inside call/N
+			return r
+		}
+	}
+
+	reg("between", 3, func(in *Interp, a []term.Term, env *Env, k cont) result {
+		lo, ok1 := env.Resolve(a[0]).(term.Int)
+		hi, ok2 := env.Resolve(a[1]).(term.Int)
+		if !ok1 || !ok2 {
+			return result{err: fmt.Errorf("interp: between/3: bounds must be integers")}
+		}
+		if x, ok := env.Resolve(a[2]).(term.Int); ok {
+			if x >= lo && x <= hi {
+				return k()
+			}
+			return proceed
+		}
+		for v := lo; v <= hi; v++ {
+			mark := env.Mark()
+			if env.Unify(a[2], v) {
+				r := k()
+				if r.stop || r.cut || r.err != nil {
+					return r
+				}
+			}
+			env.Undo(mark)
+		}
+		return proceed
+	})
+
+	reg("findall", 3, func(in *Interp, a []term.Term, env *Env, k cont) result {
+		var items []term.Term
+		mark := env.Mark()
+		r := in.solve(a[1], env, func() result {
+			items = append(items, term.Rename(env.ResolveDeep(a[0])))
+			return proceed
+		})
+		if r.err != nil {
+			return r
+		}
+		env.Undo(mark)
+		if env.Unify(a[2], term.List(items...)) {
+			rr := k()
+			if rr.stop || rr.cut || rr.err != nil {
+				return rr
+			}
+		}
+		env.Undo(mark)
+		return proceed
+	})
+
+	reg("assert", 1, det(biIAssert))
+	reg("assertz", 1, det(biIAssert))
+	reg("asserta", 1, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		return true, in.AssertA(env.ResolveDeep(a[0]))
+	}))
+	reg("retract", 1, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		return in.Retract(env.ResolveDeep(a[0])), nil
+	}))
+
+	reg("write", 1, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		return true, nil // output suppressed in benchmark interpreter
+	}))
+	reg("nl", 0, det(func(in *Interp, a []term.Term, env *Env) (bool, error) {
+		return true, nil
+	}))
+
+	// Small list library, asserted as ordinary clauses so they exercise
+	// the interpreter itself (as the Educe host Prolog would).
+	p := parser.New(`
+		append([], L, L).
+		append([H|T], L, [H|R]) :- append(T, L, R).
+		member(X, [X|_]).
+		member(X, [_|T]) :- member(X, T).
+		reverse(L, R) :- rev_(L, [], R).
+		rev_([], A, A).
+		rev_([H|T], A, R) :- rev_(T, [H|A], R).
+		nth1(1, [X|_], X) :- !.
+		nth1(N, [_|T], X) :- N > 1, N1 is N - 1, nth1(N1, T, X).
+		forall(C, A) :- \+ (C, \+ A).
+		memberchk(X, L) :- member(X, L), !.
+		numlist(L, H, []) :- L > H, !.
+		numlist(L, H, [L|T]) :- L1 is L + 1, numlist(L1, H, T).
+		select(X, [X|T], T).
+		select(X, [H|T], [H|R]) :- select(X, T, R).
+		delete([], _, []).
+		delete([X|T], X, R) :- !, delete(T, X, R).
+		delete([H|T], X, [H|R]) :- delete(T, X, R).
+		last([X], X) :- !.
+		last([_|T], X) :- last(T, X).
+		sum_list([], 0).
+		sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+		max_list([X], X) :- !.
+		max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+		min_list([X], X) :- !.
+		min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+		once(G) :- call(G), !.
+		ignore(G) :- call(G), !.
+		ignore(_).
+	`)
+	terms, err := p.ReadAll()
+	if err != nil {
+		panic("interp: library parse error: " + err.Error())
+	}
+	for _, t := range terms {
+		if err := in.Assert(t); err != nil {
+			panic("interp: library assert error: " + err.Error())
+		}
+	}
+	in.asserts = 0
+}
+
+func biIAssert(in *Interp, a []term.Term, env *Env) (bool, error) {
+	return true, in.Assert(env.ResolveDeep(a[0]))
+}
+
+func biIFunctor(in *Interp, a []term.Term, env *Env) (bool, error) {
+	switch x := env.Resolve(a[0]).(type) {
+	case *term.Var:
+		name := env.Resolve(a[1])
+		n, ok := env.Resolve(a[2]).(term.Int)
+		if !ok {
+			return false, fmt.Errorf("interp: functor/3: arity must be integer")
+		}
+		if n == 0 {
+			return env.Unify(x, name), nil
+		}
+		at, ok := name.(term.Atom)
+		if !ok {
+			return false, fmt.Errorf("interp: functor/3: name must be atom")
+		}
+		args := make([]term.Term, n)
+		for i := range args {
+			args[i] = &term.Var{Name: fmt.Sprintf("_F%d", i)}
+		}
+		return env.Unify(x, term.Comp(string(at), args...)), nil
+	case *term.Compound:
+		return env.Unify(a[1], term.Atom(x.Functor)) && env.Unify(a[2], term.Int(len(x.Args))), nil
+	default:
+		return env.Unify(a[1], x) && env.Unify(a[2], term.Int(0)), nil
+	}
+}
+
+func biIArg(in *Interp, a []term.Term, env *Env) (bool, error) {
+	n, ok := env.Resolve(a[0]).(term.Int)
+	if !ok {
+		return false, fmt.Errorf("interp: arg/3: first argument must be integer")
+	}
+	c, ok := env.Resolve(a[1]).(*term.Compound)
+	if !ok {
+		return false, fmt.Errorf("interp: arg/3: second argument must be compound")
+	}
+	if n < 1 || int(n) > len(c.Args) {
+		return false, nil
+	}
+	return env.Unify(a[2], c.Args[n-1]), nil
+}
+
+func biIUniv(in *Interp, a []term.Term, env *Env) (bool, error) {
+	switch x := env.Resolve(a[0]).(type) {
+	case *term.Var:
+		items, ok := term.UnpackList(env.ResolveDeep(a[1]))
+		if !ok || len(items) == 0 {
+			return false, fmt.Errorf("interp: =../2: right side must be non-empty list")
+		}
+		if len(items) == 1 {
+			return env.Unify(x, items[0]), nil
+		}
+		at, ok := items[0].(term.Atom)
+		if !ok {
+			return false, fmt.Errorf("interp: =../2: functor must be atom")
+		}
+		return env.Unify(x, term.Comp(string(at), items[1:]...)), nil
+	case *term.Compound:
+		items := append([]term.Term{term.Atom(x.Functor)}, x.Args...)
+		return env.Unify(a[1], term.List(items...)), nil
+	default:
+		return env.Unify(a[1], term.List(x)), nil
+	}
+}
+
+// numOf widens a numeric term.
+func numOf(t term.Term) float64 {
+	switch x := t.(type) {
+	case term.Int:
+		return float64(x)
+	case term.Float:
+		return float64(x)
+	}
+	return math.NaN()
+}
+
+// evalArith evaluates an arithmetic expression term.
+func evalArith(env *Env, t term.Term) (term.Term, error) {
+	t = env.Resolve(t)
+	switch x := t.(type) {
+	case term.Int, term.Float:
+		return x, nil
+	case *term.Var:
+		return nil, fmt.Errorf("interp: unbound variable in arithmetic")
+	case term.Atom:
+		switch x {
+		case "pi":
+			return term.Float(math.Pi), nil
+		case "e":
+			return term.Float(math.E), nil
+		}
+		return nil, fmt.Errorf("interp: unknown constant %s", x)
+	case *term.Compound:
+		if len(x.Args) == 1 {
+			a, err := evalArith(env, x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return evalUnary1(x.Functor, a)
+		}
+		if len(x.Args) == 2 {
+			a, err := evalArith(env, x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := evalArith(env, x.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			return evalBinary2(x.Functor, a, b)
+		}
+	}
+	return nil, fmt.Errorf("interp: bad arithmetic expression %s", t)
+}
+
+func bothInt(a, b term.Term) (term.Int, term.Int, bool) {
+	x, ok1 := a.(term.Int)
+	y, ok2 := b.(term.Int)
+	return x, y, ok1 && ok2
+}
+
+func evalUnary1(op string, a term.Term) (term.Term, error) {
+	switch op {
+	case "-":
+		if x, ok := a.(term.Int); ok {
+			return -x, nil
+		}
+		return term.Float(-numOf(a)), nil
+	case "+":
+		return a, nil
+	case "abs":
+		if x, ok := a.(term.Int); ok {
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		}
+		return term.Float(math.Abs(numOf(a))), nil
+	case "truncate":
+		return term.Int(math.Trunc(numOf(a))), nil
+	case "float":
+		return term.Float(numOf(a)), nil
+	case "sqrt":
+		return term.Float(math.Sqrt(numOf(a))), nil
+	case "sign":
+		v := numOf(a)
+		switch {
+		case v > 0:
+			return term.Int(1), nil
+		case v < 0:
+			return term.Int(-1), nil
+		}
+		return term.Int(0), nil
+	}
+	return nil, fmt.Errorf("interp: unknown function %s/1", op)
+}
+
+func evalBinary2(op string, a, b term.Term) (term.Term, error) {
+	switch op {
+	case "+":
+		if x, y, ok := bothInt(a, b); ok {
+			return x + y, nil
+		}
+		return term.Float(numOf(a) + numOf(b)), nil
+	case "-":
+		if x, y, ok := bothInt(a, b); ok {
+			return x - y, nil
+		}
+		return term.Float(numOf(a) - numOf(b)), nil
+	case "*":
+		if x, y, ok := bothInt(a, b); ok {
+			return x * y, nil
+		}
+		return term.Float(numOf(a) * numOf(b)), nil
+	case "/":
+		if x, y, ok := bothInt(a, b); ok {
+			if y == 0 {
+				return nil, fmt.Errorf("interp: zero divisor")
+			}
+			if x%y == 0 {
+				return x / y, nil
+			}
+		}
+		if numOf(b) == 0 {
+			return nil, fmt.Errorf("interp: zero divisor")
+		}
+		return term.Float(numOf(a) / numOf(b)), nil
+	case "//":
+		x, y, ok := bothInt(a, b)
+		if !ok || y == 0 {
+			return nil, fmt.Errorf("interp: bad // operands")
+		}
+		return x / y, nil
+	case "mod":
+		x, y, ok := bothInt(a, b)
+		if !ok || y == 0 {
+			return nil, fmt.Errorf("interp: bad mod operands")
+		}
+		r := x % y
+		if r != 0 && (r < 0) != (y < 0) {
+			r += y
+		}
+		return r, nil
+	case "rem":
+		x, y, ok := bothInt(a, b)
+		if !ok || y == 0 {
+			return nil, fmt.Errorf("interp: bad rem operands")
+		}
+		return x % y, nil
+	case "min":
+		if numOf(a) <= numOf(b) {
+			return a, nil
+		}
+		return b, nil
+	case "max":
+		if numOf(a) >= numOf(b) {
+			return a, nil
+		}
+		return b, nil
+	case "**", "^":
+		if x, y, ok := bothInt(a, b); ok && op == "^" && y >= 0 {
+			r := term.Int(1)
+			for i := term.Int(0); i < y; i++ {
+				r *= x
+			}
+			return r, nil
+		}
+		return term.Float(math.Pow(numOf(a), numOf(b))), nil
+	case ">>":
+		x, y, ok := bothInt(a, b)
+		if !ok {
+			return nil, fmt.Errorf("interp: bad >> operands")
+		}
+		return x >> uint(y), nil
+	case "<<":
+		x, y, ok := bothInt(a, b)
+		if !ok {
+			return nil, fmt.Errorf("interp: bad << operands")
+		}
+		return x << uint(y), nil
+	}
+	return nil, fmt.Errorf("interp: unknown function %s/2", op)
+}

@@ -1,0 +1,253 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func load(t *testing.T, src string) *Interp {
+	t.Helper()
+	in := New()
+	p := parser.New(src)
+	terms, err := p.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range terms {
+		if err := in.Assert(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return in
+}
+
+// solutions returns the value of variable v for every solution of goal.
+func solutions(t *testing.T, in *Interp, goal, v string) []string {
+	t.Helper()
+	g, vars, err := parser.ParseTerm(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	var out []string
+	err = in.Solve(g, env, func(e *Env) bool {
+		if vars[v] != nil {
+			out = append(out, e.ResolveDeep(vars[v]).String())
+		} else {
+			out = append(out, "yes")
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("solve %s: %v", goal, err)
+	}
+	return out
+}
+
+func TestFactsAndRules(t *testing.T) {
+	in := load(t, `
+		parent(tom, bob). parent(tom, liz).
+		parent(bob, ann). parent(bob, pat).
+		grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+	`)
+	got := solutions(t, in, "grandparent(tom, W)", "W")
+	if !reflect.DeepEqual(got, []string{"ann", "pat"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecursionAndLibrary(t *testing.T) {
+	in := New()
+	got := solutions(t, in, "append(X, Y, [1,2])", "X")
+	if !reflect.DeepEqual(got, []string{"[]", "[1]", "[1,2]"}) {
+		t.Fatalf("append splits = %v", got)
+	}
+	got = solutions(t, in, "reverse([1,2,3], R)", "R")
+	if !reflect.DeepEqual(got, []string{"[3,2,1]"}) {
+		t.Fatalf("reverse = %v", got)
+	}
+	got = solutions(t, in, "member(X, [a,b,c])", "X")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("member = %v", got)
+	}
+	got = solutions(t, in, "nth1(2, [a,b,c], X)", "X")
+	if !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("nth1 = %v", got)
+	}
+}
+
+func TestCut(t *testing.T) {
+	in := load(t, `
+		max(X, Y, X) :- X >= Y, !.
+		max(_, Y, Y).
+		p(1). p(2). p(3).
+		first(X) :- p(X), !.
+	`)
+	if got := solutions(t, in, "max(3, 7, M)", "M"); !reflect.DeepEqual(got, []string{"7"}) {
+		t.Fatalf("max(3,7) = %v", got)
+	}
+	if got := solutions(t, in, "max(9, 2, M)", "M"); !reflect.DeepEqual(got, []string{"9"}) {
+		t.Fatalf("max(9,2) = %v", got)
+	}
+	if got := solutions(t, in, "first(X)", "X"); !reflect.DeepEqual(got, []string{"1"}) {
+		t.Fatalf("first = %v", got)
+	}
+}
+
+func TestIfThenElseAndNegation(t *testing.T) {
+	in := load(t, `
+		p(1). p(2).
+		sgn(X, S) :- ( X > 0 -> S = 1 ; X < 0 -> S = -1 ; S = 0 ).
+	`)
+	for goal, want := range map[string]string{
+		"sgn(5, S)":  "1",
+		"sgn(-5, S)": "-1",
+		"sgn(0, S)":  "0",
+	} {
+		if got := solutions(t, in, goal, "S"); !reflect.DeepEqual(got, []string{want}) {
+			t.Errorf("%s = %v", goal, got)
+		}
+	}
+	if got := solutions(t, in, "\\+ p(3)", ""); len(got) != 1 {
+		t.Error("\\+ p(3) should succeed")
+	}
+	if got := solutions(t, in, "\\+ p(1)", ""); len(got) != 0 {
+		t.Error("\\+ p(1) should fail")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	in := load(t, `
+		fact(0, 1) :- !.
+		fact(N, F) :- N1 is N - 1, fact(N1, F1), F is N * F1.
+	`)
+	if got := solutions(t, in, "fact(8, F)", "F"); !reflect.DeepEqual(got, []string{"40320"}) {
+		t.Fatalf("fact(8) = %v", got)
+	}
+	if got := solutions(t, in, "X is 7 mod 3", "X"); !reflect.DeepEqual(got, []string{"1"}) {
+		t.Fatalf("mod = %v", got)
+	}
+	if got := solutions(t, in, "X is 2 + 0.5", "X"); !reflect.DeepEqual(got, []string{"2.5"}) {
+		t.Fatalf("mixed = %v", got)
+	}
+}
+
+func TestFindall(t *testing.T) {
+	in := load(t, `q(1). q(2). q(3).`)
+	got := solutions(t, in, "findall(X, q(X), L)", "L")
+	if !reflect.DeepEqual(got, []string{"[1,2,3]"}) {
+		t.Fatalf("findall = %v", got)
+	}
+	got = solutions(t, in, "findall(X, q(X), L), length(L, N)", "N")
+	if !reflect.DeepEqual(got, []string{"3"}) {
+		t.Fatalf("findall+length = %v", got)
+	}
+}
+
+func TestAssertRetract(t *testing.T) {
+	in := New()
+	if got := solutions(t, in, "assert(dyn(1)), assert(dyn(2)), findall(X, dyn(X), L)", "L"); !reflect.DeepEqual(got, []string{"[1,2]"}) {
+		t.Fatalf("after assert = %v", got)
+	}
+	if got := solutions(t, in, "retract(dyn(1)), findall(X, dyn(X), L)", "L"); !reflect.DeepEqual(got, []string{"[2]"}) {
+		t.Fatalf("after retract = %v", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	in := New()
+	got := solutions(t, in, "between(1, 5, X), 0 is X mod 2", "X")
+	if !reflect.DeepEqual(got, []string{"2", "4"}) {
+		t.Fatalf("between filter = %v", got)
+	}
+}
+
+func TestUnknownProcedureError(t *testing.T) {
+	in := New()
+	g, _, _ := parser.ParseTerm("no_such_pred(1)")
+	err := in.Solve(g, nil, func(*Env) bool { return true })
+	if err == nil {
+		t.Fatal("expected unknown-procedure error")
+	}
+}
+
+func TestVarGoalAndCall(t *testing.T) {
+	in := load(t, `p(ok). apply(G) :- call(G).`)
+	if got := solutions(t, in, "apply(p(X))", "X"); !reflect.DeepEqual(got, []string{"ok"}) {
+		t.Fatalf("call = %v", got)
+	}
+	if got := solutions(t, in, "G = p(X), call(G)", "X"); !reflect.DeepEqual(got, []string{"ok"}) {
+		t.Fatalf("var goal via call = %v", got)
+	}
+}
+
+func TestUnivFunctorArg(t *testing.T) {
+	in := New()
+	if got := solutions(t, in, "f(a, b) =.. L", "L"); !reflect.DeepEqual(got, []string{"[f,a,b]"}) {
+		t.Fatalf("univ = %v", got)
+	}
+	if got := solutions(t, in, "T =.. [g, 1, 2]", "T"); !reflect.DeepEqual(got, []string{"g(1,2)"}) {
+		t.Fatalf("univ build = %v", got)
+	}
+	// Canonical term output writes operators in functional notation.
+	if got := solutions(t, in, "functor(f(a,b), N, A), X = N/A", "X"); !reflect.DeepEqual(got, []string{"/(f,2)"}) {
+		t.Fatalf("functor = %v", got)
+	}
+	if got := solutions(t, in, "arg(2, f(a,b,c), X)", "X"); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("arg = %v", got)
+	}
+}
+
+func TestRetractClauseStore(t *testing.T) {
+	in := load(t, `r(1). r(2). r(3).`)
+	if !in.Retract(mustParseT(t, "r(2)")) {
+		t.Fatal("retract failed")
+	}
+	got := solutions(t, in, "r(X)", "X")
+	if !reflect.DeepEqual(got, []string{"1", "3"}) {
+		t.Fatalf("after retract = %v", got)
+	}
+	if in.Retract(mustParseT(t, "r(99)")) {
+		t.Fatal("retract of absent clause succeeded")
+	}
+}
+
+func mustParseT(t *testing.T, src string) term.Term {
+	t.Helper()
+	tm, _, err := parser.ParseTerm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestStatsCount(t *testing.T) {
+	in := load(t, `p(1). p(2).`)
+	in.ResetStats()
+	solutions(t, in, "p(X)", "X")
+	inf, _ := in.Stats()
+	if inf == 0 {
+		t.Fatal("no inferences counted")
+	}
+}
+
+func TestDeepRecursionNrev(t *testing.T) {
+	in := load(t, `
+		nrev([], []).
+		nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+	`)
+	items := make([]term.Term, 30)
+	for i := range items {
+		items[i] = term.Int(i)
+	}
+	g := term.Comp("nrev", term.List(items...), &term.Var{Name: "R"})
+	env := NewEnv()
+	found := false
+	err := in.Solve(g, env, func(e *Env) bool { found = true; return false })
+	if err != nil || !found {
+		t.Fatalf("nrev/30: %v %v", found, err)
+	}
+}

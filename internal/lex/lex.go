@@ -1,0 +1,479 @@
+// Package lex tokenises ISO-style Prolog source text.
+//
+// It recognises names, quoted atoms, variables, integers (decimal, 0x, 0o,
+// 0b, 0'c character codes), floats, double-quoted strings, punctuation and
+// the clause terminator. Line (%) and block (/* */) comments are skipped.
+package lex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind classifies a token.
+type Kind int
+
+const (
+	// EOF marks the end of input.
+	EOF Kind = iota
+	// AtomTok is a name, symbolic sequence or quoted atom.
+	AtomTok
+	// VarTok is a variable name (starts with '_' or an upper-case letter).
+	VarTok
+	// IntTok is an integer literal.
+	IntTok
+	// FloatTok is a floating point literal.
+	FloatTok
+	// StrTok is a double-quoted string literal (content, unquoted).
+	StrTok
+	// PunctTok is one of ( ) [ ] { } , |  — and "((" for the special case
+	// of an atom immediately followed by '(' (functor application).
+	PunctTok
+	// EndTok is the clause terminator '.'.
+	EndTok
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "eof"
+	case AtomTok:
+		return "atom"
+	case VarTok:
+		return "var"
+	case IntTok:
+		return "integer"
+	case FloatTok:
+		return "float"
+	case StrTok:
+		return "string"
+	case PunctTok:
+		return "punct"
+	case EndTok:
+		return "end"
+	}
+	return "unknown"
+}
+
+// Token is a single lexical item.
+type Token struct {
+	Kind Kind
+	// Text is the token's content: for AtomTok the (unquoted) atom name,
+	// for IntTok/FloatTok the literal digits, for StrTok the unescaped
+	// string content, for PunctTok the punctuation character.
+	Text string
+	// Int holds the value for IntTok.
+	Int int64
+	// Float holds the value for FloatTok.
+	Float float64
+	// FunctorOpen is true for an AtomTok immediately followed by '(' with
+	// no intervening layout — i.e. the start of a compound term.
+	FunctorOpen bool
+	// Line and Col give the 1-based source position of the token start.
+	Line, Col int
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lex: %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+// Lexer produces tokens from a source string.
+type Lexer struct {
+	src       string
+	pos       int
+	line, col int
+
+	peeked  bool
+	peekTok Token
+	peekErr error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Peek returns the next token without consuming it.
+func (l *Lexer) Peek() (Token, error) {
+	if !l.peeked {
+		l.peekTok, l.peekErr = l.lex()
+		l.peeked = true
+	}
+	return l.peekTok, l.peekErr
+}
+
+// Next consumes and returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if l.peeked {
+		l.peeked = false
+		return l.peekTok, l.peekErr
+	}
+	return l.lex()
+}
+
+func (l *Lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) cur() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *Lexer) at(off int) rune {
+	p := l.pos + off
+	if p >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[p:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	r, n := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += n
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipLayout() error {
+	for {
+		r := l.cur()
+		switch {
+		case r == -1:
+			return nil
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '%':
+			for l.cur() != -1 && l.cur() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.at(1) == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.cur() == -1 {
+					return l.errf(line, col, "unterminated block comment")
+				}
+				if l.cur() == '*' && l.at(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *Lexer) lex() (Token, error) {
+	if err := l.skipLayout(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	r := l.cur()
+	if r == -1 {
+		return Token{Kind: EOF, Line: line, Col: col}, nil
+	}
+
+	switch {
+	case r >= '0' && r <= '9':
+		return l.lexNumber(line, col)
+	case r == '_' || unicode.IsUpper(r):
+		start := l.pos
+		for isAlnum(l.cur()) {
+			l.advance()
+		}
+		return Token{Kind: VarTok, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+	case unicode.IsLower(r):
+		start := l.pos
+		for isAlnum(l.cur()) {
+			l.advance()
+		}
+		tok := Token{Kind: AtomTok, Text: l.src[start:l.pos], Line: line, Col: col}
+		tok.FunctorOpen = l.cur() == '('
+		return tok, nil
+	case r == '\'':
+		return l.lexQuoted(line, col)
+	case r == '"':
+		return l.lexString(line, col)
+	case r == '(' || r == ')' || r == '[' || r == ']' || r == '{' || r == '}' || r == ',' || r == '|':
+		l.advance()
+		return Token{Kind: PunctTok, Text: string(r), Line: line, Col: col}, nil
+	case r == '!' || r == ';':
+		l.advance()
+		tok := Token{Kind: AtomTok, Text: string(r), Line: line, Col: col}
+		tok.FunctorOpen = l.cur() == '('
+		return tok, nil
+	case isSymbol(r):
+		start := l.pos
+		for isSymbol(l.cur()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		// A solitary '.' followed by layout or EOF terminates a clause.
+		if text == "." {
+			return Token{Kind: EndTok, Text: ".", Line: line, Col: col}, nil
+		}
+		tok := Token{Kind: AtomTok, Text: text, Line: line, Col: col}
+		tok.FunctorOpen = l.cur() == '('
+		return tok, nil
+	}
+	return Token{}, l.errf(line, col, "unexpected character %q", r)
+}
+
+func (l *Lexer) lexNumber(line, col int) (Token, error) {
+	start := l.pos
+	// Radix and char-code literals.
+	if l.cur() == '0' {
+		switch l.at(1) {
+		case '\'':
+			l.advance()
+			l.advance()
+			r := l.cur()
+			if r == -1 {
+				return Token{}, l.errf(line, col, "unterminated character code")
+			}
+			if r == '\\' {
+				l.advance()
+				c, err := l.lexEscape(line, col, '\'')
+				if err != nil {
+					return Token{}, err
+				}
+				return Token{Kind: IntTok, Int: int64(c), Text: string(c), Line: line, Col: col}, nil
+			}
+			if r == '\'' && l.at(1) == '\'' { // 0''' is the quote itself
+				l.advance()
+				l.advance()
+				return Token{Kind: IntTok, Int: int64('\''), Line: line, Col: col}, nil
+			}
+			l.advance()
+			return Token{Kind: IntTok, Int: int64(r), Text: string(r), Line: line, Col: col}, nil
+		case 'x', 'o', 'b':
+			base := map[rune]int64{'x': 16, 'o': 8, 'b': 2}[l.at(1)]
+			l.advance()
+			l.advance()
+			var v int64
+			n := 0
+			for {
+				d := digitVal(l.cur())
+				if d < 0 || int64(d) >= base {
+					break
+				}
+				v = v*base + int64(d)
+				n++
+				l.advance()
+			}
+			if n == 0 {
+				return Token{}, l.errf(line, col, "malformed radix literal")
+			}
+			return Token{Kind: IntTok, Int: v, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+		}
+	}
+	for l.cur() >= '0' && l.cur() <= '9' {
+		l.advance()
+	}
+	isFloat := false
+	if l.cur() == '.' && l.at(1) >= '0' && l.at(1) <= '9' {
+		isFloat = true
+		l.advance()
+		for l.cur() >= '0' && l.cur() <= '9' {
+			l.advance()
+		}
+	}
+	if l.cur() == 'e' || l.cur() == 'E' {
+		save := l.pos
+		saveLine, saveCol := l.line, l.col
+		l.advance()
+		if l.cur() == '+' || l.cur() == '-' {
+			l.advance()
+		}
+		if l.cur() >= '0' && l.cur() <= '9' {
+			isFloat = true
+			for l.cur() >= '0' && l.cur() <= '9' {
+				l.advance()
+			}
+		} else {
+			l.pos, l.line, l.col = save, saveLine, saveCol
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return Token{}, l.errf(line, col, "malformed float %q", text)
+		}
+		return Token{Kind: FloatTok, Float: f, Text: text, Line: line, Col: col}, nil
+	}
+	var v int64
+	for _, c := range text {
+		v = v*10 + int64(c-'0')
+	}
+	return Token{Kind: IntTok, Int: v, Text: text, Line: line, Col: col}, nil
+}
+
+func (l *Lexer) lexQuoted(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r := l.cur()
+		switch r {
+		case -1:
+			return Token{}, l.errf(line, col, "unterminated quoted atom")
+		case '\'':
+			l.advance()
+			if l.cur() == '\'' { // doubled quote
+				b.WriteByte('\'')
+				l.advance()
+				continue
+			}
+			tok := Token{Kind: AtomTok, Text: b.String(), Line: line, Col: col}
+			tok.FunctorOpen = l.cur() == '('
+			return tok, nil
+		case '\\':
+			l.advance()
+			if l.cur() == '\n' { // line continuation
+				l.advance()
+				continue
+			}
+			c, err := l.lexEscape(line, col, '\'')
+			if err != nil {
+				return Token{}, err
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteRune(r)
+			l.advance()
+		}
+	}
+}
+
+func (l *Lexer) lexString(line, col int) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r := l.cur()
+		switch r {
+		case -1:
+			return Token{}, l.errf(line, col, "unterminated string")
+		case '"':
+			l.advance()
+			if l.cur() == '"' {
+				b.WriteByte('"')
+				l.advance()
+				continue
+			}
+			return Token{Kind: StrTok, Text: b.String(), Line: line, Col: col}, nil
+		case '\\':
+			l.advance()
+			if l.cur() == '\n' {
+				l.advance()
+				continue
+			}
+			c, err := l.lexEscape(line, col, '"')
+			if err != nil {
+				return Token{}, err
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteRune(r)
+			l.advance()
+		}
+	}
+}
+
+// lexEscape reads the body of an escape sequence after the backslash.
+func (l *Lexer) lexEscape(line, col int, quote rune) (rune, error) {
+	r := l.cur()
+	switch r {
+	case 'n':
+		l.advance()
+		return '\n', nil
+	case 't':
+		l.advance()
+		return '\t', nil
+	case 'r':
+		l.advance()
+		return '\r', nil
+	case 'a':
+		l.advance()
+		return '\a', nil
+	case 'b':
+		l.advance()
+		return '\b', nil
+	case 'f':
+		l.advance()
+		return '\f', nil
+	case 'v':
+		l.advance()
+		return '\v', nil
+	case '0':
+		l.advance()
+		return 0, nil
+	case '\\', '\'', '"', '`':
+		l.advance()
+		return r, nil
+	case 'x':
+		l.advance()
+		var v rune
+		n := 0
+		for {
+			d := digitVal(l.cur())
+			if d < 0 || d >= 16 {
+				break
+			}
+			v = v*16 + rune(d)
+			n++
+			l.advance()
+		}
+		if n == 0 {
+			return 0, l.errf(line, col, "malformed \\x escape")
+		}
+		if l.cur() == '\\' {
+			l.advance()
+		}
+		return v, nil
+	}
+	return 0, l.errf(line, col, "unknown escape \\%c", r)
+}
+
+func digitVal(r rune) int {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0')
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10
+	case r >= 'A' && r <= 'F':
+		return int(r-'A') + 10
+	}
+	return -1
+}
+
+func isAlnum(r rune) bool {
+	return r == '_' || (r >= '0' && r <= '9') || unicode.IsLetter(r)
+}
+
+func isSymbol(r rune) bool {
+	switch r {
+	case '+', '-', '*', '/', '\\', '^', '<', '>', '=', '~', ':', '.', '?', '@', '#', '&', '$':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package lex
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	l := New(src)
+	var toks []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks
+		}
+	}
+}
+
+func TestSimpleClause(t *testing.T) {
+	toks := kinds(t, "p(a, B) :- q(B).")
+	want := []struct {
+		k Kind
+		s string
+	}{
+		{AtomTok, "p"}, {PunctTok, "("}, {AtomTok, "a"}, {PunctTok, ","},
+		{VarTok, "B"}, {PunctTok, ")"}, {AtomTok, ":-"},
+		{AtomTok, "q"}, {PunctTok, "("}, {VarTok, "B"}, {PunctTok, ")"},
+		{EndTok, "."}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.k || toks[i].Text != w.s {
+			t.Errorf("token %d = (%v,%q), want (%v,%q)", i, toks[i].Kind, toks[i].Text, w.k, w.s)
+		}
+	}
+	if !toks[0].FunctorOpen {
+		t.Error("p should have FunctorOpen")
+	}
+	if toks[2].FunctorOpen {
+		t.Error("a should not have FunctorOpen")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		i    int64
+		f    float64
+	}{
+		{"42", IntTok, 42, 0},
+		{"0", IntTok, 0, 0},
+		{"3.14", FloatTok, 0, 3.14},
+		{"2.0e3", FloatTok, 0, 2000},
+		{"1e5", FloatTok, 0, 100000},
+		{"0xff", IntTok, 255, 0},
+		{"0o17", IntTok, 15, 0},
+		{"0b101", IntTok, 5, 0},
+		{"0'a", IntTok, 97, 0},
+		{"0' ", IntTok, 32, 0},
+		{"0'\\n", IntTok, 10, 0},
+		{"0'''", IntTok, 39, 0},
+	}
+	for _, c := range cases {
+		l := New(c.src)
+		tok, err := l.Next()
+		if err != nil {
+			t.Errorf("lex %q: %v", c.src, err)
+			continue
+		}
+		if tok.Kind != c.kind {
+			t.Errorf("lex %q: kind %v, want %v", c.src, tok.Kind, c.kind)
+			continue
+		}
+		if c.kind == IntTok && tok.Int != c.i {
+			t.Errorf("lex %q: int %d, want %d", c.src, tok.Int, c.i)
+		}
+		if c.kind == FloatTok && tok.Float != c.f {
+			t.Errorf("lex %q: float %g, want %g", c.src, tok.Float, c.f)
+		}
+	}
+}
+
+func TestIntDotEOF(t *testing.T) {
+	toks := kinds(t, "7.")
+	if toks[0].Kind != IntTok || toks[0].Int != 7 {
+		t.Fatalf("got %v", toks[0])
+	}
+	if toks[1].Kind != EndTok {
+		t.Fatalf("expected end token, got %v", toks[1])
+	}
+}
+
+func TestQuotedAtoms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"'hello world'", "hello world"},
+		{"'it''s'", "it's"},
+		{`'a\nb'`, "a\nb"},
+		{`'a\\b'`, `a\b`},
+		{`'a\'b'`, "a'b"},
+		{`'\x41\'`, "A"},
+	}
+	for _, c := range cases {
+		l := New(c.src)
+		tok, err := l.Next()
+		if err != nil {
+			t.Errorf("lex %q: %v", c.src, err)
+			continue
+		}
+		if tok.Kind != AtomTok || tok.Text != c.want {
+			t.Errorf("lex %q = (%v,%q), want atom %q", c.src, tok.Kind, tok.Text, c.want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	l := New(`"ab""c\n"`)
+	tok, err := l.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Kind != StrTok || tok.Text != "ab\"c\n" {
+		t.Fatalf("got (%v,%q)", tok.Kind, tok.Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := kinds(t, "a. % line comment\n/* block\ncomment */ b.")
+	var atoms []string
+	for _, tok := range toks {
+		if tok.Kind == AtomTok {
+			atoms = append(atoms, tok.Text)
+		}
+	}
+	if len(atoms) != 2 || atoms[0] != "a" || atoms[1] != "b" {
+		t.Fatalf("atoms = %v", atoms)
+	}
+}
+
+func TestSymbolicAtoms(t *testing.T) {
+	toks := kinds(t, "X =.. Y.")
+	if toks[1].Kind != AtomTok || toks[1].Text != "=.." {
+		t.Fatalf("got %v %q", toks[1].Kind, toks[1].Text)
+	}
+}
+
+func TestSolo(t *testing.T) {
+	toks := kinds(t, "! ; !.")
+	if toks[0].Text != "!" || toks[1].Text != ";" {
+		t.Fatalf("solo chars mis-lexed: %v", toks)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{"'abc", `"abc`, "/* unterminated", "0x"}
+	for _, src := range bad {
+		l := New(src)
+		var err error
+		for err == nil {
+			var tok Token
+			tok, err = l.Next()
+			if err == nil && tok.Kind == EOF {
+				t.Errorf("lex %q: expected error", src)
+				break
+			}
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("a\n  bc")
+	tok, _ := l.Next()
+	if tok.Line != 1 || tok.Col != 1 {
+		t.Errorf("a at %d:%d", tok.Line, tok.Col)
+	}
+	tok, _ = l.Next()
+	if tok.Line != 2 || tok.Col != 3 {
+		t.Errorf("bc at %d:%d", tok.Line, tok.Col)
+	}
+}
+
+func TestPeekStable(t *testing.T) {
+	l := New("a b")
+	p1, _ := l.Peek()
+	p2, _ := l.Peek()
+	if p1 != p2 {
+		t.Fatal("Peek not stable")
+	}
+	n, _ := l.Next()
+	if n != p1 {
+		t.Fatal("Next != Peek")
+	}
+}

@@ -1,0 +1,198 @@
+package parser
+
+import "fmt"
+
+// OpType is a Prolog operator type (xfx, xfy, yfx, fy, fx, xf, yf).
+type OpType int
+
+// Operator types.
+const (
+	XFX OpType = iota
+	XFY
+	YFX
+	FY
+	FX
+	XF
+	YF
+)
+
+// ParseOpType converts the textual operator type used by op/3.
+func ParseOpType(s string) (OpType, error) {
+	switch s {
+	case "xfx":
+		return XFX, nil
+	case "xfy":
+		return XFY, nil
+	case "yfx":
+		return YFX, nil
+	case "fy":
+		return FY, nil
+	case "fx":
+		return FX, nil
+	case "xf":
+		return XF, nil
+	case "yf":
+		return YF, nil
+	}
+	return 0, fmt.Errorf("parser: invalid operator type %q", s)
+}
+
+func (t OpType) String() string {
+	return [...]string{"xfx", "xfy", "yfx", "fy", "fx", "xf", "yf"}[t]
+}
+
+// opDef is one operator definition.
+type opDef struct {
+	prec int
+	typ  OpType
+}
+
+// prefix/infix/postfix argument precedences.
+func (d opDef) leftMax() int {
+	switch d.typ {
+	case YFX, YF:
+		return d.prec
+	default: // XFX, XFY, XF
+		return d.prec - 1
+	}
+}
+
+func (d opDef) rightMax() int {
+	switch d.typ {
+	case XFY, FY:
+		return d.prec
+	default:
+		return d.prec - 1
+	}
+}
+
+// OpTable holds the operator definitions in force for a reader. The zero
+// value is empty; NewOpTable returns a table preloaded with the standard
+// ISO operators.
+type OpTable struct {
+	prefix  map[string]opDef
+	infix   map[string]opDef
+	postfix map[string]opDef
+}
+
+// NewOpTable returns an operator table with the standard operators defined.
+func NewOpTable() *OpTable {
+	t := &OpTable{
+		prefix:  map[string]opDef{},
+		infix:   map[string]opDef{},
+		postfix: map[string]opDef{},
+	}
+	std := []struct {
+		prec int
+		typ  OpType
+		Name string
+	}{
+		{1200, XFX, ":-"}, {1200, XFX, "-->"},
+		{1200, FX, ":-"}, {1200, FX, "?-"},
+		{1100, XFY, ";"}, {1100, XFY, "|"},
+		{1050, XFY, "->"}, {1050, XFY, "*->"},
+		{1000, XFY, ","},
+		{990, XFX, ":="},
+		{900, FY, "\\+"},
+		{700, XFX, "="}, {700, XFX, "\\="},
+		{700, XFX, "=="}, {700, XFX, "\\=="},
+		{700, XFX, "@<"}, {700, XFX, "@>"}, {700, XFX, "@=<"}, {700, XFX, "@>="},
+		{700, XFX, "is"}, {700, XFX, "=:="}, {700, XFX, "=\\="},
+		{700, XFX, "<"}, {700, XFX, ">"}, {700, XFX, "=<"}, {700, XFX, ">="},
+		{700, XFX, "=.."},
+		{500, YFX, "+"}, {500, YFX, "-"}, {500, YFX, "/\\"}, {500, YFX, "\\/"}, {500, YFX, "xor"},
+		{400, YFX, "*"}, {400, YFX, "/"}, {400, YFX, "//"},
+		{400, YFX, "mod"}, {400, YFX, "rem"}, {400, YFX, "div"},
+		{400, YFX, "<<"}, {400, YFX, ">>"},
+		{200, XFX, "**"},
+		{200, XFY, "^"},
+		{200, FY, "-"}, {200, FY, "+"}, {200, FY, "\\"},
+		{100, YFX, "."}, // not installed; listed for completeness
+		{1, FX, "$"},
+	}
+	for _, d := range std {
+		if d.Name == "." {
+			continue
+		}
+		t.mustDefine(d.prec, d.typ, d.Name)
+	}
+	return t
+}
+
+func (t *OpTable) mustDefine(prec int, typ OpType, name string) {
+	if err := t.Define(prec, typ, name); err != nil {
+		panic(err)
+	}
+}
+
+// Define installs (or, with prec 0, removes) an operator, as op/3 does.
+func (t *OpTable) Define(prec int, typ OpType, name string) error {
+	if name == "" {
+		return fmt.Errorf("parser: empty operator name")
+	}
+	if prec < 0 || prec > 1200 {
+		return fmt.Errorf("parser: operator priority %d out of range", prec)
+	}
+	if name == "," && prec != 1000 {
+		return fmt.Errorf("parser: cannot redefine ','")
+	}
+	var m map[string]opDef
+	switch typ {
+	case FX, FY:
+		m = t.prefix
+	case XFX, XFY, YFX:
+		m = t.infix
+	case XF, YF:
+		m = t.postfix
+	default:
+		return fmt.Errorf("parser: invalid operator type")
+	}
+	if prec == 0 {
+		delete(m, name)
+		return nil
+	}
+	m[name] = opDef{prec: prec, typ: typ}
+	return nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *OpTable) Clone() *OpTable {
+	c := &OpTable{
+		prefix:  make(map[string]opDef, len(t.prefix)),
+		infix:   make(map[string]opDef, len(t.infix)),
+		postfix: make(map[string]opDef, len(t.postfix)),
+	}
+	for k, v := range t.prefix {
+		c.prefix[k] = v
+	}
+	for k, v := range t.infix {
+		c.infix[k] = v
+	}
+	for k, v := range t.postfix {
+		c.postfix[k] = v
+	}
+	return c
+}
+
+func (t *OpTable) lookupPrefix(name string) (opDef, bool) {
+	d, ok := t.prefix[name]
+	return d, ok
+}
+
+func (t *OpTable) lookupInfix(name string) (opDef, bool) {
+	d, ok := t.infix[name]
+	return d, ok
+}
+
+func (t *OpTable) lookupPostfix(name string) (opDef, bool) {
+	d, ok := t.postfix[name]
+	return d, ok
+}
+
+// IsOperator reports whether name is defined as any kind of operator.
+func (t *OpTable) IsOperator(name string) bool {
+	_, a := t.prefix[name]
+	_, b := t.infix[name]
+	_, c := t.postfix[name]
+	return a || b || c
+}

@@ -1,0 +1,108 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lex"
+)
+
+// TestLexerNeverPanics feeds arbitrary strings to the lexer; any outcome
+// is acceptable except a panic or an infinite loop.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		l := lex.New(src)
+		for i := 0; i < len(src)+10; i++ {
+			tok, err := l.Next()
+			if err != nil || tok.Kind == lex.EOF {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics feeds arbitrary strings built from Prolog-ish
+// fragments to the full reader.
+func TestParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"f(", ")", "[", "]", "|", ",", ".", " ", ":-", "-->", "X", "foo",
+		"'quo ted'", "\"str\"", "123", "3.14", "0'a", "{", "}", ";", "->",
+		"+", "-", "*", "\\+", "=..", "!", "_", "%c\n", "/*", "*/", "@<",
+	}
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		var b strings.Builder
+		n := 1 + r.Intn(12)
+		for j := 0; j < n; j++ {
+			b.WriteString(fragments[r.Intn(len(fragments))])
+		}
+		src := b.String()
+		p := New(src)
+		for k := 0; k < 50; k++ {
+			tm, _, err := p.ReadTerm()
+			if err != nil || tm == nil {
+				break
+			}
+		}
+	}
+}
+
+// TestParserRoundTripRandomised: any term the reader produces re-reads to
+// the same canonical string.
+func TestParserRoundTripRandomised(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	atoms := []string{"a", "foo", "'odd atom'", "[]", "+", "f_1"}
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth <= 0 {
+			switch r.Intn(4) {
+			case 0:
+				return atoms[r.Intn(len(atoms))]
+			case 1:
+				return "Var" + string(rune('A'+r.Intn(5)))
+			case 2:
+				return "42"
+			default:
+				return "1.5"
+			}
+		}
+		switch r.Intn(3) {
+		case 0:
+			n := 1 + r.Intn(3)
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = gen(depth - 1)
+			}
+			return "g(" + strings.Join(parts, ", ") + ")"
+		case 1:
+			n := r.Intn(3)
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = gen(depth - 1)
+			}
+			return "[" + strings.Join(parts, ", ") + "]"
+		default:
+			return gen(0)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		src := gen(1 + r.Intn(3))
+		t1, _, err := ParseTerm(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		t2, _, err := ParseTerm(t1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", t1.String(), src, err)
+		}
+		if t1.String() != t2.String() {
+			t.Fatalf("round trip %q: %q != %q", src, t1, t2)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package rel
+
+import (
+	"repro/internal/store"
+)
+
+// Iterator is the operator-tree interface (set-oriented evaluation,
+// paper §2.2). Next returns (nil, nil) at end of stream.
+type Iterator interface {
+	Next() (Tuple, error)
+}
+
+// --- sequential scan -----------------------------------------------------
+
+type seqScan struct {
+	r     *Relation
+	rids  []store.RID
+	datas [][]byte
+	pos   int
+	// loaded lazily page by page via heap.Scan into a channel-free
+	// buffer; for simplicity the scan materialises RIDs up front and
+	// reads tuples on demand.
+	prepared bool
+}
+
+// SeqScan returns an iterator over every tuple of r in storage order.
+func SeqScan(r *Relation) Iterator { return &seqScan{r: r} }
+
+func (s *seqScan) prepare() error {
+	err := s.r.heap.Scan(func(rid store.RID, data []byte) (bool, error) {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.rids = append(s.rids, rid)
+		s.datas = append(s.datas, cp)
+		return true, nil
+	})
+	s.prepared = true
+	return err
+}
+
+func (s *seqScan) Next() (Tuple, error) {
+	if !s.prepared {
+		if err := s.prepare(); err != nil {
+			return nil, err
+		}
+	}
+	if s.pos >= len(s.datas) {
+		return nil, nil
+	}
+	t, err := decodeTuple(s.datas[s.pos], &s.r.Schema)
+	s.pos++
+	return t, err
+}
+
+// --- index scan ------------------------------------------------------------
+
+type indexScan struct {
+	r    *Relation
+	rids []uint64
+	pos  int
+}
+
+// IndexScan returns tuples of r whose attribute lies in [lo, hi] (both
+// inclusive; pass the same value twice for equality) using the B-tree on
+// that attribute. It falls back to a filtered sequential scan when no
+// index exists.
+func IndexScan(r *Relation, attrName string, lo, hi Value) Iterator {
+	attr := r.Schema.AttrIndex(attrName)
+	idx, ok := r.indexes[attr]
+	if !ok {
+		return Select(SeqScan(r), func(t Tuple) bool {
+			return t[attr].Compare(lo) >= 0 && t[attr].Compare(hi) <= 0
+		})
+	}
+	s := &indexScan{r: r}
+	err := idx.Range(lo.Key(), hi.Key(), func(_ []byte, v uint64) bool {
+		s.rids = append(s.rids, v)
+		return true
+	})
+	if err != nil {
+		return &errIter{err: err}
+	}
+	return s
+}
+
+func (s *indexScan) Next() (Tuple, error) {
+	if s.pos >= len(s.rids) {
+		return nil, nil
+	}
+	rid := store.UnpackRID(s.rids[s.pos])
+	s.pos++
+	return s.r.Get(rid)
+}
+
+type errIter struct{ err error }
+
+func (e *errIter) Next() (Tuple, error) { return nil, e.err }
+
+// --- selection, projection ---------------------------------------------------
+
+type selectIter struct {
+	in   Iterator
+	pred func(Tuple) bool
+}
+
+// Select filters tuples by pred.
+func Select(in Iterator, pred func(Tuple) bool) Iterator {
+	return &selectIter{in: in, pred: pred}
+}
+
+func (s *selectIter) Next() (Tuple, error) {
+	for {
+		t, err := s.in.Next()
+		if err != nil || t == nil {
+			return t, err
+		}
+		if s.pred(t) {
+			return t, nil
+		}
+	}
+}
+
+type projectIter struct {
+	in   Iterator
+	cols []int
+}
+
+// Project keeps only the given attribute positions.
+func Project(in Iterator, cols []int) Iterator { return &projectIter{in: in, cols: cols} }
+
+func (p *projectIter) Next() (Tuple, error) {
+	t, err := p.in.Next()
+	if err != nil || t == nil {
+		return nil, err
+	}
+	out := make(Tuple, len(p.cols))
+	for i, c := range p.cols {
+		out[i] = t[c]
+	}
+	return out, nil
+}
+
+// --- joins -------------------------------------------------------------------
+
+type nestedLoopJoin struct {
+	outer     Iterator
+	makeInner func() Iterator
+	pred      func(o, i Tuple) bool
+	cur       Tuple
+	inner     Iterator
+}
+
+// NestedLoopJoin joins the outer stream against a re-creatable inner
+// stream, emitting concatenated tuples that satisfy pred.
+func NestedLoopJoin(outer Iterator, makeInner func() Iterator, pred func(o, i Tuple) bool) Iterator {
+	return &nestedLoopJoin{outer: outer, makeInner: makeInner, pred: pred}
+}
+
+func (j *nestedLoopJoin) Next() (Tuple, error) {
+	for {
+		if j.cur == nil {
+			t, err := j.outer.Next()
+			if err != nil || t == nil {
+				return nil, err
+			}
+			j.cur = t
+			j.inner = j.makeInner()
+		}
+		for {
+			it, err := j.inner.Next()
+			if err != nil {
+				return nil, err
+			}
+			if it == nil {
+				j.cur = nil
+				break
+			}
+			if j.pred(j.cur, it) {
+				out := make(Tuple, 0, len(j.cur)+len(it))
+				out = append(out, j.cur...)
+				out = append(out, it...)
+				return out, nil
+			}
+		}
+	}
+}
+
+type indexJoin struct {
+	outer     Iterator
+	inner     *Relation
+	outerAttr int
+	innerAttr string
+	cur       Tuple
+	matches   Iterator
+}
+
+// IndexJoin joins each outer tuple against inner tuples whose innerAttr
+// equals the outer tuple's outerAttr value, via the inner index.
+func IndexJoin(outer Iterator, inner *Relation, outerAttr int, innerAttr string) Iterator {
+	return &indexJoin{outer: outer, inner: inner, outerAttr: outerAttr, innerAttr: innerAttr}
+}
+
+func (j *indexJoin) Next() (Tuple, error) {
+	for {
+		if j.cur == nil {
+			t, err := j.outer.Next()
+			if err != nil || t == nil {
+				return nil, err
+			}
+			j.cur = t
+			v := t[j.outerAttr]
+			j.matches = IndexScan(j.inner, j.innerAttr, v, v)
+		}
+		it, err := j.matches.Next()
+		if err != nil {
+			return nil, err
+		}
+		if it == nil {
+			j.cur = nil
+			continue
+		}
+		out := make(Tuple, 0, len(j.cur)+len(it))
+		out = append(out, j.cur...)
+		out = append(out, it...)
+		return out, nil
+	}
+}
+
+// --- helpers -------------------------------------------------------------------
+
+// Collect drains an iterator.
+func Collect(it Iterator) ([]Tuple, error) {
+	var out []Tuple
+	for {
+		t, err := it.Next()
+		if err != nil {
+			return out, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Count drains an iterator counting tuples.
+func Count(it Iterator) (int, error) {
+	n := 0
+	for {
+		t, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if t == nil {
+			return n, nil
+		}
+		n++
+	}
+}

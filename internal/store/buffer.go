@@ -1,0 +1,199 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// IOStats counts page traffic through the buffer pool. The paper's
+// Wisconsin table reports buffer accesses and page read/write frequencies
+// (Table 2b); these counters regenerate that data.
+type IOStats struct {
+	// Accesses counts every Get (buffer accesses).
+	Accesses uint64
+	// Hits counts Gets served from the pool.
+	Hits uint64
+	// Reads counts pages read from the pager.
+	Reads uint64
+	// Writes counts pages written to the pager.
+	Writes uint64
+	// Evictions counts frames recycled.
+	Evictions uint64
+}
+
+// Frame is a pinned page in the buffer pool. Callers must Unpin it.
+type Frame struct {
+	id    PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// ID returns the page this frame holds.
+func (f *Frame) ID() PageID { return f.id }
+
+// MarkDirty records that Data was modified; the page is written back on
+// eviction or flush.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Pool is an LRU buffer pool. It is safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	pager    Pager
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // front = most recently used; holds unpinned frames
+	stats    IOStats
+}
+
+// NewPool returns a buffer pool of the given capacity (in pages) over the
+// pager. Capacity below 8 is raised to 8.
+func NewPool(pager Pager, capacity int) *Pool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Pool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   map[PageID]*Frame{},
+		lru:      list.New(),
+	}
+}
+
+// Pager exposes the underlying pager.
+func (p *Pool) Pager() Pager { return p.pager }
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pool) Stats() IOStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = IOStats{}
+}
+
+// Get pins page id and returns its frame, reading it if absent.
+func (p *Pool) Get(id PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Accesses++
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		return f, nil
+	}
+	f, err := p.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Reads++
+	if err := p.pager.ReadPage(id, f.Data); err != nil {
+		delete(p.frames, id)
+		return nil, err
+	}
+	f.pins = 1
+	return f, nil
+}
+
+// Alloc allocates a fresh page and returns it pinned (zeroed, dirty).
+func (p *Pool) Alloc() (*Frame, error) {
+	id, err := p.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Accesses++
+	f, err := p.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	f.pins = 1
+	f.dirty = true
+	return f, nil
+}
+
+// newFrame makes room and registers an empty frame for id (lock held).
+func (p *Pool) newFrame(id PageID) (*Frame, error) {
+	for len(p.frames) >= p.capacity {
+		back := p.lru.Back()
+		if back == nil {
+			return nil, fmt.Errorf("store: buffer pool exhausted (%d pages, all pinned)", p.capacity)
+		}
+		victim := back.Value.(*Frame)
+		p.lru.Remove(back)
+		victim.elem = nil
+		if victim.dirty {
+			p.stats.Writes++
+			if err := p.pager.WritePage(victim.id, victim.Data); err != nil {
+				return nil, err
+			}
+		}
+		delete(p.frames, victim.id)
+		p.stats.Evictions++
+	}
+	f := &Frame{id: id, Data: make([]byte, PageSize)}
+	p.frames[id] = f
+	return f, nil
+}
+
+// Unpin releases a pin; dirty marks the page modified.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins < 0 {
+		panic("store: unpin without pin")
+	}
+	if f.pins == 0 {
+		f.elem = p.lru.PushFront(f)
+	}
+}
+
+// Free drops the page from the pool and returns it to the pager free list.
+// The page must be unpinned.
+func (p *Pool) Free(id PageID) error {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			p.mu.Unlock()
+			return fmt.Errorf("store: freeing pinned page %d", id)
+		}
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+		}
+		delete(p.frames, id)
+	}
+	p.mu.Unlock()
+	return p.pager.Free(id)
+}
+
+// FlushAll writes every dirty frame back to the pager.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			p.stats.Writes++
+			if err := p.pager.WritePage(f.id, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return p.pager.Sync()
+}

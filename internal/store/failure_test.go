@@ -1,0 +1,191 @@
+package store
+
+// Failure injection: a pager that starts failing after a set number of
+// operations. Storage structures must surface errors, never panic or
+// corrupt their in-memory state in ways that mask the failure.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+var errInjected = errors.New("injected I/O failure")
+
+// flakyPager wraps a Pager and fails every operation once the countdown
+// reaches zero.
+type flakyPager struct {
+	inner     Pager
+	remaining int
+}
+
+func (p *flakyPager) tick() error {
+	if p.remaining <= 0 {
+		return errInjected
+	}
+	p.remaining--
+	return nil
+}
+
+func (p *flakyPager) ReadPage(id PageID, buf []byte) error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	return p.inner.ReadPage(id, buf)
+}
+
+func (p *flakyPager) WritePage(id PageID, buf []byte) error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	return p.inner.WritePage(id, buf)
+}
+
+func (p *flakyPager) Allocate() (PageID, error) {
+	if err := p.tick(); err != nil {
+		return 0, err
+	}
+	return p.inner.Allocate()
+}
+
+func (p *flakyPager) Free(id PageID) error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	return p.inner.Free(id)
+}
+
+func (p *flakyPager) NumPages() PageID { return p.inner.NumPages() }
+func (p *flakyPager) Sync() error      { return p.inner.Sync() }
+func (p *flakyPager) Close() error     { return p.inner.Close() }
+
+// runUntilFailure executes op with progressively later failure points
+// until it succeeds without any injection, checking that every earlier
+// cutoff produced a clean error.
+func runUntilFailure(t *testing.T, build func(pool *Pool) error) {
+	t.Helper()
+	for budget := 0; budget < 10000; budget++ {
+		fp := &flakyPager{inner: NewMemPager(), remaining: budget}
+		pool := NewPool(fp, 16)
+		err := build(pool)
+		if err == nil {
+			return // reached a budget where everything succeeds
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("budget %d: unexpected error type: %v", budget, err)
+		}
+	}
+	t.Fatal("operation never completed within the failure budget")
+}
+
+func TestHeapSurvivesInjectedFailures(t *testing.T) {
+	runUntilFailure(t, func(pool *Pool) error {
+		h, err := CreateHeap(pool)
+		if err != nil {
+			return err
+		}
+		var rids []RID
+		for i := 0; i < 50; i++ {
+			rid, err := h.Insert([]byte(fmt.Sprintf("record %d with some padding", i)))
+			if err != nil {
+				return err
+			}
+			rids = append(rids, rid)
+		}
+		big := make([]byte, 3*PageSize)
+		if _, err := h.Insert(big); err != nil {
+			return err
+		}
+		for _, rid := range rids {
+			if _, err := h.Get(rid); err != nil {
+				return err
+			}
+		}
+		if err := pool.FlushAll(); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+func TestBTreeSurvivesInjectedFailures(t *testing.T) {
+	runUntilFailure(t, func(pool *Pool) error {
+		bt, err := CreateBTree(pool)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 300; i++ {
+			if err := bt.Insert(intKey(i), uint64(i)); err != nil {
+				return err
+			}
+		}
+		vals, err := bt.SearchEQ(intKey(123))
+		if err != nil {
+			return err
+		}
+		if len(vals) != 1 || vals[0] != 123 {
+			return fmt.Errorf("lookup corrupted: %v", vals)
+		}
+		return nil
+	})
+}
+
+func TestGridSurvivesInjectedFailures(t *testing.T) {
+	runUntilFailure(t, func(pool *Pool) error {
+		g, err := CreateGrid(pool, 2)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 300; i++ {
+			if err := g.Insert([]uint64{uint64(i % 7), uint64(i)}, uint64(i)); err != nil {
+				return err
+			}
+		}
+		n := 0
+		err = g.PartialMatch([]bool{true, false}, []uint64{3, 0}, func(uint64) bool {
+			n++
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("partial match lost entries")
+		}
+		return nil
+	})
+}
+
+func TestReadErrorsPropagate(t *testing.T) {
+	// Build a valid structure, then make every further pager op fail:
+	// reads must error, not panic. A large pool holds everything in
+	// memory, so force misses with a tiny pool.
+	inner := NewMemPager()
+	pool := NewPool(inner, 16)
+	h, err := CreateHeap(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 200; i++ {
+		rid, err := h.Insert([]byte(fmt.Sprintf("payload-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// New pool over a failing pager: every access should error cleanly.
+	fp := &flakyPager{inner: inner, remaining: 0}
+	pool2 := NewPool(fp, 16)
+	h2 := OpenHeap(pool2, h.Root())
+	if _, err := h2.Get(rids[0]); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	err = h2.Scan(func(RID, []byte) (bool, error) { return true, nil })
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("scan: expected injected error, got %v", err)
+	}
+}

@@ -1,0 +1,447 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Grid is a BANG-style multi-attribute index (after Freeston's BANG file,
+// which Educe* used for clause access — paper §4 and [13,14]). It stores
+// fixed-arity tuples of attribute hash values plus a payload (a packed
+// RID), partitioned by bit-interleaving the attribute hashes into an
+// extendible directory. Because every attribute contributes bits to the
+// partitioning in round-robin order, the index answers *partial-match*
+// queries — any subset of attributes constrained — which is exactly the
+// access pattern of pre-unification: filter stored clauses by whichever
+// head arguments the goal has bound.
+type Grid struct {
+	pool   *Pool
+	header PageID
+	k      int
+	depth  int
+	dir    []PageID
+	// maxDepth bounds directory doubling; colliding entries beyond it
+	// go to overflow chains.
+	maxDepth int
+}
+
+const (
+	gridBucketHdr = 8
+	gridMaxDepth  = 18
+)
+
+// CreateGrid allocates an empty grid index over k attributes.
+func CreateGrid(pool *Pool, k int) (*Grid, error) {
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("store: grid arity %d out of range", k)
+	}
+	g := &Grid{pool: pool, k: k, depth: 0, maxDepth: gridMaxDepth}
+	b, err := pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initBucket(b.Data, 0)
+	g.dir = []PageID{b.ID()}
+	pool.Unpin(b, true)
+
+	h, err := pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	g.header = h.ID()
+	pool.Unpin(h, true)
+	if err := g.writeMeta(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// OpenGrid attaches to the grid whose header page is header.
+func OpenGrid(pool *Pool, header PageID) (*Grid, error) {
+	g := &Grid{pool: pool, header: header, maxDepth: gridMaxDepth}
+	if err := g.readMeta(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Header returns the grid's stable header page.
+func (g *Grid) Header() PageID { return g.header }
+
+// Arity returns the number of indexed attributes.
+func (g *Grid) Arity() int { return g.k }
+
+// Depth returns the current directory depth (diagnostics).
+func (g *Grid) Depth() int { return g.depth }
+
+func (g *Grid) writeMeta() error {
+	f, err := g.pool.Get(g.header)
+	if err != nil {
+		return err
+	}
+	d := f.Data
+	binary.LittleEndian.PutUint16(d[0:2], uint16(g.k))
+	binary.LittleEndian.PutUint16(d[2:4], uint16(g.depth))
+	// Directory entries follow inline; chain to continuation pages.
+	perPage := (PageSize - 8) / 4
+	off := 8
+	pageFrame := f
+	idx := 0
+	for idx < len(g.dir) {
+		binary.LittleEndian.PutUint32(pageFrame.Data[off:off+4], uint32(g.dir[idx]))
+		idx++
+		off += 4
+		if off+4 > PageSize && idx < len(g.dir) {
+			next := PageID(binary.LittleEndian.Uint32(pageFrame.Data[4:8]))
+			if next == invalidPage {
+				nf, err := g.pool.Alloc()
+				if err != nil {
+					g.pool.Unpin(pageFrame, true)
+					return err
+				}
+				next = nf.ID()
+				binary.LittleEndian.PutUint32(pageFrame.Data[4:8], uint32(next))
+				g.pool.Unpin(pageFrame, true)
+				pageFrame = nf
+			} else {
+				nf, err := g.pool.Get(next)
+				if err != nil {
+					g.pool.Unpin(pageFrame, true)
+					return err
+				}
+				g.pool.Unpin(pageFrame, true)
+				pageFrame = nf
+			}
+			off = 8
+		}
+	}
+	_ = perPage
+	g.pool.Unpin(pageFrame, true)
+	return nil
+}
+
+func (g *Grid) readMeta() error {
+	f, err := g.pool.Get(g.header)
+	if err != nil {
+		return err
+	}
+	g.k = int(binary.LittleEndian.Uint16(f.Data[0:2]))
+	g.depth = int(binary.LittleEndian.Uint16(f.Data[2:4]))
+	n := 1 << g.depth
+	g.dir = make([]PageID, 0, n)
+	off := 8
+	pageFrame := f
+	for len(g.dir) < n {
+		g.dir = append(g.dir, PageID(binary.LittleEndian.Uint32(pageFrame.Data[off:off+4])))
+		off += 4
+		if off+4 > PageSize && len(g.dir) < n {
+			next := PageID(binary.LittleEndian.Uint32(pageFrame.Data[4:8]))
+			nf, err := g.pool.Get(next)
+			if err != nil {
+				g.pool.Unpin(pageFrame, false)
+				return err
+			}
+			g.pool.Unpin(pageFrame, false)
+			pageFrame = nf
+			off = 8
+		}
+	}
+	g.pool.Unpin(pageFrame, false)
+	return nil
+}
+
+// bucket page layout:
+//
+//	[0]    local depth
+//	[1:3]  entry count
+//	[3:7]  overflow page (0 = none)
+//	[8: ]  entries: k hashes (8 bytes each) + payload (8 bytes)
+func initBucket(d []byte, localDepth int) {
+	for i := 0; i < gridBucketHdr; i++ {
+		d[i] = 0
+	}
+	d[0] = byte(localDepth)
+}
+
+func (g *Grid) entrySize() int { return g.k*8 + 8 }
+
+func (g *Grid) bucketCap() int { return (PageSize - gridBucketHdr) / g.entrySize() }
+
+// interleave computes the directory index: bit j of the result is bit
+// (j / k) of attribute (j mod k)'s hash.
+func (g *Grid) interleave(hashes []uint64, depth int) int {
+	idx := 0
+	for j := 0; j < depth; j++ {
+		bit := (hashes[j%g.k] >> uint(j/g.k)) & 1
+		idx |= int(bit) << uint(j)
+	}
+	return idx
+}
+
+type gridEntry struct {
+	hashes  []uint64
+	payload uint64
+}
+
+func (g *Grid) readEntries(d []byte) []gridEntry {
+	n := int(binary.LittleEndian.Uint16(d[1:3]))
+	out := make([]gridEntry, 0, n)
+	off := gridBucketHdr
+	for i := 0; i < n; i++ {
+		e := gridEntry{hashes: make([]uint64, g.k)}
+		for a := 0; a < g.k; a++ {
+			e.hashes[a] = binary.LittleEndian.Uint64(d[off : off+8])
+			off += 8
+		}
+		e.payload = binary.LittleEndian.Uint64(d[off : off+8])
+		off += 8
+		out = append(out, e)
+	}
+	return out
+}
+
+func (g *Grid) writeEntries(d []byte, localDepth int, entries []gridEntry, overflow PageID) {
+	initBucket(d, localDepth)
+	binary.LittleEndian.PutUint16(d[1:3], uint16(len(entries)))
+	binary.LittleEndian.PutUint32(d[3:7], uint32(overflow))
+	off := gridBucketHdr
+	for _, e := range entries {
+		for a := 0; a < g.k; a++ {
+			binary.LittleEndian.PutUint64(d[off:off+8], e.hashes[a])
+			off += 8
+		}
+		binary.LittleEndian.PutUint64(d[off:off+8], e.payload)
+		off += 8
+	}
+}
+
+// loadChain reads a bucket and its overflow chain.
+func (g *Grid) loadChain(id PageID) (entries []gridEntry, localDepth int, overflowPages []PageID, err error) {
+	f, err := g.pool.Get(id)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	localDepth = int(f.Data[0])
+	entries = g.readEntries(f.Data)
+	next := PageID(binary.LittleEndian.Uint32(f.Data[3:7]))
+	g.pool.Unpin(f, false)
+	for next != invalidPage {
+		overflowPages = append(overflowPages, next)
+		of, err := g.pool.Get(next)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		entries = append(entries, g.readEntries(of.Data)...)
+		next = PageID(binary.LittleEndian.Uint32(of.Data[3:7]))
+		g.pool.Unpin(of, false)
+	}
+	return entries, localDepth, overflowPages, nil
+}
+
+// storeChain writes entries into bucket id, chaining overflow pages as
+// needed and freeing surplus old overflow pages.
+func (g *Grid) storeChain(id PageID, localDepth int, entries []gridEntry, oldOverflow []PageID) error {
+	capacity := g.bucketCap()
+	pageEntries := entries
+	var rest []gridEntry
+	if len(pageEntries) > capacity {
+		rest = pageEntries[capacity:]
+		pageEntries = pageEntries[:capacity]
+	}
+	cur := id
+	curEntries := pageEntries
+	ovfIdx := 0
+	for {
+		var next PageID
+		if len(rest) > 0 {
+			if ovfIdx < len(oldOverflow) {
+				next = oldOverflow[ovfIdx]
+				ovfIdx++
+			} else {
+				nf, err := g.pool.Alloc()
+				if err != nil {
+					return err
+				}
+				next = nf.ID()
+				g.pool.Unpin(nf, true)
+			}
+		}
+		f, err := g.pool.Get(cur)
+		if err != nil {
+			return err
+		}
+		g.writeEntries(f.Data, localDepth, curEntries, next)
+		g.pool.Unpin(f, true)
+		if next == invalidPage {
+			break
+		}
+		cur = next
+		curEntries = rest
+		if len(curEntries) > capacity {
+			rest = curEntries[capacity:]
+			curEntries = curEntries[:capacity]
+		} else {
+			rest = nil
+		}
+	}
+	// Free unused old overflow pages.
+	for ; ovfIdx < len(oldOverflow); ovfIdx++ {
+		if err := g.pool.Free(oldOverflow[ovfIdx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert adds a tuple of attribute hashes with its payload.
+func (g *Grid) Insert(hashes []uint64, payload uint64) error {
+	if len(hashes) != g.k {
+		return fmt.Errorf("store: grid insert arity %d, want %d", len(hashes), g.k)
+	}
+	for {
+		idx := g.interleave(hashes, g.depth)
+		id := g.dir[idx]
+		entries, localDepth, overflow, err := g.loadChain(id)
+		if err != nil {
+			return err
+		}
+		if len(entries) < g.bucketCap() || localDepth >= g.maxDepth {
+			entries = append(entries, gridEntry{hashes: append([]uint64(nil), hashes...), payload: payload})
+			return g.storeChain(id, localDepth, entries, overflow)
+		}
+		// Split the bucket (BANG's dynamic reorganisation).
+		if localDepth == g.depth {
+			// Double the directory.
+			nd := make([]PageID, len(g.dir)*2)
+			copy(nd, g.dir)
+			copy(nd[len(g.dir):], g.dir)
+			g.dir = nd
+			g.depth++
+		}
+		nf, err := g.pool.Alloc()
+		if err != nil {
+			return err
+		}
+		newID := nf.ID()
+		g.pool.Unpin(nf, true)
+		var left, right []gridEntry
+		bit := localDepth
+		for _, e := range entries {
+			if (g.interleave(e.hashes, bit+1)>>uint(bit))&1 == 1 {
+				right = append(right, e)
+			} else {
+				left = append(left, e)
+			}
+		}
+		if err := g.storeChain(id, localDepth+1, left, overflow); err != nil {
+			return err
+		}
+		if err := g.storeChain(newID, localDepth+1, right, nil); err != nil {
+			return err
+		}
+		// Redirect directory slots whose bit `bit` is 1 among those
+		// currently pointing at id.
+		for i := range g.dir {
+			if g.dir[i] == id && (i>>uint(bit))&1 == 1 {
+				g.dir[i] = newID
+			}
+		}
+		if err := g.writeMeta(); err != nil {
+			return err
+		}
+	}
+}
+
+// Delete removes one tuple matching hashes and payload.
+func (g *Grid) Delete(hashes []uint64, payload uint64) (bool, error) {
+	if len(hashes) != g.k {
+		return false, fmt.Errorf("store: grid delete arity %d, want %d", len(hashes), g.k)
+	}
+	idx := g.interleave(hashes, g.depth)
+	id := g.dir[idx]
+	entries, localDepth, overflow, err := g.loadChain(id)
+	if err != nil {
+		return false, err
+	}
+	for i, e := range entries {
+		if e.payload != payload {
+			continue
+		}
+		match := true
+		for a := 0; a < g.k; a++ {
+			if e.hashes[a] != hashes[a] {
+				match = false
+				break
+			}
+		}
+		if match {
+			entries = append(entries[:i], entries[i+1:]...)
+			return true, g.storeChain(id, localDepth, entries, overflow)
+		}
+	}
+	return false, nil
+}
+
+// PartialMatch visits the payload of every stored tuple whose hash equals
+// hashes[a] for each constrained attribute a (known[a] true). Unconstrained
+// attributes match anything. The callback returns false to stop.
+//
+// This is the EDB-side filter used by pre-unification: matching is on
+// hash values, so a visited tuple is a *candidate* (necessary, not
+// sufficient), exactly as the paper describes for code executed against
+// associative addresses (§4).
+func (g *Grid) PartialMatch(known []bool, hashes []uint64, fn func(payload uint64) bool) error {
+	if len(known) != g.k || len(hashes) != g.k {
+		return fmt.Errorf("store: partial match arity mismatch")
+	}
+	// Determine which directory bits are fixed by the constraints.
+	fixedMask, fixedBits := 0, 0
+	for j := 0; j < g.depth; j++ {
+		if known[j%g.k] {
+			fixedMask |= 1 << uint(j)
+			if (hashes[j%g.k]>>(uint(j)/uint(g.k)))&1 == 1 {
+				fixedBits |= 1 << uint(j)
+			}
+		}
+	}
+	seen := map[PageID]bool{}
+	// Enumerate directory slots consistent with the fixed bits.
+	for idx := 0; idx < len(g.dir); idx++ {
+		if idx&fixedMask != fixedBits {
+			continue
+		}
+		id := g.dir[idx]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		entries, _, _, err := g.loadChain(id)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			ok := true
+			for a := 0; a < g.k; a++ {
+				if known[a] && e.hashes[a] != hashes[a] {
+					ok = false
+					break
+				}
+			}
+			if ok && !fn(e.payload) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Len counts stored tuples (test/diagnostic use).
+func (g *Grid) Len() (int, error) {
+	count := 0
+	known := make([]bool, g.k)
+	err := g.PartialMatch(known, make([]uint64, g.k), func(uint64) bool {
+		count++
+		return true
+	})
+	return count, err
+}

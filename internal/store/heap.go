@@ -1,0 +1,342 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Heap is a file of variable-length records on slotted pages. Records
+// larger than inlineMax bytes are stored in a dedicated overflow-page
+// chain (compiled clause code blobs can exceed a page).
+//
+// Page layout:
+//
+//	[0:4]  next page in the heap chain (0 = end)
+//	[4:6]  slot count
+//	[6:8]  free-space offset (data grows down from PageSize)
+//	[8: ]  slot table, 4 bytes per slot: offset(2), length(2); offset 0
+//	       marks a deleted slot
+//
+// Record encoding: flag byte 0 followed by the payload, or flag byte 1
+// followed by overflow-head page (4) and total length (4).
+type Heap struct {
+	pool *Pool
+	root PageID
+	last PageID // append hint
+}
+
+const (
+	heapHdr   = 8
+	slotSize  = 4
+	inlineMax = 2048
+)
+
+// CreateHeap allocates an empty heap file and returns it.
+func CreateHeap(pool *Pool) (*Heap, error) {
+	f, err := pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initHeapPage(f.Data)
+	id := f.ID()
+	pool.Unpin(f, true)
+	return &Heap{pool: pool, root: id, last: id}, nil
+}
+
+// OpenHeap attaches to an existing heap rooted at root.
+func OpenHeap(pool *Pool, root PageID) *Heap {
+	return &Heap{pool: pool, root: root, last: root}
+}
+
+// Root returns the first page of the heap chain.
+func (h *Heap) Root() PageID { return h.root }
+
+func initHeapPage(d []byte) {
+	for i := range d[:heapHdr] {
+		d[i] = 0
+	}
+	binary.LittleEndian.PutUint16(d[6:8], PageSize)
+}
+
+func pageNext(d []byte) PageID       { return PageID(binary.LittleEndian.Uint32(d[0:4])) }
+func setPageNext(d []byte, n PageID) { binary.LittleEndian.PutUint32(d[0:4], uint32(n)) }
+func pageNSlots(d []byte) int        { return int(binary.LittleEndian.Uint16(d[4:6])) }
+func setPageNSlots(d []byte, n int)  { binary.LittleEndian.PutUint16(d[4:6], uint16(n)) }
+func pageFree(d []byte) int          { return int(binary.LittleEndian.Uint16(d[6:8])) }
+func setPageFree(d []byte, n int)    { binary.LittleEndian.PutUint16(d[6:8], uint16(n)) }
+
+func slotAt(d []byte, i int) (off, ln int) {
+	b := heapHdr + i*slotSize
+	return int(binary.LittleEndian.Uint16(d[b : b+2])), int(binary.LittleEndian.Uint16(d[b+2 : b+4]))
+}
+
+func setSlot(d []byte, i, off, ln int) {
+	b := heapHdr + i*slotSize
+	binary.LittleEndian.PutUint16(d[b:b+2], uint16(off))
+	binary.LittleEndian.PutUint16(d[b+2:b+4], uint16(ln))
+}
+
+// available reports usable bytes for a new record of any size in the page,
+// accounting for a possibly-new slot entry.
+func available(d []byte, needNewSlot bool) int {
+	used := heapHdr + pageNSlots(d)*slotSize
+	if needNewSlot {
+		used += slotSize
+	}
+	return pageFree(d) - used
+}
+
+// Insert stores data and returns its RID.
+func (h *Heap) Insert(data []byte) (RID, error) {
+	var rec []byte
+	if len(data) <= inlineMax {
+		rec = make([]byte, 1+len(data))
+		rec[0] = 0
+		copy(rec[1:], data)
+	} else {
+		head, err := h.writeOverflow(data)
+		if err != nil {
+			return RID{}, err
+		}
+		rec = make([]byte, 9)
+		rec[0] = 1
+		binary.LittleEndian.PutUint32(rec[1:5], uint32(head))
+		binary.LittleEndian.PutUint32(rec[5:9], uint32(len(data)))
+	}
+	return h.insertRec(rec)
+}
+
+func (h *Heap) insertRec(rec []byte) (RID, error) {
+	// Try the append-hint page first, then extend the chain.
+	pid := h.last
+	for {
+		f, err := h.pool.Get(pid)
+		if err != nil {
+			return RID{}, err
+		}
+		// Reuse a deleted slot when possible.
+		slot := -1
+		n := pageNSlots(f.Data)
+		for i := 0; i < n; i++ {
+			if off, _ := slotAt(f.Data, i); off == 0 {
+				slot = i
+				break
+			}
+		}
+		need := len(rec)
+		if available(f.Data, slot < 0) >= need {
+			free := pageFree(f.Data) - need
+			copy(f.Data[free:], rec)
+			if slot < 0 {
+				slot = n
+				setPageNSlots(f.Data, n+1)
+			}
+			setSlot(f.Data, slot, free, len(rec))
+			setPageFree(f.Data, free)
+			h.pool.Unpin(f, true)
+			h.last = pid
+			return RID{Page: pid, Slot: uint16(slot)}, nil
+		}
+		next := pageNext(f.Data)
+		if next == invalidPage {
+			nf, err := h.pool.Alloc()
+			if err != nil {
+				h.pool.Unpin(f, false)
+				return RID{}, err
+			}
+			initHeapPage(nf.Data)
+			setPageNext(f.Data, nf.ID())
+			h.pool.Unpin(f, true)
+			pid = nf.ID()
+			h.pool.Unpin(nf, true)
+			continue
+		}
+		h.pool.Unpin(f, false)
+		pid = next
+	}
+}
+
+func (h *Heap) writeOverflow(data []byte) (PageID, error) {
+	const chunk = PageSize - 8
+	var head, prev PageID
+	var prevFrame *Frame
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		f, err := h.pool.Alloc()
+		if err != nil {
+			if prevFrame != nil {
+				h.pool.Unpin(prevFrame, true)
+			}
+			return 0, err
+		}
+		binary.LittleEndian.PutUint32(f.Data[4:8], uint32(end-off))
+		copy(f.Data[8:], data[off:end])
+		if head == invalidPage {
+			head = f.ID()
+		}
+		if prevFrame != nil {
+			binary.LittleEndian.PutUint32(prevFrame.Data[0:4], uint32(f.ID()))
+			h.pool.Unpin(prevFrame, true)
+		}
+		prev = f.ID()
+		prevFrame = f
+	}
+	_ = prev
+	if prevFrame != nil {
+		h.pool.Unpin(prevFrame, true)
+	}
+	return head, nil
+}
+
+// Get returns the record at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	f, err := h.pool.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(f, false)
+	if int(rid.Slot) >= pageNSlots(f.Data) {
+		return nil, fmt.Errorf("store: no such slot %s", rid)
+	}
+	off, ln := slotAt(f.Data, int(rid.Slot))
+	if off == 0 {
+		return nil, fmt.Errorf("store: record %s deleted", rid)
+	}
+	rec := f.Data[off : off+ln]
+	if rec[0] == 0 {
+		out := make([]byte, ln-1)
+		copy(out, rec[1:])
+		return out, nil
+	}
+	head := PageID(binary.LittleEndian.Uint32(rec[1:5]))
+	total := int(binary.LittleEndian.Uint32(rec[5:9]))
+	return h.readOverflow(head, total)
+}
+
+func (h *Heap) readOverflow(head PageID, total int) ([]byte, error) {
+	out := make([]byte, 0, total)
+	for pid := head; pid != invalidPage; {
+		f, err := h.pool.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		ln := int(binary.LittleEndian.Uint32(f.Data[4:8]))
+		out = append(out, f.Data[8:8+ln]...)
+		next := PageID(binary.LittleEndian.Uint32(f.Data[0:4]))
+		h.pool.Unpin(f, false)
+		pid = next
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("store: overflow chain length %d, want %d", len(out), total)
+	}
+	return out, nil
+}
+
+// Delete removes the record at rid (overflow pages are freed).
+func (h *Heap) Delete(rid RID) error {
+	f, err := h.pool.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	if int(rid.Slot) >= pageNSlots(f.Data) {
+		h.pool.Unpin(f, false)
+		return fmt.Errorf("store: no such slot %s", rid)
+	}
+	off, ln := slotAt(f.Data, int(rid.Slot))
+	if off == 0 {
+		h.pool.Unpin(f, false)
+		return fmt.Errorf("store: record %s already deleted", rid)
+	}
+	var overflowHead PageID
+	if f.Data[off] == 1 {
+		overflowHead = PageID(binary.LittleEndian.Uint32(f.Data[off+1 : off+5]))
+	}
+	_ = ln
+	setSlot(f.Data, int(rid.Slot), 0, 0)
+	h.pool.Unpin(f, true)
+	for pid := overflowHead; pid != invalidPage; {
+		of, err := h.pool.Get(pid)
+		if err != nil {
+			return err
+		}
+		next := PageID(binary.LittleEndian.Uint32(of.Data[0:4]))
+		h.pool.Unpin(of, false)
+		if err := h.pool.Free(pid); err != nil {
+			return err
+		}
+		pid = next
+	}
+	return nil
+}
+
+// Update replaces the record at rid in place when it fits, otherwise
+// deletes and reinserts, returning the (possibly new) RID.
+func (h *Heap) Update(rid RID, data []byte) (RID, error) {
+	if err := h.Delete(rid); err != nil {
+		return RID{}, err
+	}
+	return h.Insert(data)
+}
+
+// Scan visits every record in storage order. The callback returns false to
+// stop early.
+func (h *Heap) Scan(fn func(RID, []byte) (bool, error)) error {
+	for pid := h.root; pid != invalidPage; {
+		f, err := h.pool.Get(pid)
+		if err != nil {
+			return err
+		}
+		n := pageNSlots(f.Data)
+		next := pageNext(f.Data)
+		// Copy out candidate slots, then release the page before
+		// resolving overflow chains to avoid pin buildup.
+		type item struct {
+			slot int
+			data []byte
+			ovf  PageID
+			tot  int
+		}
+		var items []item
+		for i := 0; i < n; i++ {
+			off, ln := slotAt(f.Data, i)
+			if off == 0 {
+				continue
+			}
+			rec := f.Data[off : off+ln]
+			if rec[0] == 0 {
+				d := make([]byte, ln-1)
+				copy(d, rec[1:])
+				items = append(items, item{slot: i, data: d})
+			} else {
+				items = append(items, item{
+					slot: i,
+					ovf:  PageID(binary.LittleEndian.Uint32(rec[1:5])),
+					tot:  int(binary.LittleEndian.Uint32(rec[5:9])),
+				})
+			}
+		}
+		h.pool.Unpin(f, false)
+		for _, it := range items {
+			data := it.data
+			if data == nil {
+				var err error
+				data, err = h.readOverflow(it.ovf, it.tot)
+				if err != nil {
+					return err
+				}
+			}
+			ok, err := fn(RID{Page: pid, Slot: uint16(it.slot)}, data)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		pid = next
+	}
+	return nil
+}

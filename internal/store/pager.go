@@ -1,0 +1,342 @@
+// Package store is the storage engine standing in for the BANG file system
+// used by Educe* (paper §3.3.2, §4): a page file with a buffer pool,
+// slotted-page heap files for variable-length records (compiled clause
+// code), a B+tree for ordered keys (primary keys, Wisconsin range
+// selections) and a BANG-style multi-attribute grid index supporting the
+// partial-match searches that drive pre-unification.
+//
+// All I/O is counted through the buffer pool, which is how the benchmark
+// harness reproduces the paper's I/O-frequency table (Table 2b).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size in bytes.
+const PageSize = 4096
+
+// PageID identifies a page within a store file. Page 0 is the header.
+type PageID uint32
+
+// invalidPage marks "no page".
+const invalidPage PageID = 0
+
+// RID addresses a record: page plus slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Nil reports whether the RID is the zero value.
+func (r RID) Nil() bool { return r.Page == invalidPage && r.Slot == 0 }
+
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// Pack encodes the RID into a uint64.
+func (r RID) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// UnpackRID decodes a packed RID.
+func UnpackRID(v uint64) RID { return RID{Page: PageID(v >> 16), Slot: uint16(v & 0xffff)} }
+
+// Pager reads and writes fixed-size pages.
+type Pager interface {
+	// ReadPage fills buf (PageSize bytes) with page id.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf as page id.
+	WritePage(id PageID, buf []byte) error
+	// Allocate returns a fresh page (zeroed), reusing freed pages.
+	Allocate() (PageID, error)
+	// Free returns a page to the free list.
+	Free(id PageID) error
+	// NumPages reports the number of pages ever allocated (including
+	// header and freed pages).
+	NumPages() PageID
+	// Sync flushes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// header page layout (page 0):
+//
+//	[0:4]   magic
+//	[4:8]   page count
+//	[8:12]  free list head
+//	[12:  ] meta table: count, then (name, rootPage) pairs
+const pagerMagic = 0xBA461990
+
+var errBadMagic = errors.New("store: not a store file (bad magic)")
+
+// filePager is a Pager over an *os.File.
+type filePager struct {
+	mu       sync.Mutex
+	f        *os.File
+	numPages PageID
+	freeHead PageID
+	meta     map[string]uint64
+}
+
+// memPager keeps pages in memory; used for tests and for purely in-memory
+// engines. It still goes through the buffer pool so I/O counting works.
+type memPager struct {
+	mu       sync.Mutex
+	pages    [][]byte
+	freeHead PageID
+	meta     map[string]uint64
+}
+
+// NewMemPager returns an in-memory pager.
+func NewMemPager() Pager {
+	p := &memPager{meta: map[string]uint64{}}
+	p.pages = append(p.pages, make([]byte, PageSize)) // header placeholder
+	return p
+}
+
+func (p *memPager) ReadPage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= len(p.pages) {
+		return fmt.Errorf("store: read of unallocated page %d", id)
+	}
+	copy(buf, p.pages[id])
+	return nil
+}
+
+func (p *memPager) WritePage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= len(p.pages) {
+		return fmt.Errorf("store: write of unallocated page %d", id)
+	}
+	copy(p.pages[id], buf)
+	return nil
+}
+
+func (p *memPager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freeHead != invalidPage {
+		id := p.freeHead
+		p.freeHead = PageID(binary.LittleEndian.Uint32(p.pages[id][:4]))
+		for i := range p.pages[id] {
+			p.pages[id][i] = 0
+		}
+		return id, nil
+	}
+	p.pages = append(p.pages, make([]byte, PageSize))
+	return PageID(len(p.pages) - 1), nil
+}
+
+func (p *memPager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= len(p.pages) || id == 0 {
+		return fmt.Errorf("store: free of invalid page %d", id)
+	}
+	binary.LittleEndian.PutUint32(p.pages[id][:4], uint32(p.freeHead))
+	p.freeHead = id
+	return nil
+}
+
+func (p *memPager) NumPages() PageID { return PageID(len(p.pages)) }
+func (p *memPager) Sync() error      { return nil }
+func (p *memPager) Close() error     { return nil }
+
+// OpenFilePager opens (or creates) a page file at path.
+func OpenFilePager(path string) (Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &filePager{f: f, meta: map[string]uint64{}}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		p.numPages = 1
+		if err := p.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return p, nil
+	}
+	if err := p.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *filePager) writeHeader() error {
+	buf := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(pagerMagic))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(p.numPages))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(p.freeHead))
+	off := 12
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(p.meta)))
+	off += 4
+	for name, root := range p.meta {
+		if off+4+len(name)+8 > PageSize {
+			return errors.New("store: header meta table overflow")
+		}
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(name)))
+		off += 4
+		copy(buf[off:], name)
+		off += len(name)
+		binary.LittleEndian.PutUint64(buf[off:off+8], root)
+		off += 8
+	}
+	_, err := p.f.WriteAt(buf, 0)
+	return err
+}
+
+func (p *filePager) readHeader() error {
+	buf := make([]byte, PageSize)
+	if _, err := p.f.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != uint32(pagerMagic) {
+		return errBadMagic
+	}
+	p.numPages = PageID(binary.LittleEndian.Uint32(buf[4:8]))
+	p.freeHead = PageID(binary.LittleEndian.Uint32(buf[8:12]))
+	off := 12
+	n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+	off += 4
+	for i := 0; i < n; i++ {
+		ln := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+		name := string(buf[off : off+ln])
+		off += ln
+		p.meta[name] = binary.LittleEndian.Uint64(buf[off : off+8])
+		off += 8
+	}
+	return nil
+}
+
+func (p *filePager) ReadPage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.numPages {
+		return fmt.Errorf("store: read of unallocated page %d", id)
+	}
+	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if err == io.EOF {
+		// Page allocated but never written: zeros.
+		for i := range buf[:PageSize] {
+			buf[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+func (p *filePager) WritePage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.numPages {
+		return fmt.Errorf("store: write of unallocated page %d", id)
+	}
+	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+func (p *filePager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.freeHead != invalidPage {
+		id := p.freeHead
+		buf := make([]byte, PageSize)
+		if _, err := p.f.ReadAt(buf, int64(id)*PageSize); err != nil && err != io.EOF {
+			return 0, err
+		}
+		p.freeHead = PageID(binary.LittleEndian.Uint32(buf[:4]))
+		zero := make([]byte, PageSize)
+		if _, err := p.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+			return 0, err
+		}
+		return id, p.writeHeader()
+	}
+	id := p.numPages
+	p.numPages++
+	zero := make([]byte, PageSize)
+	if _, err := p.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		return 0, err
+	}
+	return id, p.writeHeader()
+}
+
+func (p *filePager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id == 0 || id >= p.numPages {
+		return fmt.Errorf("store: free of invalid page %d", id)
+	}
+	buf := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(p.freeHead))
+	if _, err := p.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return err
+	}
+	p.freeHead = id
+	return p.writeHeader()
+}
+
+func (p *filePager) NumPages() PageID { return p.numPages }
+
+func (p *filePager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+func (p *filePager) Close() error {
+	if err := p.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}
+
+// metaTable gives Store access to the pager's name->root map.
+type metaTable interface {
+	metaGet(name string) (uint64, bool)
+	metaSet(name string, v uint64) error
+}
+
+func (p *memPager) metaGet(name string) (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.meta[name]
+	return v, ok
+}
+
+func (p *memPager) metaSet(name string, v uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.meta[name] = v
+	return nil
+}
+
+func (p *filePager) metaGet(name string) (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.meta[name]
+	return v, ok
+}
+
+func (p *filePager) metaSet(name string, v uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.meta[name] = v
+	return p.writeHeader()
+}

@@ -1,0 +1,75 @@
+package store
+
+import "fmt"
+
+// Store bundles a pager and a buffer pool and exposes a small name->root
+// metadata table used by higher layers (the EDB catalog) to find their
+// structures again after reopening a file.
+type Store struct {
+	pager Pager
+	pool  *Pool
+}
+
+// DefaultPoolPages is the default buffer pool capacity. The paper's test
+// configuration gave the kernel roughly 2 MB of working memory; 512 pages
+// of 4 KiB matches that footprint.
+const DefaultPoolPages = 512
+
+// Open opens (or creates) a store. An empty path yields an in-memory
+// store. poolPages <= 0 selects DefaultPoolPages.
+func Open(path string, poolPages int) (*Store, error) {
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	var pager Pager
+	var err error
+	if path == "" {
+		pager = NewMemPager()
+	} else {
+		pager, err = OpenFilePager(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Store{pager: pager, pool: NewPool(pager, poolPages)}, nil
+}
+
+// Pool returns the buffer pool.
+func (s *Store) Pool() *Pool { return s.pool }
+
+// Stats returns buffer pool I/O counters.
+func (s *Store) Stats() IOStats { return s.pool.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (s *Store) ResetStats() { s.pool.ResetStats() }
+
+// SetMeta records a named root value (page or packed RID) in the store
+// header so it survives reopening.
+func (s *Store) SetMeta(name string, v uint64) error {
+	mt, ok := s.pager.(metaTable)
+	if !ok {
+		return fmt.Errorf("store: pager has no metadata table")
+	}
+	return mt.metaSet(name, v)
+}
+
+// GetMeta fetches a named root value.
+func (s *Store) GetMeta(name string) (uint64, bool) {
+	mt, ok := s.pager.(metaTable)
+	if !ok {
+		return 0, false
+	}
+	return mt.metaGet(name)
+}
+
+// Flush writes all dirty pages to the pager.
+func (s *Store) Flush() error { return s.pool.FlushAll() }
+
+// Close flushes and closes the underlying file.
+func (s *Store) Close() error {
+	if err := s.pool.FlushAll(); err != nil {
+		s.pager.Close()
+		return err
+	}
+	return s.pager.Close()
+}

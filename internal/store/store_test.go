@@ -1,0 +1,634 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func memStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open("", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPagerAllocateFreeReuse(t *testing.T) {
+	for _, mode := range []string{"mem", "file"} {
+		t.Run(mode, func(t *testing.T) {
+			var p Pager
+			var err error
+			if mode == "mem" {
+				p = NewMemPager()
+			} else {
+				p, err = OpenFilePager(filepath.Join(t.TempDir(), "t.db"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer p.Close()
+			}
+			a, _ := p.Allocate()
+			b, _ := p.Allocate()
+			if a == b || a == 0 || b == 0 {
+				t.Fatalf("bad allocation: %d %d", a, b)
+			}
+			buf := make([]byte, PageSize)
+			buf[0] = 0xAB
+			if err := p.WritePage(a, buf); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, PageSize)
+			if err := p.ReadPage(a, got); err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != 0xAB {
+				t.Fatal("page content lost")
+			}
+			if err := p.Free(a); err != nil {
+				t.Fatal(err)
+			}
+			c, _ := p.Allocate()
+			if c != a {
+				t.Fatalf("freed page not reused: got %d want %d", c, a)
+			}
+			// A reused page must come back zeroed.
+			if err := p.ReadPage(c, got); err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != 0 {
+				t.Fatal("reused page not zeroed")
+			}
+		})
+	}
+}
+
+func TestFilePagerPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	p, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Allocate()
+	buf := make([]byte, PageSize)
+	copy(buf, "hello pages")
+	if err := p.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.(metaTable).metaSet("root", uint64(id)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	v, ok := p2.(metaTable).metaGet("root")
+	if !ok || PageID(v) != id {
+		t.Fatalf("meta lost: %d %v", v, ok)
+	}
+	got := make([]byte, PageSize)
+	if err := p2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:11]) != "hello pages" {
+		t.Fatal("page content lost across reopen")
+	}
+}
+
+func TestBufferPoolCountsIO(t *testing.T) {
+	s := memStore(t)
+	f, err := s.Pool().Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	f.Data[0] = 7
+	s.Pool().Unpin(f, true)
+	s.ResetStats()
+
+	// Hit: still in pool.
+	f, _ = s.Pool().Get(id)
+	s.Pool().Unpin(f, false)
+	st := s.Stats()
+	if st.Accesses != 1 || st.Hits != 1 || st.Reads != 0 {
+		t.Fatalf("stats after hit: %+v", st)
+	}
+}
+
+func TestBufferPoolEviction(t *testing.T) {
+	s, err := Open("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 20; i++ {
+		f, err := s.Pool().Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data[0] = byte(i)
+		ids = append(ids, f.ID())
+		s.Pool().Unpin(f, true)
+	}
+	// All pages readable with correct content despite eviction.
+	for i, id := range ids {
+		f, err := s.Pool().Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != byte(i) {
+			t.Fatalf("page %d content %d, want %d", id, f.Data[0], i)
+		}
+		s.Pool().Unpin(f, false)
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("expected evictions with a small pool")
+	}
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	s, err := Open("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []*Frame
+	for i := 0; i < 8; i++ {
+		f, err := s.Pool().Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := s.Pool().Alloc(); err == nil {
+		t.Fatal("expected pool-exhausted error")
+	}
+	for _, f := range frames {
+		s.Pool().Unpin(f, false)
+	}
+	if _, err := s.Pool().Alloc(); err != nil {
+		t.Fatalf("alloc after unpin: %v", err)
+	}
+}
+
+func TestHeapInsertGetDelete(t *testing.T) {
+	s := memStore(t)
+	h, err := CreateHeap(s.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 100; i++ {
+		rid, err := h.Insert([]byte(fmt.Sprintf("record-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	for i, rid := range rids {
+		data, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != fmt.Sprintf("record-%03d", i) {
+			t.Fatalf("record %d corrupted: %q", i, data)
+		}
+	}
+	if err := h.Delete(rids[10]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rids[10]); err == nil {
+		t.Fatal("deleted record still readable")
+	}
+	// Slot reuse.
+	rid, err := h.Insert([]byte("replacement"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid.Page != rids[10].Page || rid.Slot != rids[10].Slot {
+		// Reuse is best-effort; at minimum the new record must be intact.
+		t.Logf("slot not reused: %v vs %v", rid, rids[10])
+	}
+	data, _ := h.Get(rid)
+	if string(data) != "replacement" {
+		t.Fatal("replacement corrupted")
+	}
+}
+
+func TestHeapLargeRecords(t *testing.T) {
+	s := memStore(t)
+	h, err := CreateHeap(s.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 3*PageSize+123)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	rid, err := h.Insert(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large record corrupted")
+	}
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); err == nil {
+		t.Fatal("deleted large record still readable")
+	}
+}
+
+func TestHeapScan(t *testing.T) {
+	s := memStore(t)
+	h, _ := CreateHeap(s.Pool())
+	want := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("r%d", i)
+		want[key] = true
+		if _, err := h.Insert([]byte(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]bool{}
+	err := h.Scan(func(_ RID, data []byte) (bool, error) {
+		got[string(data)] = true
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan found %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestHeapUpdate(t *testing.T) {
+	s := memStore(t)
+	h, _ := CreateHeap(s.Pool())
+	rid, _ := h.Insert([]byte("old"))
+	nrid, err := h.Update(rid, []byte("new value that is longer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Get(nrid)
+	if string(got) != "new value that is longer" {
+		t.Fatal("update lost data")
+	}
+}
+
+func intKey(v int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func TestBTreeInsertSearch(t *testing.T) {
+	s := memStore(t)
+	bt, err := CreateBTree(s.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	perm := rand.New(rand.NewSource(42)).Perm(n)
+	for _, v := range perm {
+		if err := bt.Insert(intKey(v), uint64(v*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 37 {
+		vals, err := bt.SearchEQ(intKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != uint64(i*10) {
+			t.Fatalf("search %d = %v", i, vals)
+		}
+	}
+	if vals, _ := bt.SearchEQ(intKey(n + 5)); len(vals) != 0 {
+		t.Fatal("found absent key")
+	}
+	if l, _ := bt.Len(); l != n {
+		t.Fatalf("Len = %d, want %d", l, n)
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	s := memStore(t)
+	bt, _ := CreateBTree(s.Pool())
+	for i := 0; i < 1000; i++ {
+		if err := bt.Insert(intKey(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	err := bt.Range(intKey(100), intKey(199), func(_ []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || got[0] != 100 || got[99] != 199 {
+		t.Fatalf("range 100..199: %d values, first %d last %d", len(got), got[0], got[len(got)-1])
+	}
+	// Ordering over the full range.
+	prev := -1
+	err = bt.Range(nil, nil, func(k []byte, _ uint64) bool {
+		v := int(binary.BigEndian.Uint64(k))
+		if v < prev {
+			t.Fatalf("out of order: %d after %d", v, prev)
+		}
+		prev = v
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	s := memStore(t)
+	bt, _ := CreateBTree(s.Pool())
+	for i := 0; i < 50; i++ {
+		if err := bt.Insert([]byte("dup"), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, _ := bt.SearchEQ([]byte("dup"))
+	if len(vals) != 50 {
+		t.Fatalf("duplicates: %d values", len(vals))
+	}
+	ok, err := bt.Delete([]byte("dup"), 25)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	vals, _ = bt.SearchEQ([]byte("dup"))
+	if len(vals) != 49 {
+		t.Fatalf("after delete: %d values", len(vals))
+	}
+	for _, v := range vals {
+		if v == 25 {
+			t.Fatal("deleted value still present")
+		}
+	}
+	ok, _ = bt.Delete([]byte("dup"), 999)
+	if ok {
+		t.Fatal("deleted absent value")
+	}
+}
+
+func TestBTreeVariableKeys(t *testing.T) {
+	s := memStore(t)
+	bt, _ := CreateBTree(s.Pool())
+	keys := []string{"", "a", "abc", "abcd", "b", "zebra", "zz"}
+	for i, k := range keys {
+		if err := bt.Insert([]byte(k), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	bt.Range(nil, nil, func(k []byte, _ uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("keys out of order: %v", got)
+	}
+	if err := bt.Insert(make([]byte, MaxKeyLen+1), 0); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestBTreeProperty(t *testing.T) {
+	s := memStore(t)
+	bt, _ := CreateBTree(s.Pool())
+	inserted := map[string]uint64{}
+	f := func(key string, val uint64) bool {
+		if len(key) > MaxKeyLen {
+			key = key[:MaxKeyLen]
+		}
+		if _, dup := inserted[key]; dup {
+			return true
+		}
+		if err := bt.Insert([]byte(key), val); err != nil {
+			return false
+		}
+		inserted[key] = val
+		vals, err := bt.SearchEQ([]byte(key))
+		return err == nil && len(vals) == 1 && vals[0] == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Everything remains findable at the end.
+	for k, v := range inserted {
+		vals, err := bt.SearchEQ([]byte(k))
+		if err != nil || len(vals) != 1 || vals[0] != v {
+			t.Fatalf("lost key %q: %v %v", k, vals, err)
+		}
+	}
+}
+
+func TestGridInsertAndExactMatch(t *testing.T) {
+	s := memStore(t)
+	g, err := CreateGrid(s.Pool(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		h := []uint64{uint64(i % 17), uint64(i % 31), uint64(i)}
+		if err := g.Insert(h, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l, _ := g.Len(); l != n {
+		t.Fatalf("Len = %d, want %d", l, n)
+	}
+	// Exact match on all attributes.
+	var got []uint64
+	err = g.PartialMatch([]bool{true, true, true}, []uint64{1244 % 17, 1244 % 31, 1244}, func(p uint64) bool {
+		got = append(got, p)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1244 {
+		t.Fatalf("exact match = %v", got)
+	}
+}
+
+func TestGridPartialMatch(t *testing.T) {
+	s := memStore(t)
+	g, _ := CreateGrid(s.Pool(), 2)
+	// 100 tuples: attr0 in 0..9, attr1 in 0..9.
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			if err := g.Insert([]uint64{uint64(a), uint64(b)}, uint64(a*10+b)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Constrain attr0 only: expect the 10 tuples with attr0 = 7.
+	var got []uint64
+	err := g.PartialMatch([]bool{true, false}, []uint64{7, 0}, func(p uint64) bool {
+		got = append(got, p)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("partial match found %d tuples, want 10: %v", len(got), got)
+	}
+	for _, p := range got {
+		if p/10 != 7 {
+			t.Fatalf("wrong tuple %d", p)
+		}
+	}
+	// Constrain attr1 only.
+	got = got[:0]
+	g.PartialMatch([]bool{false, true}, []uint64{0, 3}, func(p uint64) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("attr1 partial match: %d tuples", len(got))
+	}
+}
+
+func TestGridDelete(t *testing.T) {
+	s := memStore(t)
+	g, _ := CreateGrid(s.Pool(), 2)
+	g.Insert([]uint64{1, 2}, 100)
+	g.Insert([]uint64{1, 2}, 101)
+	ok, err := g.Delete([]uint64{1, 2}, 100)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if l, _ := g.Len(); l != 1 {
+		t.Fatalf("Len after delete = %d", l)
+	}
+	ok, _ = g.Delete([]uint64{1, 2}, 100)
+	if ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestGridCollisionsOverflow(t *testing.T) {
+	s := memStore(t)
+	g, _ := CreateGrid(s.Pool(), 1)
+	// Same hash for everything: forces overflow chains past max depth.
+	for i := 0; i < 1000; i++ {
+		if err := g.Insert([]uint64{42}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l, _ := g.Len(); l != 1000 {
+		t.Fatalf("Len = %d", l)
+	}
+	count := 0
+	g.PartialMatch([]bool{true}, []uint64{42}, func(uint64) bool { count++; return true })
+	if count != 1000 {
+		t.Fatalf("collision bucket lost entries: %d", count)
+	}
+}
+
+func TestGridPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.db")
+	s, err := Open(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := CreateGrid(s.Pool(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := g.Insert([]uint64{uint64(i % 13), uint64(i)}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	header := g.Header()
+	if err := s.SetMeta("grid", uint64(header)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	root, ok := s2.GetMeta("grid")
+	if !ok {
+		t.Fatal("grid meta lost")
+	}
+	g2, err := OpenGrid(s2.Pool(), PageID(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := g2.Len(); l != 500 {
+		t.Fatalf("reopened grid Len = %d", l)
+	}
+	var got []uint64
+	g2.PartialMatch([]bool{true, false}, []uint64{5, 0}, func(p uint64) bool {
+		got = append(got, p)
+		return true
+	})
+	for _, p := range got {
+		if p%13 != 5 {
+			t.Fatalf("wrong tuple after reopen: %d", p)
+		}
+	}
+}
+
+func TestBTreePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bt.db")
+	s, _ := Open(path, 64)
+	bt, _ := CreateBTree(s.Pool())
+	for i := 0; i < 2000; i++ {
+		bt.Insert(intKey(i), uint64(i))
+	}
+	s.SetMeta("bt", uint64(bt.Anchor()))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(path, 64)
+	defer s2.Close()
+	anchor, _ := s2.GetMeta("bt")
+	bt2 := OpenBTree(s2.Pool(), PageID(anchor))
+	vals, err := bt2.SearchEQ(intKey(1234))
+	if err != nil || len(vals) != 1 || vals[0] != 1234 {
+		t.Fatalf("reopened search: %v %v", vals, err)
+	}
+}
+
+func TestRIDPacking(t *testing.T) {
+	f := func(page uint32, slot uint16) bool {
+		r := RID{Page: PageID(page), Slot: slot}
+		return UnpackRID(r.Pack()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

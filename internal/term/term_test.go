@@ -1,0 +1,213 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndicator(t *testing.T) {
+	if got := New("foo"); got != Atom("foo") {
+		t.Fatalf("New(foo) = %v", got)
+	}
+	c := New("foo", Int(1), Atom("a"))
+	pi := c.Indicator()
+	if pi.Name != "foo" || pi.Arity != 2 {
+		t.Fatalf("indicator = %v", pi)
+	}
+	if pi.String() != "foo/2" {
+		t.Fatalf("indicator string = %q", pi.String())
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	items := []Term{Int(1), Atom("a"), Comp("f", Int(2))}
+	l := List(items...)
+	got, ok := UnpackList(l)
+	if !ok || len(got) != 3 {
+		t.Fatalf("UnpackList: ok=%v items=%v", ok, got)
+	}
+	for i := range items {
+		if !Equal(items[i], got[i]) {
+			t.Errorf("item %d: %v != %v", i, items[i], got[i])
+		}
+	}
+}
+
+func TestUnpackListPartial(t *testing.T) {
+	v := &Var{Name: "T"}
+	l := ListTail(v, Int(1))
+	if _, ok := UnpackList(l); ok {
+		t.Fatal("partial list reported as proper")
+	}
+	if _, ok := UnpackList(Int(3)); ok {
+		t.Fatal("integer reported as list")
+	}
+	if got, ok := UnpackList(NilAtom); !ok || len(got) != 0 {
+		t.Fatal("[] should unpack to empty list")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	v1, v2 := &Var{Name: "X"}, &Var{Name: "X"}
+	cases := []struct {
+		a, b Term
+		want bool
+	}{
+		{Atom("a"), Atom("a"), true},
+		{Atom("a"), Atom("b"), false},
+		{Int(1), Int(1), true},
+		{Int(1), Float(1), false},
+		{Float(2.5), Float(2.5), true},
+		{v1, v1, true},
+		{v1, v2, false},
+		{Comp("f", Int(1)), Comp("f", Int(1)), true},
+		{Comp("f", Int(1)), Comp("f", Int(2)), false},
+		{Comp("f", Int(1)), Comp("g", Int(1)), false},
+		{Comp("f", Int(1)), Comp("f", Int(1), Int(2)), false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareStandardOrder(t *testing.T) {
+	v := &Var{Name: "X"}
+	ordered := []Term{v, Float(1.5), Int(2), Atom("a"), Atom("b"), Comp("f", Int(1)), Comp("f", Int(1), Int(2))}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", ordered[i], ordered[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", ordered[i], ordered[j], got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", ordered[i], ordered[j], got)
+			}
+		}
+	}
+}
+
+func TestCompareNumbers(t *testing.T) {
+	if Compare(Int(1), Float(1.5)) >= 0 {
+		t.Error("1 should precede 1.5")
+	}
+	if Compare(Float(2.5), Int(2)) <= 0 {
+		t.Error("2.5 should follow 2")
+	}
+	if Compare(Int(3), Float(3.0)) != 0 {
+		t.Error("3 and 3.0 compare equal in value order")
+	}
+}
+
+func TestVariables(t *testing.T) {
+	x, y := &Var{Name: "X"}, &Var{Name: "Y"}
+	tm := Comp("f", x, Comp("g", y, x))
+	vs := Variables(tm)
+	if len(vs) != 2 || vs[0] != x || vs[1] != y {
+		t.Fatalf("Variables = %v", vs)
+	}
+}
+
+func TestIsGround(t *testing.T) {
+	if !IsGround(Comp("f", Int(1), Atom("a"))) {
+		t.Error("ground term reported non-ground")
+	}
+	if IsGround(Comp("f", &Var{Name: "X"})) {
+		t.Error("non-ground term reported ground")
+	}
+}
+
+func TestRenamePreservesSharing(t *testing.T) {
+	x := &Var{Name: "X"}
+	tm := Comp("f", x, x)
+	r := Rename(tm).(*Compound)
+	rx, ok := r.Args[0].(*Var)
+	if !ok || rx == x {
+		t.Fatal("variable not renamed")
+	}
+	if r.Args[0] != r.Args[1] {
+		t.Fatal("sharing not preserved")
+	}
+}
+
+func TestStringQuoting(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{Atom("abc"), "abc"},
+		{Atom("hello world"), "'hello world'"},
+		{Atom("it's"), `'it\'s'`},
+		{Atom("[]"), "[]"},
+		{Atom("+"), "+"},
+		{Atom("Foo"), "'Foo'"},
+		{Int(-5), "-5"},
+		{Float(1.5), "1.5"},
+		{Float(2), "2.0"},
+		{List(Int(1), Int(2)), "[1,2]"},
+		{ListTail(&Var{Name: "T"}, Int(1)), "[1|T]"},
+		{Comp("f", Atom("a"), Int(1)), "f(a,1)"},
+		{Comp("{}", Atom("x")), "{x}"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestCompareReflexiveAntisymmetric(t *testing.T) {
+	gen := func(n int64, name string, depth uint8) Term {
+		return genTerm(n, name, int(depth%3))
+	}
+	f := func(n int64, name string, depth uint8, n2 int64, name2 string, depth2 uint8) bool {
+		a := gen(n, name, depth)
+		b := gen(n2, name2, depth2)
+		if Compare(a, a) != 0 || Compare(b, b) != 0 {
+			return false
+		}
+		return sign(Compare(a, b)) == -sign(Compare(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualImpliesCompareZero(t *testing.T) {
+	f := func(n int64, name string, depth uint8) bool {
+		a := genTerm(n, name, int(depth%3))
+		b := genTerm(n, name, int(depth%3))
+		return Equal(a, b) && Compare(a, b) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+// genTerm builds a deterministic term from seed data.
+func genTerm(n int64, name string, depth int) Term {
+	if depth <= 0 {
+		switch n % 3 {
+		case 0:
+			return Int(n)
+		case 1:
+			return Atom(name)
+		default:
+			return Float(float64(n) / 2)
+		}
+	}
+	return Comp("f", genTerm(n/2, name, depth-1), genTerm(n/3, name+"x", depth-1))
+}

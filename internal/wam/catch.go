@@ -1,0 +1,132 @@
+package wam
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// ErrBall is a Prolog exception in flight (thrown by throw/1, caught by
+// catch/3). Engine errors that are not balls abort the query.
+type ErrBall struct {
+	// Term is the thrown ball, copied out of the heap so it survives the
+	// state unwinding that delivery performs.
+	Term term.Term
+}
+
+func (e *ErrBall) Error() string { return "wam: uncaught exception: " + e.Term.String() }
+
+// registerCatchBuiltins installs catch/3 and throw/1.
+//
+// catch(Goal, Catcher, Recovery) pushes a catch-marker choice point whose
+// redo always fails (so ordinary backtracking passes through it
+// transparently) and records Catcher/Recovery as symbolic terms in the
+// marker's out-of-band state. throw(Ball) surfaces as an *ErrBall, which
+// the run loop hands to deliverBall.
+//
+// Deviation from ISO: a marker stays armed until it is backtracked over or
+// cut, so a ball thrown after Goal already succeeded (but before the
+// marker is discarded) is still caught here.
+func registerCatchBuiltins(m *Machine) {
+	m.RegisterBuiltin(Builtin{Name: "throw", Arity: 1, Fn: func(m *Machine, a []Cell) (bool, error) {
+		d := m.Deref(a[0])
+		if d.Tag() == TagRef {
+			return false, fmt.Errorf("wam: throw/1: unbound ball")
+		}
+		return false, &ErrBall{Term: m.DecodeTerm(d)}
+	}})
+	m.RegisterBuiltin(Builtin{Name: "catch", Arity: 3, Fn: func(m *Machine, a []Cell) (bool, error) {
+		// Decode catcher and recovery together so variables they share
+		// stay shared when re-encoded at delivery time.
+		addr := m.PushHeap(MakeFun(m.Dict.Intern("$catch_pair", 2), 2))
+		m.PushHeap(a[1])
+		m.PushHeap(a[2])
+		pairT, varAddrs := m.DecodeTermVars(MakeStr(addr))
+		pair := pairT.(*term.Compound)
+
+		m.pushChoicePoint(m.numArgs, codePtr{blk: m.retryBlock, off: 0})
+		m.extras = append(m.extras, extra{
+			b:        m.b,
+			fn:       func(*Machine) (bool, error) { return false, nil },
+			catch:    true,
+			catcher:  pair.Args[0],
+			recovery: pair.Args[1],
+			varAddrs: varAddrs,
+		})
+		return m.metaCall(a[0], nil)
+	}})
+}
+
+// deliverBall unwinds to the nearest catch marker whose catcher unifies
+// with the ball and sets up its recovery goal. caught=false means no
+// marker matched (the error propagates); failed=true means delivery
+// happened but the recovery call could not be established, so the caller
+// should backtrack.
+func (m *Machine) deliverBall(ball *ErrBall) (caught, failed bool) {
+	for len(m.extras) > 0 {
+		e := m.extras[len(m.extras)-1]
+		if !e.catch {
+			// Unwind past inner redo state: restore and discard its
+			// choice point.
+			m.b = e.b
+			m.restoreFromChoicePoint()
+			m.popChoicePoint()
+			continue
+		}
+		// Restore the machine to the catch point; m.cp becomes the
+		// continuation of the original catch/3 call.
+		m.b = e.b
+		m.restoreFromChoicePoint()
+		m.popChoicePoint() // trims this extras entry too
+		// Re-establish variable identity: the variables of catcher and
+		// recovery are the very heap cells that existed when catch/3
+		// ran, and the unwind has just restored that heap state.
+		env := map[*term.Var]Cell{}
+		for v, a := range e.varAddrs {
+			env[v] = MakeRef(a)
+		}
+		catcher := m.EncodeTerm(e.catcher, env)
+		recovery := m.EncodeTerm(e.recovery, env)
+		ballCell := m.EncodeTerm(term.Rename(ball.Term), map[*term.Var]Cell{})
+		if !m.Unify(catcher, ballCell) {
+			continue // not for this catcher: keep unwinding outward
+		}
+		ok, err := m.metaCall(recovery, nil)
+		if err != nil || !ok {
+			m.pendingJump = nil
+			return true, true
+		}
+		return true, false
+	}
+	return false, false
+}
+
+// handleBuiltinError routes a builtin error through exception delivery.
+// It returns the action the run loop should take.
+type errAction uint8
+
+const (
+	errPropagate errAction = iota // return the error to the caller
+	errJump                       // continue at m.p (recovery installed)
+	errFail                       // backtrack
+)
+
+func (m *Machine) handleBuiltinError(err error) (errAction, error) {
+	err = m.asBall(err)
+	ball, ok := err.(*ErrBall)
+	if !ok {
+		return errPropagate, err
+	}
+	caught, failed := m.deliverBall(ball)
+	if !caught {
+		return errPropagate, err
+	}
+	if failed {
+		return errFail, nil
+	}
+	if m.pendingJump != nil {
+		m.p = *m.pendingJump
+		m.pendingJump = nil
+	}
+	return errJump, nil
+}

@@ -1,0 +1,149 @@
+// Package wam implements the Warren Abstract Machine emulator at the heart
+// of Educe* (paper §2.1, §3.1): tagged cells, a global stack (heap), a
+// single local stack holding interleaved environment and choice-point
+// frames, a trail, an instruction set with first-argument indexing, and a
+// mark-slide garbage collector for the global stack.
+//
+// One deliberate deviation from the WAM report: put_variable Yn allocates
+// the fresh variable on the heap rather than in the environment, so
+// variable references never point into the local stack. This removes the
+// need for put_unsafe_value/unify_local_value globalisation and simplifies
+// both the trail (heap addresses only) and the garbage collector, at the
+// cost of a little extra heap allocation — the same trade made by several
+// production Prolog systems.
+package wam
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+)
+
+// Cell is a tagged 64-bit word: tag in the top byte, value in the low 56
+// bits. Integers are stored sign-extended in the value field, limiting
+// Prolog integers to 56 bits (documented engine limit).
+type Cell uint64
+
+// Tag identifies the kind of a Cell.
+type Tag uint8
+
+// Cell tags.
+const (
+	// TagRef is a variable reference; the value is a heap address. A cell
+	// at heap address a holding MakeRef(a) is an unbound variable.
+	TagRef Tag = iota
+	// TagStr points at the TagFun cell of a structure on the heap.
+	TagStr
+	// TagLis points at the head cell of a list pair; the tail is at +1.
+	TagLis
+	// TagCon is an atom; the value is its dict.ID.
+	TagCon
+	// TagInt is a 56-bit signed integer.
+	TagInt
+	// TagFlt is a float; the value indexes the machine's float table.
+	TagFlt
+	// TagFun is a functor cell (only as the first cell of a structure);
+	// the value packs dict.ID<<16 | arity.
+	TagFun
+	// TagCode is a code pointer (blockID<<24 | offset); only appears in
+	// local-stack frames.
+	TagCode
+	// TagSmall is raw frame bookkeeping (saved E, B, TR, H, counts).
+	TagSmall
+)
+
+const valMask = (uint64(1) << 56) - 1
+
+func (t Tag) String() string {
+	switch t {
+	case TagRef:
+		return "ref"
+	case TagStr:
+		return "str"
+	case TagLis:
+		return "lis"
+	case TagCon:
+		return "con"
+	case TagInt:
+		return "int"
+	case TagFlt:
+		return "flt"
+	case TagFun:
+		return "fun"
+	case TagCode:
+		return "code"
+	case TagSmall:
+		return "small"
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+func mk(t Tag, v uint64) Cell { return Cell(uint64(t)<<56 | v&valMask) }
+
+// Tag returns the cell's tag.
+func (c Cell) Tag() Tag { return Tag(c >> 56) }
+
+// Val returns the cell's value as an unsigned 56-bit quantity.
+func (c Cell) Val() int { return int(uint64(c) & valMask) }
+
+// MakeRef returns a reference cell to heap address a.
+func MakeRef(a int) Cell { return mk(TagRef, uint64(a)) }
+
+// MakeStr returns a structure cell pointing at heap address a.
+func MakeStr(a int) Cell { return mk(TagStr, uint64(a)) }
+
+// MakeLis returns a list cell pointing at heap address a.
+func MakeLis(a int) Cell { return mk(TagLis, uint64(a)) }
+
+// MakeCon returns an atom cell.
+func MakeCon(id dict.ID) Cell { return mk(TagCon, uint64(id)) }
+
+// MaxInt and MinInt bound the WAM's 56-bit integer range.
+const (
+	MaxInt = int64(1)<<55 - 1
+	MinInt = -int64(1) << 55
+)
+
+// MakeInt returns an integer cell. Values outside the 56-bit range are
+// clamped; callers that care use CheckInt first.
+func MakeInt(v int64) Cell { return mk(TagInt, uint64(v)) }
+
+// CheckInt reports whether v fits in a WAM integer cell.
+func CheckInt(v int64) bool { return v >= MinInt && v <= MaxInt }
+
+// IntVal returns the sign-extended integer value of an int cell.
+func (c Cell) IntVal() int64 {
+	v := int64(uint64(c) & valMask)
+	// Sign-extend from bit 55.
+	return v << 8 >> 8
+}
+
+// MakeFun returns a functor cell for dict ID id with the given arity.
+func MakeFun(id dict.ID, arity int) Cell {
+	return mk(TagFun, uint64(id)<<16|uint64(arity)&0xffff)
+}
+
+// FunID returns the dictionary ID of a functor cell.
+func (c Cell) FunID() dict.ID { return dict.ID(c.Val() >> 16) }
+
+// FunArity returns the arity of a functor cell.
+func (c Cell) FunArity() int { return c.Val() & 0xffff }
+
+// MakeFlt returns a float cell referencing index i of the float table.
+func MakeFlt(i int) Cell { return mk(TagFlt, uint64(i)) }
+
+// MakeCode packs a code pointer.
+func MakeCode(block, off int) Cell { return mk(TagCode, uint64(block)<<24|uint64(off)&0xffffff) }
+
+// CodeVal unpacks a code pointer cell.
+func (c Cell) CodeVal() (block, off int) {
+	v := c.Val()
+	return v >> 24, v & 0xffffff
+}
+
+// MakeSmall wraps a raw non-negative integer for frame bookkeeping.
+// The value -1 (used for "no frame") is representable.
+func MakeSmall(v int) Cell { return mk(TagSmall, uint64(v)) }
+
+// SmallVal unwraps a bookkeeping cell (sign-extended like IntVal).
+func (c Cell) SmallVal() int { return int(c.IntVal()) }

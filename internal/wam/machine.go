@@ -1,0 +1,608 @@
+package wam
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dict"
+	"repro/internal/term"
+)
+
+// Stats holds cumulative machine counters. The choice-point counter backs
+// the paper's §3.2.1 discussion (choice-point references dominate data
+// references), and the ablation benchmarks report it.
+type Stats struct {
+	Instructions uint64
+	Calls        uint64
+	ChoicePoints uint64
+	Backtracks   uint64
+	Unifications uint64
+	TrailOps     uint64
+	GCRuns       uint64
+	GCCellsFreed uint64
+	HeapPeak     int
+}
+
+// ErrUnknownProc reports a call to a procedure with no definition.
+type ErrUnknownProc struct {
+	Name  string
+	Arity int
+}
+
+func (e *ErrUnknownProc) Error() string {
+	return fmt.Sprintf("wam: unknown procedure %s/%d", e.Name, e.Arity)
+}
+
+// codePtr addresses an instruction.
+type codePtr struct {
+	blk *CodeBlock
+	off int
+}
+
+var nilCode = codePtr{}
+
+// extra associates out-of-band Go state (a redo closure) with the choice
+// point at stack address b.
+type extra struct {
+	b      int
+	fn     RedoFn
+	resume codePtr
+	// catch markers carry the catcher/recovery terms of catch/3, with
+	// the heap addresses of their variables for identity-preserving
+	// re-encoding at delivery.
+	catch    bool
+	catcher  term.Term
+	recovery term.Term
+	varAddrs map[*term.Var]int
+}
+
+// RedoFn produces the next solution of a nondeterministic builtin. It is
+// called with the machine restored to the choice-point state; it should
+// bind results (via Unify) and return true, or return false when no more
+// solutions exist. A RedoFn must keep returning false once exhausted.
+type RedoFn func(m *Machine) (bool, error)
+
+// BuiltinFn implements a builtin predicate. args are the dereferenced-on-
+// demand argument cells (X registers); the function may bind variables via
+// m.Unify and may register a RedoFn via m.PushRedo for nondeterminism.
+type BuiltinFn func(m *Machine, args []Cell) (bool, error)
+
+// Builtin describes a registered builtin predicate.
+type Builtin struct {
+	Name  string
+	Arity int
+	Fn    BuiltinFn
+}
+
+// Machine is a WAM instance: registers, heap (global stack), local stack,
+// trail, code and procedure tables. A Machine is not safe for concurrent
+// use; it models one session as in the paper.
+type Machine struct {
+	Dict *dict.Table
+
+	heap   []Cell
+	floats []float64
+	stack  []Cell
+	trail  []int
+	pdl    []int // unification worklist, pairs of heap addresses? (cells)
+	x      []Cell
+
+	p, cp   codePtr
+	e, b    int // stack frame bases; -1 means none
+	b0      int
+	hb      int
+	s       int  // structure pointer (read mode)
+	mode    byte // 'r' or 'w'
+	numArgs int
+
+	blocks   []*CodeBlock
+	procs    map[dict.ID]*Proc
+	builtins []Builtin
+	binIndex map[string]int // name/arity -> builtin index
+
+	extras      []extra
+	pendingJump *codePtr
+
+	// Out receives the output of write/1 and friends.
+	Out io.Writer
+
+	// collectors implements findall/3 accumulation.
+	collectors []collector
+
+	// OnUndefined, if set, is consulted when a called procedure has no
+	// code in main memory. It is Educe*'s interpreter trap (§3.2.1): the
+	// engine hooks the dynamic loader here. Returning (nil, nil) makes
+	// the call raise ErrUnknownProc.
+	OnUndefined func(m *Machine, fn dict.ID) (*Proc, error)
+
+	// UnknownFails makes calls to undefined procedures fail silently
+	// instead of raising an error.
+	UnknownFails bool
+
+	// GC policy.
+	gcEnabled   bool
+	gcThreshold int // run GC when heap grew this much since last collection
+	gcLastHeap  int
+
+	stats Stats
+
+	haltBlock  *CodeBlock
+	retryBlock *CodeBlock
+	failBlock  *CodeBlock
+}
+
+// NewMachine returns a machine using the given dictionary (a fresh one is
+// created when d is nil) with the core builtins registered.
+func NewMachine(d *dict.Table) *Machine {
+	if d == nil {
+		d = dict.New(dict.WithSegmentSize(4096))
+	}
+	m := &Machine{
+		Dict:        d,
+		e:           -1,
+		b:           -1,
+		b0:          -1,
+		procs:       map[dict.ID]*Proc{},
+		binIndex:    map[string]int{},
+		gcEnabled:   true,
+		gcThreshold: 256 * 1024,
+		Out:         os.Stdout,
+	}
+	m.haltBlock = m.AddBlock(&CodeBlock{Name: "$halt", Instrs: []Instr{{Op: OpHalt}}})
+	m.retryBlock = m.AddBlock(&CodeBlock{Name: "$retry_builtin", Instrs: []Instr{{Op: OpRetryBuiltin}}})
+	m.failBlock = m.AddBlock(&CodeBlock{Name: "$fail", Instrs: []Instr{{Op: OpFail}}})
+	registerCoreBuiltins(m)
+	registerCatchBuiltins(m)
+	registerExtraBuiltins(m)
+	return m
+}
+
+// Stats returns a snapshot of the machine counters.
+func (m *Machine) Stats() Stats {
+	st := m.stats
+	if len(m.heap) > st.HeapPeak {
+		st.HeapPeak = len(m.heap)
+	}
+	return st
+}
+
+// ResetStats zeroes the counters.
+func (m *Machine) ResetStats() { m.stats = Stats{} }
+
+// SetGC enables or disables the garbage collector (paper §3.3.2 allows
+// temporarily disabling it in time-critical regions).
+func (m *Machine) SetGC(enabled bool) { m.gcEnabled = enabled }
+
+// SetGCThreshold sets the heap-growth trigger in cells.
+func (m *Machine) SetGCThreshold(cells int) {
+	if cells < 1024 {
+		cells = 1024
+	}
+	m.gcThreshold = cells
+}
+
+// AddBlock registers a code block and returns it with its ID assigned.
+func (m *Machine) AddBlock(b *CodeBlock) *CodeBlock {
+	b.ID = len(m.blocks)
+	m.blocks = append(m.blocks, b)
+	return b
+}
+
+// RemoveBlock drops a code block; its ID is not reused.
+func (m *Machine) RemoveBlock(b *CodeBlock) {
+	if b.ID >= 0 && b.ID < len(m.blocks) && m.blocks[b.ID] == b {
+		m.blocks[b.ID] = nil
+	}
+}
+
+// DefineProc installs (or replaces) a procedure.
+func (m *Machine) DefineProc(p *Proc) { m.procs[p.Fn] = p }
+
+// Proc returns the procedure for fn, or nil.
+func (m *Machine) Proc(fn dict.ID) *Proc { return m.procs[fn] }
+
+// Procs iterates over all defined procedures.
+func (m *Machine) Procs(f func(*Proc) bool) {
+	for _, p := range m.procs {
+		if !f(p) {
+			return
+		}
+	}
+}
+
+// RemoveProc deletes a procedure and unregisters its code block.
+func (m *Machine) RemoveProc(fn dict.ID) {
+	if p, ok := m.procs[fn]; ok {
+		if p.Block != nil {
+			m.RemoveBlock(p.Block)
+		}
+		delete(m.procs, fn)
+	}
+}
+
+// RegisterBuiltin adds a builtin predicate and returns its index. A wrapper
+// procedure is also installed so the builtin can be the target of ordinary
+// calls (in particular from call/N).
+func (m *Machine) RegisterBuiltin(b Builtin) int {
+	idx := len(m.builtins)
+	m.builtins = append(m.builtins, b)
+	m.binIndex[fmt.Sprintf("%s/%d", b.Name, b.Arity)] = idx
+	fn := m.Dict.Intern(b.Name, b.Arity)
+	blk := m.AddBlock(&CodeBlock{
+		Name: fmt.Sprintf("$builtin %s/%d", b.Name, b.Arity),
+		Instrs: []Instr{
+			{Op: OpBuiltin, N: int32(idx), Ar: int32(b.Arity)},
+			{Op: OpProceed},
+		},
+	})
+	m.DefineProc(&Proc{Fn: fn, Arity: b.Arity, Block: blk})
+	return idx
+}
+
+// TailCall arranges for control to transfer to fn with the given argument
+// cells when the currently executing builtin returns true. It implements
+// call/N. The second result is false when the target is undefined and the
+// machine is configured to fail silently.
+func (m *Machine) TailCall(fn dict.ID, args []Cell) (bool, error) {
+	// Load the argument registers before resolving the target: procedure
+	// resolution may trap into the dynamic loader, whose pre-unification
+	// filter reads the call's argument registers.
+	m.ensureRegs(len(args))
+	copy(m.x, args)
+	m.numArgs = len(args)
+	proc, err := m.lookupProc(fn)
+	if err != nil || proc == nil {
+		return false, err
+	}
+	m.pendingJump = &codePtr{blk: proc.Block}
+	return true, nil
+}
+
+// BuiltinIndex returns the index of a registered builtin, or -1.
+func (m *Machine) BuiltinIndex(name string, arity int) int {
+	if i, ok := m.binIndex[fmt.Sprintf("%s/%d", name, arity)]; ok {
+		return i
+	}
+	return -1
+}
+
+// --- heap and register access -------------------------------------------
+
+// H returns the current heap top.
+func (m *Machine) H() int { return len(m.heap) }
+
+// Heap returns the cell at heap address a.
+func (m *Machine) Heap(a int) Cell { return m.heap[a] }
+
+// PushHeap appends a cell to the heap and returns its address.
+func (m *Machine) PushHeap(c Cell) int {
+	m.heap = append(m.heap, c)
+	return len(m.heap) - 1
+}
+
+// NewVar allocates a fresh unbound heap variable and returns its address.
+func (m *Machine) NewVar() int {
+	a := len(m.heap)
+	m.heap = append(m.heap, MakeRef(a))
+	return a
+}
+
+// PushFloat interns a float in the machine float table.
+func (m *Machine) PushFloat(f float64) Cell {
+	m.floats = append(m.floats, f)
+	return MakeFlt(len(m.floats) - 1)
+}
+
+// Float returns the value of a float cell.
+func (m *Machine) Float(c Cell) float64 { return m.floats[c.Val()] }
+
+// Reg returns argument/temporary register i (0-based: A1 is Reg(0)).
+func (m *Machine) Reg(i int) Cell { return m.x[i] }
+
+// SetReg writes register i, growing the bank as needed.
+func (m *Machine) SetReg(i int, c Cell) {
+	for len(m.x) <= i {
+		m.x = append(m.x, 0)
+	}
+	m.x[i] = c
+}
+
+func (m *Machine) ensureRegs(n int) {
+	for len(m.x) < n {
+		m.x = append(m.x, 0)
+	}
+}
+
+// Deref follows reference chains to the representative cell.
+func (m *Machine) Deref(c Cell) Cell {
+	for c.Tag() == TagRef {
+		d := m.heap[c.Val()]
+		if d == c {
+			return c
+		}
+		c = d
+	}
+	return c
+}
+
+// bindAddr binds heap address a to cell c, trailing when needed.
+func (m *Machine) bindAddr(a int, c Cell) {
+	m.heap[a] = c
+	if a < m.hb {
+		m.trail = append(m.trail, a)
+		m.stats.TrailOps++
+	}
+}
+
+// Bind binds the unbound variable cell v (TagRef) to c with the standard
+// ordering rule when both are variables: the younger (higher address)
+// variable is bound to the older.
+func (m *Machine) Bind(v, c Cell) {
+	if c.Tag() == TagRef && c.Val() < v.Val() {
+		m.bindAddr(v.Val(), c)
+		return
+	}
+	if c.Tag() == TagRef && c.Val() == v.Val() {
+		return
+	}
+	m.bindAddr(v.Val(), c)
+}
+
+// Unify unifies two cells, binding variables and trailing as needed.
+func (m *Machine) Unify(a, b Cell) bool {
+	m.stats.Unifications++
+	type pair struct{ a, b Cell }
+	work := make([]pair, 0, 16)
+	work = append(work, pair{a, b})
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		d1 := m.Deref(p.a)
+		d2 := m.Deref(p.b)
+		if d1 == d2 {
+			continue
+		}
+		t1, t2 := d1.Tag(), d2.Tag()
+		switch {
+		case t1 == TagRef && t2 == TagRef:
+			if d1.Val() < d2.Val() {
+				m.bindAddr(d2.Val(), d1)
+			} else {
+				m.bindAddr(d1.Val(), d2)
+			}
+		case t1 == TagRef:
+			m.bindAddr(d1.Val(), d2)
+		case t2 == TagRef:
+			m.bindAddr(d2.Val(), d1)
+		case t1 != t2:
+			return false
+		case t1 == TagCon, t1 == TagInt, t1 == TagSmall:
+			return false // equal cells handled above
+		case t1 == TagFlt:
+			if m.floats[d1.Val()] != m.floats[d2.Val()] {
+				return false
+			}
+		case t1 == TagLis:
+			a1, a2 := d1.Val(), d2.Val()
+			work = append(work, pair{m.heap[a1], m.heap[a2]}, pair{m.heap[a1+1], m.heap[a2+1]})
+		case t1 == TagStr:
+			f1, f2 := m.heap[d1.Val()], m.heap[d2.Val()]
+			if f1 != f2 {
+				return false
+			}
+			n := f1.FunArity()
+			for i := 1; i <= n; i++ {
+				work = append(work, pair{m.heap[d1.Val()+i], m.heap[d2.Val()+i]})
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// --- stack frames ---------------------------------------------------------
+
+// Environment frame layout (base e):
+//
+//	[e]   Small(prev E)
+//	[e+1] Code(saved CP)
+//	[e+2] Small(n permanent variables)
+//	[e+3 .. e+3+n) Y0..Yn-1
+const envHdr = 3
+
+// Choice-point frame layout (base b, n saved argument registers):
+//
+//	[b]      Small(n)
+//	[b+1..b+n]   A1..An
+//	[b+n+1]  Small(saved E)
+//	[b+n+2]  Code(saved CP)
+//	[b+n+3]  Small(previous B)
+//	[b+n+4]  Code(BP: next clause)
+//	[b+n+5]  Small(saved TR)
+//	[b+n+6]  Small(saved H)
+//	[b+n+7]  Small(saved float count)
+//	[b+n+8]  Small(saved B0)
+const cpHdr = 9
+
+func (m *Machine) envSize(e int) int  { return envHdr + m.stack[e+2].SmallVal() }
+func (m *Machine) cpNArgs(b int) int  { return m.stack[b].SmallVal() }
+func (m *Machine) cpSize(b int) int   { return m.cpNArgs(b) + cpHdr }
+func (m *Machine) cpH(b int) int      { return m.stack[b+m.cpNArgs(b)+6].SmallVal() }
+func (m *Machine) cpPrevB(b int) int  { return m.stack[b+m.cpNArgs(b)+3].SmallVal() }
+func (m *Machine) yAddr(n int) int    { return m.e + envHdr + n }
+func (m *Machine) Y(n int) Cell       { return m.stack[m.yAddr(n)] }
+func (m *Machine) setY(n int, c Cell) { m.stack[m.yAddr(n)] = c }
+
+// stackTop returns the first free local-stack slot.
+func (m *Machine) stackTop() int {
+	top := 0
+	if m.e >= 0 {
+		if t := m.e + m.envSize(m.e); t > top {
+			top = t
+		}
+	}
+	if m.b >= 0 {
+		if t := m.b + m.cpSize(m.b); t > top {
+			top = t
+		}
+	}
+	return top
+}
+
+func (m *Machine) ensureStack(n int) {
+	for len(m.stack) < n {
+		m.stack = append(m.stack, 0)
+	}
+}
+
+func (m *Machine) codeCell(p codePtr) Cell {
+	if p.blk == nil {
+		return MakeCode(0xff_ffff, 0)
+	}
+	return MakeCode(p.blk.ID, p.off)
+}
+
+func (m *Machine) cellCode(c Cell) codePtr {
+	blk, off := c.CodeVal()
+	if blk == 0xff_ffff {
+		return nilCode
+	}
+	return codePtr{blk: m.blocks[blk], off: off}
+}
+
+// pushChoicePoint saves the machine state with nargs argument registers and
+// BP as the alternative continuation.
+func (m *Machine) pushChoicePoint(nargs int, bp codePtr) {
+	m.stats.ChoicePoints++
+	base := m.stackTop()
+	m.ensureStack(base + nargs + cpHdr)
+	m.stack[base] = MakeSmall(nargs)
+	for i := 0; i < nargs; i++ {
+		m.stack[base+1+i] = m.x[i]
+	}
+	m.stack[base+nargs+1] = MakeSmall(m.e)
+	m.stack[base+nargs+2] = m.codeCell(m.cp)
+	m.stack[base+nargs+3] = MakeSmall(m.b)
+	m.stack[base+nargs+4] = m.codeCell(bp)
+	m.stack[base+nargs+5] = MakeSmall(len(m.trail))
+	m.stack[base+nargs+6] = MakeSmall(len(m.heap))
+	m.stack[base+nargs+7] = MakeSmall(len(m.floats))
+	m.stack[base+nargs+8] = MakeSmall(m.b0)
+	m.b = base
+	m.hb = len(m.heap)
+}
+
+// restoreFromChoicePoint reinstates registers from the current choice
+// point (without popping it) and returns the saved BP.
+func (m *Machine) restoreFromChoicePoint() codePtr {
+	b := m.b
+	n := m.cpNArgs(b)
+	m.ensureRegs(n)
+	for i := 0; i < n; i++ {
+		m.x[i] = m.stack[b+1+i]
+	}
+	m.numArgs = n
+	m.e = m.stack[b+n+1].SmallVal()
+	m.cp = m.cellCode(m.stack[b+n+2])
+	bp := m.cellCode(m.stack[b+n+4])
+	m.unwindTrail(m.stack[b+n+5].SmallVal())
+	m.heap = m.heap[:m.stack[b+n+6].SmallVal()]
+	m.floats = m.floats[:m.stack[b+n+7].SmallVal()]
+	m.b0 = m.stack[b+n+8].SmallVal()
+	m.hb = len(m.heap)
+	return bp
+}
+
+func (m *Machine) setBP(bp codePtr) {
+	n := m.cpNArgs(m.b)
+	m.stack[m.b+n+4] = m.codeCell(bp)
+}
+
+// popChoicePoint discards the current choice point.
+func (m *Machine) popChoicePoint() {
+	m.b = m.cpPrevB(m.b)
+	if m.b >= 0 {
+		m.hb = m.cpH(m.b)
+	} else {
+		m.hb = 0
+	}
+	m.trimExtras()
+}
+
+func (m *Machine) unwindTrail(to int) {
+	for i := len(m.trail) - 1; i >= to; i-- {
+		a := m.trail[i]
+		m.heap[a] = MakeRef(a)
+	}
+	m.trail = m.trail[:to]
+}
+
+// cutTo discards choice points younger than level.
+func (m *Machine) cutTo(level int) {
+	if m.b > level {
+		m.b = level
+		if m.b >= 0 {
+			m.hb = m.cpH(m.b)
+		} else {
+			m.hb = 0
+		}
+		m.trimExtras()
+	}
+}
+
+// trimExtras drops redo closures whose choice points were discarded.
+func (m *Machine) trimExtras() {
+	for len(m.extras) > 0 && m.extras[len(m.extras)-1].b > m.b {
+		m.extras = m.extras[:len(m.extras)-1]
+	}
+}
+
+// PushRedo registers a nondeterministic continuation for the currently
+// executing builtin: a choice point is created whose retry re-invokes fn.
+// The builtin should return fn(m) for the first solution.
+func (m *Machine) PushRedo(fn RedoFn) {
+	resume := codePtr{blk: m.p.blk, off: m.p.off + 1}
+	m.pushChoicePoint(m.numArgs, codePtr{blk: m.retryBlock, off: 0})
+	m.extras = append(m.extras, extra{b: m.b, fn: fn, resume: resume})
+}
+
+// Reset clears all transient state (heap, stacks, trail, registers) while
+// keeping the dictionary, code blocks, procedures and builtins.
+func (m *Machine) Reset() {
+	m.heap = m.heap[:0]
+	m.floats = m.floats[:0]
+	m.stack = m.stack[:0]
+	m.trail = m.trail[:0]
+	m.x = m.x[:0]
+	m.extras = m.extras[:0]
+	m.collectors = m.collectors[:0]
+	m.e, m.b, m.b0 = -1, -1, -1
+	m.hb, m.s = 0, 0
+	m.numArgs = 0
+	m.p, m.cp = nilCode, nilCode
+	m.gcLastHeap = 0
+}
+
+// lookupProc resolves a call target, invoking the OnUndefined trap for
+// procedures that have no resident code (paper §3.2.1).
+func (m *Machine) lookupProc(fn dict.ID) (*Proc, error) {
+	p := m.procs[fn]
+	if p != nil && p.Block != nil {
+		return p, nil
+	}
+	if m.OnUndefined != nil {
+		np, err := m.OnUndefined(m, fn)
+		if err != nil {
+			return nil, err
+		}
+		if np != nil {
+			return np, nil
+		}
+	}
+	if m.UnknownFails {
+		return nil, nil
+	}
+	return nil, &ErrUnknownProc{Name: m.Dict.Name(fn), Arity: m.Dict.Arity(fn)}
+}
