@@ -33,6 +33,15 @@ var (
 	icOnce sync.Once
 	icEng  map[bench.System]*core.Engine
 	icErr  error
+
+	mvvKBOnce sync.Once
+	mvvKB     *core.KnowledgeBase
+	mvvKBData *mvv.Data
+	mvvKBErr  error
+
+	wiscKBOnce sync.Once
+	wiscKB     *core.KnowledgeBase
+	wiscKBErr  error
 )
 
 func mvvSetup(b *testing.B) (map[bench.System]*core.Engine, *mvv.Data) {
@@ -105,6 +114,48 @@ func BenchmarkMVVClass2EduceStar(b *testing.B) { benchMVV(b, bench.EduceStar, 2)
 func BenchmarkMVVClass1Educe(b *testing.B)     { benchMVV(b, bench.Educe, 1) }
 func BenchmarkMVVClass2Educe(b *testing.B)     { benchMVV(b, bench.Educe, 2) }
 
+// --- E1 concurrent: N sessions over one shared knowledge base -----------------
+
+func mvvKBSetup(b *testing.B) (*core.KnowledgeBase, *mvv.Data) {
+	b.Helper()
+	mvvKBOnce.Do(func() {
+		mvvKBData = mvv.Generate()
+		mvvKB, mvvKBErr = bench.SetupMVVKB(mvvKBData)
+	})
+	if mvvKBErr != nil {
+		b.Fatal(mvvKBErr)
+	}
+	return mvvKB, mvvKBData
+}
+
+// BenchmarkMVVParallel serves the mixed MVV workload from GOMAXPROCS
+// concurrent sessions sharing one knowledge base; one op is one query.
+// Compare with the single-session Class benchmarks to see the scaling of
+// the shared read path.
+func BenchmarkMVVParallel(b *testing.B) {
+	kb, data := mvvKBSetup(b)
+	queries := append(append([]string{}, data.Class1...), data.Class2...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s, err := bench.NewMVVSession(kb)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer s.Close()
+		i := 0
+		for pb.Next() {
+			q := queries[i%len(queries)]
+			i++
+			if _, err := s.QueryCount(q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // --- E2/E3: Tables 2a/2b — Wisconsin ----------------------------------------
 
 func benchWisc(b *testing.B, f func(*bench.WisconsinEnv) (int, error)) {
@@ -159,6 +210,40 @@ func BenchmarkWisconsinTermSelOne(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func wiscKBSetup(b *testing.B) *core.KnowledgeBase {
+	b.Helper()
+	wiscKBOnce.Do(func() { wiscKB, wiscKBErr = bench.SetupWisconsinKB(10000) })
+	if wiscKBErr != nil {
+		b.Fatal(wiscKBErr)
+	}
+	return wiscKB
+}
+
+// BenchmarkWisconsinParallel drives the term-oriented one-row selection
+// from GOMAXPROCS concurrent sessions over one shared knowledge base
+// (each session has the relations bound as predicates; the buffer pool
+// and indices are shared).
+func BenchmarkWisconsinParallel(b *testing.B) {
+	kb := wiscKBSetup(b)
+	q := wisconsin.TermQueries("wisc_a", "wisc_b", "wisc_c", 10000)["selone"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s, err := bench.NewWisconsinSession(kb)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer s.Close()
+		for pb.Next() {
+			if _, err := s.QueryCount(q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 func BenchmarkWisconsinTermSel1Pct(b *testing.B) {

@@ -18,6 +18,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/educe"
 	"repro/internal/core"
@@ -29,6 +31,7 @@ func main() {
 	external := flag.Bool("external", false, "consult files into the EDB instead of main memory")
 	stats := flag.Bool("stats", false, "print engine statistics after every goal")
 	goal := flag.String("goal", "", "run one goal non-interactively, print all solutions, exit")
+	sessions := flag.Int("sessions", 1, "with -goal: run the goal concurrently on N sessions sharing one knowledge base (EDB-stored predicates only)")
 	flag.Parse()
 
 	opts := educe.Options{StorePath: *dbPath}
@@ -66,7 +69,13 @@ func main() {
 	}
 
 	if *goal != "" {
-		if err := runBatch(eng, strings.TrimSuffix(*goal, ".")); err != nil {
+		g := strings.TrimSuffix(*goal, ".")
+		if *sessions > 1 {
+			if err := runConcurrent(eng, g, *sessions); err != nil {
+				fmt.Fprintln(os.Stderr, "educe:", err)
+				os.Exit(1)
+			}
+		} else if err := runBatch(eng, g); err != nil {
 			fmt.Fprintln(os.Stderr, "educe:", err)
 			os.Exit(1)
 		}
@@ -177,5 +186,46 @@ func runBatch(eng *educe.Engine, goal string) error {
 	if n == 0 {
 		fmt.Println("false.")
 	}
+	return nil
+}
+
+// runConcurrent answers one goal from n sessions sharing the engine's
+// knowledge base, printing per-session solution counts and times. Only
+// EDB-stored predicates are visible to the extra sessions; main-memory
+// consults are private to the primary session.
+func runConcurrent(eng *educe.Engine, goal string, n int) error {
+	kb := eng.KB()
+	type result struct {
+		count   int
+		elapsed time.Duration
+		err     error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := kb.NewSession()
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer s.Close()
+			t0 := time.Now()
+			cnt, err := s.QueryCount(goal)
+			results[i] = result{count: cnt, elapsed: time.Since(t0), err: err}
+		}(i)
+	}
+	wg.Wait()
+	total := time.Since(start)
+	for i, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("session %d: %w", i, r.err)
+		}
+		fmt.Printf("%% session %d: %d solutions in %v\n", i, r.count, r.elapsed)
+	}
+	fmt.Printf("%% %d sessions, wall time %v\n", n, total)
 	return nil
 }

@@ -3,13 +3,26 @@
 // Prolog compiler with a relational storage engine and keeps externally
 // stored rules as relocatable compiled code.
 //
-// Quick start:
+// Quick start (single session):
 //
 //	eng, err := educe.New()                      // in-memory EDB
 //	eng.Consult("likes(sam, curry).")            // rules in main memory
 //	eng.ConsultExternal("edge(a, b). ...")       // facts/rules in the EDB
 //	sols, _ := eng.Query("edge(a, X)")
 //	for sols.Next() { fmt.Println(sols.Binding("X")) }
+//
+// Concurrent serving (shared knowledge base, one session per goroutine):
+//
+//	kb, err := educe.OpenKB("/data/kb.pages")
+//	defer kb.Close()
+//	for i := 0; i < nWorkers; i++ {
+//		go func() {
+//			s, _ := kb.NewSession()
+//			defer s.Close()
+//			sols, _ := s.Query("edge(a, X)")
+//			...
+//		}()
+//	}
 //
 // The engine evaluates queries on the WAM; calls to externally stored
 // procedures trap into the dynamic loader, which pre-unifies inside the
@@ -24,8 +37,27 @@ import (
 	"repro/internal/term"
 )
 
-// Engine is one Educe* session. Not safe for concurrent use.
+// Engine is one Educe* engine: a private KnowledgeBase bundled with a
+// single Session — the original single-session API. An Engine (like a
+// Session) must be used from one goroutine at a time; to serve
+// concurrent queries, share one KnowledgeBase across many Sessions
+// (OpenKB / KB.NewSession), or share an Engine's base via Engine.KB().
 type Engine = core.Engine
+
+// KnowledgeBase is the shared, durable half of a deployment: page store
+// and buffer pool, EDB catalog, external dictionary, relational catalog,
+// and the shared loaded-code cache. A KnowledgeBase is safe for
+// concurrent use: any number of Sessions may read it in parallel, while
+// writes (ConsultExternal, InsertTuples, retracting or dropping stored
+// procedures) serialise behind its write lock and invalidate affected
+// cached code everywhere.
+type KnowledgeBase = core.KnowledgeBase
+
+// Session is one lightweight query context over a KnowledgeBase: the WAM
+// machine, internal dictionary, dynamic predicates and per-query
+// transients. Sessions are cheap to create and single-goroutine; run one
+// per worker.
+type Session = core.Session
 
 // Solutions iterates query answers.
 type Solutions = core.Solutions
@@ -92,3 +124,14 @@ func NewWithOptions(opts Options) (*Engine, error) { return core.New(opts) }
 // Open creates an engine backed by the page file at path, creating the
 // file if needed and reconnecting to any procedures already stored in it.
 func Open(path string) (*Engine, error) { return core.New(core.Options{StorePath: path}) }
+
+// OpenKB opens (or creates) a knowledge base backed by the page file at
+// path (empty for in-memory) for concurrent multi-session serving.
+// Create query contexts with NewSession.
+func OpenKB(path string) (*KnowledgeBase, error) {
+	return core.OpenKB(core.Options{StorePath: path})
+}
+
+// OpenKBWithOptions opens a knowledge base with explicit options;
+// session-level options become the defaults for NewSession.
+func OpenKBWithOptions(opts Options) (*KnowledgeBase, error) { return core.OpenKB(opts) }

@@ -83,6 +83,57 @@ func SetupMVV(sys System, data *mvv.Data) (*core.Engine, error) {
 	return e, nil
 }
 
+// SetupMVVKB builds a shared knowledge base loaded with the MVV facts,
+// for concurrent multi-session benchmarks and tests. Create per-worker
+// query contexts with NewMVVSession.
+func SetupMVVKB(data *mvv.Data) (*core.KnowledgeBase, error) {
+	kb, err := core.OpenKB(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s, err := kb.NewSession()
+	if err != nil {
+		kb.Close()
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.ConsultExternalTerms(data.Facts()); err != nil {
+		kb.Close()
+		return nil, err
+	}
+	return kb, nil
+}
+
+// NewMVVSession creates a session over a shared MVV knowledge base with
+// the route rules resident (rules are internal storage in the paper's
+// §5.1 setup, so each session holds its own compiled copy).
+func NewMVVSession(kb *core.KnowledgeBase) (*core.Session, error) {
+	s, err := kb.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Consult(mvv.Rules); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// RunMVVClassSession runs one query class on a session, returning elapsed
+// time and the total number of solutions.
+func RunMVVClassSession(s *core.Session, queries []string) (time.Duration, int, error) {
+	start := time.Now()
+	total := 0
+	for _, q := range queries {
+		n, err := s.QueryCount(q)
+		if err != nil {
+			return 0, 0, fmt.Errorf("query %q: %w", q, err)
+		}
+		total += n
+	}
+	return time.Since(start), total, nil
+}
+
 // consultInterp asserts a program into the baseline interpreter.
 func consultInterp(e *core.Engine, src string) error {
 	p := parser.New(src)
@@ -197,6 +248,50 @@ func SetupWisconsin(n int) (*WisconsinEnv, error) {
 
 // Close releases the environment.
 func (w *WisconsinEnv) Close() { w.Engine.Close() }
+
+// SetupWisconsinKB builds the Wisconsin relations in a shared knowledge
+// base for concurrent multi-session benchmarks; bind them per worker
+// with NewWisconsinSession.
+func SetupWisconsinKB(n int) (*core.KnowledgeBase, error) {
+	kb, err := core.OpenKB(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s, err := kb.NewSession()
+	if err != nil {
+		kb.Close()
+		return nil, err
+	}
+	defer s.Close()
+	cat := s.Catalog()
+	for _, spec := range []struct {
+		name string
+		n    int
+		seed uint64
+	}{{"wisc_a", n, 1}, {"wisc_b", n, 2}, {"wisc_c", n / 10, 3}} {
+		if _, err := wisconsin.Build(cat, spec.name, spec.n, spec.seed); err != nil {
+			kb.Close()
+			return nil, err
+		}
+	}
+	return kb, nil
+}
+
+// NewWisconsinSession creates a session over a shared Wisconsin knowledge
+// base with the three relations bound as predicates.
+func NewWisconsinSession(kb *core.KnowledgeBase) (*core.Session, error) {
+	s, err := kb.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"wisc_a", "wisc_b", "wisc_c"} {
+		if err := s.BindRelation(name); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
 
 // WisconsinTable regenerates Tables 2a/2b over the standard query classes,
 // each in set-oriented and (where sensible) term-oriented format.

@@ -75,13 +75,22 @@ maplist(_, [], []).
 maplist(P, [H|T], [H2|T2]) :- call(P, H, H2), maplist(P, T, T2).
 `
 
-// loadBootstrap compiles the library into main memory.
-func (e *Engine) loadBootstrap() error {
-	if err := e.Consult(bootstrapSrc); err != nil {
+// loadBootstrap links the library into this session's machine. The
+// library is compiled once per knowledge base (it contains no
+// directives, so the relocatable units are session-independent);
+// sessions share the units and pay only the link step.
+func (s *Session) loadBootstrap() error {
+	units, order, err := s.kb.bootstrapUnits(s)
+	if err != nil {
 		return err
 	}
-	// Bootstrap compilation should not pollute the phase statistics that
+	for _, pi := range order {
+		if err := s.link(pi, units[pi], false); err != nil {
+			return err
+		}
+	}
+	// Bootstrap loading should not pollute the phase statistics that
 	// benchmarks read.
-	e.phases = PhaseStats{}
+	s.phases = PhaseStats{}
 	return nil
 }

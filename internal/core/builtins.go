@@ -14,24 +14,24 @@ import (
 // database (assert/retract — §2 item 3 of the paper stresses how expensive
 // these are, and here assert really does run the incremental compiler) and
 // clause inspection.
-func (e *Engine) registerEngineBuiltins() {
-	m := e.m
+func (s *Session) registerEngineBuiltins() {
+	m := s.m
 
-	m.RegisterBuiltin(wam.Builtin{Name: "assert", Arity: 1, Fn: e.biAssert(false)})
-	m.RegisterBuiltin(wam.Builtin{Name: "assertz", Arity: 1, Fn: e.biAssert(false)})
-	m.RegisterBuiltin(wam.Builtin{Name: "asserta", Arity: 1, Fn: e.biAssert(true)})
-	m.RegisterBuiltin(wam.Builtin{Name: "retract", Arity: 1, Fn: e.biRetract})
-	m.RegisterBuiltin(wam.Builtin{Name: "abolish", Arity: 1, Fn: e.biAbolish})
-	m.RegisterBuiltin(wam.Builtin{Name: "clause", Arity: 2, Fn: e.biClause})
-	m.RegisterBuiltin(wam.Builtin{Name: "educe_statistics", Arity: 2, Fn: e.biStatistics})
+	m.RegisterBuiltin(wam.Builtin{Name: "assert", Arity: 1, Fn: s.biAssert(false)})
+	m.RegisterBuiltin(wam.Builtin{Name: "assertz", Arity: 1, Fn: s.biAssert(false)})
+	m.RegisterBuiltin(wam.Builtin{Name: "asserta", Arity: 1, Fn: s.biAssert(true)})
+	m.RegisterBuiltin(wam.Builtin{Name: "retract", Arity: 1, Fn: s.biRetract})
+	m.RegisterBuiltin(wam.Builtin{Name: "abolish", Arity: 1, Fn: s.biAbolish})
+	m.RegisterBuiltin(wam.Builtin{Name: "clause", Arity: 2, Fn: s.biClause})
+	m.RegisterBuiltin(wam.Builtin{Name: "educe_statistics", Arity: 2, Fn: s.biStatistics})
 }
 
 // biStatistics exposes engine counters to Prolog:
 // educe_statistics(Key, Value) with keys instructions, calls,
 // choice_points, gc_runs, heap_peak, edb_retrievals, edb_candidates,
 // io_accesses, io_reads, io_writes, dict_entries.
-func (e *Engine) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
-	st := e.Stats()
+func (s *Session) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
+	st := s.Stats()
 	stats := map[string]int64{
 		"instructions":   int64(st.Machine.Instructions),
 		"calls":          int64(st.Machine.Calls),
@@ -78,10 +78,10 @@ func (e *Engine) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
 	return redo(m)
 }
 
-func (e *Engine) biAssert(front bool) wam.BuiltinFn {
+func (s *Session) biAssert(front bool) wam.BuiltinFn {
 	return func(m *wam.Machine, args []wam.Cell) (bool, error) {
 		t := m.DecodeTerm(args[0])
-		if err := e.AssertTerm(t, front); err != nil {
+		if err := s.AssertTerm(t, front); err != nil {
 			return false, err
 		}
 		return true, nil
@@ -89,29 +89,29 @@ func (e *Engine) biAssert(front bool) wam.BuiltinFn {
 }
 
 // ensureDyn registers pi as a dynamic predicate (initially empty).
-func (e *Engine) ensureDyn(pi term.Indicator) *dynPred {
-	if dp, ok := e.dyn[pi]; ok {
+func (s *Session) ensureDyn(pi term.Indicator) *dynPred {
+	if dp, ok := s.dyn[pi]; ok {
 		return dp
 	}
 	dp := &dynPred{}
-	e.dyn[pi] = dp
-	e.relinkDyn(pi, dp)
+	s.dyn[pi] = dp
+	s.relinkDyn(pi, dp)
 	return dp
 }
 
 // AssertTerm adds a clause to a dynamic in-memory predicate, compiling it
 // immediately (the incremental compiler at work).
-func (e *Engine) AssertTerm(t term.Term, front bool) error {
+func (s *Session) AssertTerm(t term.Term, front bool) error {
 	head, _ := splitClauseTerm(t)
 	pi := head.Indicator()
 	if pi.Name == "" {
 		return fmt.Errorf("core: cannot assert %s", t)
 	}
-	ccs, err := e.comp.CompileClause(t)
+	ccs, err := s.comp.CompileClause(t)
 	if err != nil {
 		return err
 	}
-	dp := e.ensureDyn(pi)
+	dp := s.ensureDyn(pi)
 	if front {
 		dp.terms = append([]term.Term{t}, dp.terms...)
 		dp.clauses = append([][]compiler.ClauseCode{ccs}, dp.clauses...)
@@ -121,34 +121,34 @@ func (e *Engine) AssertTerm(t term.Term, front bool) error {
 	}
 	// Auxiliary predicates get unique names; install them permanently.
 	for _, cc := range ccs[1:] {
-		if err := e.link(cc.Pred, []compiler.ClauseCode{cc}, false); err != nil {
+		if err := s.link(cc.Pred, []compiler.ClauseCode{cc}, false); err != nil {
 			return err
 		}
 	}
-	return e.relinkDyn(pi, dp)
+	return s.relinkDyn(pi, dp)
 }
 
 // relinkDyn rebuilds a dynamic predicate's code from its clause list.
-func (e *Engine) relinkDyn(pi term.Indicator, dp *dynPred) error {
+func (s *Session) relinkDyn(pi term.Indicator, dp *dynPred) error {
 	main := make([]compiler.ClauseCode, 0, len(dp.clauses))
 	for _, unit := range dp.clauses {
 		main = append(main, unit[0])
 	}
-	if err := e.link(pi, main, false); err != nil {
+	if err := s.link(pi, main, false); err != nil {
 		return err
 	}
-	fn := e.m.Dict.Intern(pi.Name, pi.Arity)
-	if p := e.m.Proc(fn); p != nil {
+	fn := s.m.Dict.Intern(pi.Name, pi.Arity)
+	if p := s.m.Proc(fn); p != nil {
 		p.Dynamic = true
 	}
 	return nil
 }
 
-func (e *Engine) biRetract(m *wam.Machine, args []wam.Cell) (bool, error) {
+func (s *Session) biRetract(m *wam.Machine, args []wam.Cell) (bool, error) {
 	t := m.DecodeTerm(args[0])
 	head, body := splitClauseTerm(t)
 	pi := head.Indicator()
-	dp, ok := e.dyn[pi]
+	dp, ok := s.dyn[pi]
 	if !ok {
 		return false, nil
 	}
@@ -160,7 +160,7 @@ func (e *Engine) biRetract(m *wam.Machine, args []wam.Cell) (bool, error) {
 		if env.Unify(head, rh) && env.Unify(body, rb) {
 			dp.terms = append(append([]term.Term{}, dp.terms[:i]...), dp.terms[i+1:]...)
 			dp.clauses = append(append([][]compiler.ClauseCode{}, dp.clauses[:i]...), dp.clauses[i+1:]...)
-			if err := e.relinkDyn(pi, dp); err != nil {
+			if err := s.relinkDyn(pi, dp); err != nil {
 				return false, err
 			}
 			// Transfer bindings to the WAM by unifying the caller's
@@ -179,25 +179,25 @@ func (e *Engine) biRetract(m *wam.Machine, args []wam.Cell) (bool, error) {
 	return false, nil
 }
 
-func (e *Engine) biAbolish(m *wam.Machine, args []wam.Cell) (bool, error) {
+func (s *Session) biAbolish(m *wam.Machine, args []wam.Cell) (bool, error) {
 	t := m.DecodeTerm(args[0])
 	pi, err := parseIndicator(t)
 	if err != nil {
 		return false, err
 	}
-	delete(e.dyn, pi)
-	e.m.RemoveProc(e.m.Dict.Intern(pi.Name, pi.Arity))
+	delete(s.dyn, pi)
+	s.m.RemoveProc(s.m.Dict.Intern(pi.Name, pi.Arity))
 	return true, nil
 }
 
 // biClause enumerates clauses of a dynamic predicate: clause(Head, Body).
-func (e *Engine) biClause(m *wam.Machine, args []wam.Cell) (bool, error) {
+func (s *Session) biClause(m *wam.Machine, args []wam.Cell) (bool, error) {
 	headT := m.DecodeTerm(args[0])
 	pi := headT.Indicator()
 	if pi.Name == "" {
 		return false, fmt.Errorf("core: clause/2: head must be callable")
 	}
-	dp, ok := e.dyn[pi]
+	dp, ok := s.dyn[pi]
 	if !ok {
 		return false, nil
 	}

@@ -3,6 +3,18 @@
 // database described throughout the paper. The public API is re-exported
 // by the root educe package.
 //
+// The engine is split into two layers:
+//
+//   - KnowledgeBase: the shared, concurrency-safe read path — page store
+//     and buffer pool, EDB catalog, external dictionary, relational
+//     catalog, and the shared loaded-code cache. One KnowledgeBase serves
+//     many concurrent sessions.
+//   - Session: per-query state — the WAM machine with its internal
+//     dictionary, the incremental compiler, dynamic predicates and
+//     transient loaded procedures. A Session is single-goroutine.
+//   - Engine: a thin compatibility wrapper bundling one private
+//     KnowledgeBase with one Session (the original single-session API).
+//
 // The engine runs in one of two rule-storage modes:
 //
 //   - RuleStorageCompiled (Educe*): externally stored procedures hold
@@ -56,16 +68,22 @@ type PhaseStats struct {
 	Asserts  uint64 // baseline-mode assert operations
 }
 
-// Stats aggregates engine counters for the benchmark harness.
+// Stats aggregates engine counters for the benchmark harness. Machine,
+// Phases, Dict and SessionIO are per-session; EDB and IO are shared
+// knowledge-base counters.
 type Stats struct {
 	Machine wam.Stats
 	EDB     edb.Stats
 	IO      store.IOStats
-	Phases  PhaseStats
-	Dict    dict.Stats
+	// SessionIO is the page traffic attributed to this session's own
+	// storage accesses (exact when sessions do not overlap in time;
+	// see store.Tally).
+	SessionIO store.IOStats
+	Phases    PhaseStats
+	Dict      dict.Stats
 }
 
-// Options configures an Engine.
+// Options configures an Engine (or a KnowledgeBase plus its sessions).
 type Options struct {
 	// StorePath is the page file backing the EDB; empty means in-memory.
 	StorePath string
@@ -84,17 +102,19 @@ type Options struct {
 	RuleStorage RuleStorage
 }
 
-// Engine is one Educe* session.
-type Engine struct {
+// Session is one Educe* session over a shared KnowledgeBase: the WAM
+// machine with its internal dictionary, the incremental compiler, the
+// baseline interpreter, dynamic predicates and the per-query transient
+// state. A Session must be used from a single goroutine at a time;
+// concurrency is obtained by running many sessions over one
+// KnowledgeBase.
+type Session struct {
+	kb   *KnowledgeBase
 	opts Options
 
 	m    *wam.Machine
 	comp *compiler.Compiler
 	ops  *parser.OpTable
-
-	st  *store.Store
-	db  *edb.DB
-	cat *rel.Catalog
 
 	in *interp.Interp // baseline interpreter (source mode)
 
@@ -106,11 +126,32 @@ type Engine struct {
 
 	// per-query transient state.
 	queryProcs   []dict.ID // procs to drop at query end
-	loadedCache  map[string]*wam.Proc
+	loadedCache  map[string]*loadedEntry
 	interpLoaded []term.Indicator       // baseline-mode asserted predicates
 	factCaches   []map[uint32]term.Term // baseline per-query tuple caches
 
+	// resolvers tracks facts-only procedures already given a baseline
+	// fact resolver, so late-created procedures can be wired lazily.
+	resolvers map[term.Indicator]bool
+
+	// synced is the KB invalidation version this session last
+	// reconciled against (see syncWithKB).
+	synced uint64
+
+	// tally attributes buffer-pool traffic to this session while it is
+	// inside a storage access.
+	tally *store.Tally
+
 	phases PhaseStats
+}
+
+// loadedEntry is one session-resident dynamically loaded procedure, with
+// the KB invalidation version of its stored source at link time.
+type loadedEntry struct {
+	proc  *wam.Proc
+	name  string
+	arity int
+	ver   uint64
 }
 
 type dynPred struct {
@@ -118,8 +159,42 @@ type dynPred struct {
 	clauses [][]compiler.ClauseCode // compiled units per source clause
 }
 
-// New creates an engine.
+// Engine is one Educe* engine with a private KnowledgeBase and a single
+// Session — the original single-session API, kept as a thin wrapper.
+// See educe.Engine for the concurrency contract.
+type Engine struct {
+	*Session
+	kb *KnowledgeBase
+}
+
+// New creates an engine: a private knowledge base plus one session.
 func New(opts Options) (*Engine, error) {
+	kb, err := OpenKB(opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := kb.NewSessionWithOptions(opts)
+	if err != nil {
+		kb.Close()
+		return nil, err
+	}
+	return &Engine{Session: s, kb: kb}, nil
+}
+
+// KB exposes the engine's knowledge base (for sharing it with further
+// sessions).
+func (e *Engine) KB() *KnowledgeBase { return e.kb }
+
+// Close releases the session and closes the knowledge base's store.
+func (e *Engine) Close() error {
+	e.Session.Close()
+	return e.kb.Close()
+}
+
+// NewSessionWithOptions creates a session with explicit per-session
+// options (DictSegment, DisableGC, DisableIndexing,
+// DisablePreUnification, RuleStorage; store-level fields are ignored).
+func (kb *KnowledgeBase) NewSessionWithOptions(opts Options) (*Session, error) {
 	segment := opts.DictSegment
 	if segment == 0 {
 		segment = 4096
@@ -129,52 +204,41 @@ func New(opts Options) (*Engine, error) {
 	if opts.DisableGC {
 		m.SetGC(false)
 	}
-	st, err := store.Open(opts.StorePath, opts.PoolPages)
-	if err != nil {
-		return nil, err
-	}
-	db, err := edb.Open(st)
-	if err != nil {
-		st.Close()
-		return nil, err
-	}
-	cat, err := rel.OpenCatalog(st)
-	if err != nil {
-		st.Close()
-		return nil, err
-	}
-	e := &Engine{
+	s := &Session{
+		kb:          kb,
 		opts:        opts,
 		m:           m,
 		comp:        compiler.New(compiler.Options{Transparent: transparentFor(m)}),
 		ops:         parser.NewOpTable(),
-		st:          st,
-		db:          db,
-		cat:         cat,
 		in:          interp.New(),
 		dyn:         map[term.Indicator]*dynPred{},
-		loadedCache: map[string]*wam.Proc{},
+		loadedCache: map[string]*loadedEntry{},
+		resolvers:   map[term.Indicator]bool{},
+		tally:       &store.Tally{},
+		synced:      kb.version.Load(),
 	}
-	m.OnUndefined = e.onUndefined
-	e.registerEngineBuiltins()
-	if err := e.loadBootstrap(); err != nil {
-		st.Close()
+	m.OnUndefined = s.onUndefined
+	s.registerEngineBuiltins()
+	if err := s.loadBootstrap(); err != nil {
 		return nil, err
 	}
-	e.in.OnUndefined = e.interpTrap
-	// Reconnect procedures already stored in the EDB from a previous
-	// session: mark them external so calls trap to the loader, and give
-	// the baseline interpreter direct access to facts-only relations.
-	for _, p := range db.Procs() {
+	s.in.OnUndefined = s.interpTrap
+	// Reconnect procedures already stored in the EDB: mark them external
+	// so calls trap to the loader, and give the baseline interpreter
+	// direct access to facts-only relations.
+	kb.mu.RLock()
+	procs := kb.db.Procs()
+	for _, p := range procs {
 		fn := m.Dict.Intern(p.Name, p.Arity)
 		if m.Proc(fn) == nil {
 			m.DefineProc(&wam.Proc{Fn: fn, Arity: p.Arity, External: true})
 		}
 		if p.Form == edb.FormSource && p.FactsOnly {
-			e.registerFactResolver(p)
+			s.registerFactResolver(p)
 		}
 	}
-	return e, nil
+	kb.mu.RUnlock()
+	return s, nil
 }
 
 // transparentFor returns the inline-builtin test bound to machine m.
@@ -187,62 +251,130 @@ func transparentFor(m *wam.Machine) func(string, int) bool {
 	}
 }
 
-// Close flushes and closes the store.
-func (e *Engine) Close() error { return e.st.Close() }
+// Close releases the session's transient state. The shared knowledge
+// base stays open (close it separately); Engine.Close does both.
+func (s *Session) Close() error {
+	s.endQuery()
+	for _, le := range s.loadedCache {
+		if le.proc != nil && le.proc.Block != nil {
+			s.m.RemoveBlock(le.proc.Block)
+		}
+	}
+	s.loadedCache = map[string]*loadedEntry{}
+	return nil
+}
+
+// KB returns the session's knowledge base.
+func (s *Session) KB() *KnowledgeBase { return s.kb }
 
 // Machine exposes the WAM (benchmarks and tests).
-func (e *Engine) Machine() *wam.Machine { return e.m }
+func (s *Session) Machine() *wam.Machine { return s.m }
 
 // DB exposes the external database layer.
-func (e *Engine) DB() *edb.DB { return e.db }
+func (s *Session) DB() *edb.DB { return s.kb.db }
 
 // Catalog exposes the relational catalog.
-func (e *Engine) Catalog() *rel.Catalog { return e.cat }
+func (s *Session) Catalog() *rel.Catalog { return s.kb.cat }
 
 // Interp exposes the baseline interpreter.
-func (e *Engine) Interp() *interp.Interp { return e.in }
+func (s *Session) Interp() *interp.Interp { return s.in }
 
 // RuleStorage reports the current mode.
-func (e *Engine) RuleStorage() RuleStorage { return e.opts.RuleStorage }
+func (s *Session) RuleStorage() RuleStorage { return s.opts.RuleStorage }
 
 // SetRuleStorage switches between Educe* and baseline evaluation.
-func (e *Engine) SetRuleStorage(rs RuleStorage) { e.opts.RuleStorage = rs }
+func (s *Session) SetRuleStorage(rs RuleStorage) { s.opts.RuleStorage = rs }
 
 // Stats returns aggregated counters.
-func (e *Engine) Stats() Stats {
+func (s *Session) Stats() Stats {
 	return Stats{
-		Machine: e.m.Stats(),
-		EDB:     e.db.Stats(),
-		IO:      e.st.Stats(),
-		Phases:  e.phases,
-		Dict:    e.m.Dict.Stats(),
+		Machine:   s.m.Stats(),
+		EDB:       s.kb.db.Stats(),
+		IO:        s.kb.st.Stats(),
+		SessionIO: s.tally.Stats(),
+		Phases:    s.phases,
+		Dict:      s.m.Dict.Stats(),
 	}
 }
 
-// ResetStats zeroes all counters.
-func (e *Engine) ResetStats() {
-	e.m.ResetStats()
-	e.db.ResetStats()
-	e.st.ResetStats()
-	e.in.ResetStats()
-	e.phases = PhaseStats{}
+// ResetStats zeroes all counters, including the shared knowledge-base
+// counters (EDB and pool I/O) — appropriate for the single-session
+// wrapper; concurrent sessions should prefer their SessionIO tallies.
+func (s *Session) ResetStats() {
+	s.m.ResetStats()
+	s.kb.db.ResetStats()
+	s.kb.st.ResetStats()
+	s.in.ResetStats()
+	s.tally.Reset()
+	s.phases = PhaseStats{}
+}
+
+// --- shared-state access helpers --------------------------------------------
+
+// rlock takes the KB read lock and attaches the session's I/O tally,
+// returning the matching release. Hold it across one storage access
+// (a retrieval, a cursor step), never across WAM execution.
+func (s *Session) rlock() func() {
+	s.kb.mu.RLock()
+	s.kb.st.Pool().Attach(s.tally)
+	return func() {
+		s.kb.st.Pool().Detach(s.tally)
+		s.kb.mu.RUnlock()
+	}
+}
+
+// wlock takes the KB write lock (and the tally) for a mutation of shared
+// state.
+func (s *Session) wlock() func() {
+	s.kb.mu.Lock()
+	s.kb.st.Pool().Attach(s.tally)
+	return func() {
+		s.kb.st.Pool().Detach(s.tally)
+		s.kb.mu.Unlock()
+	}
+}
+
+// syncWithKB reconciles the session's resident loaded code with the KB's
+// invalidation state: any procedure whose stored clauses changed since
+// this session linked them is dropped, restoring the trap stub so the
+// next call reloads from the EDB. Called at query start, giving each
+// query a fresh view of the shared KB.
+func (s *Session) syncWithKB() {
+	v := s.kb.version.Load()
+	if v == s.synced {
+		return
+	}
+	for key, le := range s.loadedCache {
+		if s.kb.procVersion(le.name, le.arity) == le.ver {
+			continue
+		}
+		if le.proc != nil && le.proc.Block != nil {
+			s.m.RemoveBlock(le.proc.Block)
+		}
+		delete(s.loadedCache, key)
+		fn := s.m.Dict.Intern(le.name, le.arity)
+		if p := s.m.Proc(fn); p != nil && p.Transient {
+			s.m.DefineProc(&wam.Proc{Fn: fn, Arity: le.arity, External: true})
+		}
+	}
+	s.synced = v
 }
 
 // --- consulting -------------------------------------------------------------
 
 // Consult compiles src into main memory (rules resident, like a
-// conventional Prolog compiler).
-func (e *Engine) Consult(src string) error {
-	terms, err := e.parseProgram(src)
+// conventional Prolog compiler). The code is private to this session.
+func (s *Session) Consult(src string) error {
+	terms, err := s.parseProgram(src)
 	if err != nil {
 		return err
 	}
-	units, order, err := e.compileProgram(terms)
+	units, order, err := s.compileProgram(terms)
 	if err != nil {
 		return err
 	}
 	for _, pi := range order {
-		if err := e.link(pi, units[pi], false); err != nil {
+		if err := s.link(pi, units[pi], false); err != nil {
 			return err
 		}
 	}
@@ -250,24 +382,21 @@ func (e *Engine) Consult(src string) error {
 }
 
 // ConsultExternal compiles src and stores every clause in the EDB in the
-// engine's current rule-storage form. The predicates become external:
-// calling them traps into the dynamic loader.
-func (e *Engine) ConsultExternal(src string) error {
-	terms, err := e.parseProgram(src)
+// session's current rule-storage form. The predicates become external:
+// calling them traps into the dynamic loader. Takes the KB write lock.
+func (s *Session) ConsultExternal(src string) error {
+	terms, err := s.parseProgram(src)
 	if err != nil {
 		return err
 	}
-	if e.opts.RuleStorage == RuleStorageSource {
-		return e.storeSourceClauses(terms)
-	}
-	return e.storeCompiledClauses(terms)
+	return s.ConsultExternalTerms(terms)
 }
 
 // parseProgram reads all clauses, executing directives.
-func (e *Engine) parseProgram(src string) ([]term.Term, error) {
+func (s *Session) parseProgram(src string) ([]term.Term, error) {
 	t0 := time.Now()
-	defer func() { e.phases.Parse += time.Since(t0) }()
-	p := parser.NewWithOps(src, e.ops)
+	defer func() { s.phases.Parse += time.Since(t0) }()
+	p := parser.NewWithOps(src, s.ops)
 	var out []term.Term
 	for {
 		tm, _, err := p.ReadTerm()
@@ -278,7 +407,7 @@ func (e *Engine) parseProgram(src string) ([]term.Term, error) {
 			return out, nil
 		}
 		if d, ok := tm.(*term.Compound); ok && d.Functor == ":-" && len(d.Args) == 1 {
-			if err := e.directive(d.Args[0]); err != nil {
+			if err := s.directive(d.Args[0]); err != nil {
 				return nil, err
 			}
 			continue
@@ -287,7 +416,7 @@ func (e *Engine) parseProgram(src string) ([]term.Term, error) {
 	}
 }
 
-func (e *Engine) directive(d term.Term) error {
+func (s *Session) directive(d term.Term) error {
 	c, ok := d.(*term.Compound)
 	if !ok {
 		return fmt.Errorf("core: unsupported directive %s", d)
@@ -304,16 +433,16 @@ func (e *Engine) directive(d term.Term) error {
 		if err != nil {
 			return err
 		}
-		return e.ops.Define(int(p), typ, string(name))
+		return s.ops.Define(int(p), typ, string(name))
 	case c.Functor == "dynamic" && len(c.Args) == 1:
 		pi, err := parseIndicator(c.Args[0])
 		if err != nil {
 			return err
 		}
-		e.ensureDyn(pi)
+		s.ensureDyn(pi)
 		return nil
 	case c.Functor == "typed" && len(c.Args) == 1:
-		return e.typedDirective(c.Args[0])
+		return s.typedDirective(c.Args[0])
 	}
 	return fmt.Errorf("core: unsupported directive %s", d)
 }
@@ -333,13 +462,13 @@ func parseIndicator(t term.Term) (term.Indicator, error) {
 
 // compileProgram compiles clauses grouped by predicate (aux predicates
 // included), preserving first-definition order.
-func (e *Engine) compileProgram(terms []term.Term) (map[term.Indicator][]compiler.ClauseCode, []term.Indicator, error) {
+func (s *Session) compileProgram(terms []term.Term) (map[term.Indicator][]compiler.ClauseCode, []term.Indicator, error) {
 	t0 := time.Now()
-	defer func() { e.phases.Compile += time.Since(t0) }()
+	defer func() { s.phases.Compile += time.Since(t0) }()
 	units := map[term.Indicator][]compiler.ClauseCode{}
 	var order []term.Indicator
 	for _, tm := range terms {
-		ccs, err := e.comp.CompileClause(tm)
+		ccs, err := s.comp.CompileClause(tm)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -354,25 +483,26 @@ func (e *Engine) compileProgram(terms []term.Term) (map[term.Indicator][]compile
 }
 
 // link installs a predicate's clauses on the machine.
-func (e *Engine) link(pi term.Indicator, ccs []compiler.ClauseCode, transient bool) error {
+func (s *Session) link(pi term.Indicator, ccs []compiler.ClauseCode, transient bool) error {
 	t0 := time.Now()
-	defer func() { e.phases.Link += time.Since(t0) }()
-	opts := loader.Options{Index: !e.opts.DisableIndexing, Transient: transient}
-	_, err := loader.LinkPredicate(e.m, pi.Name, pi.Arity, ccs, opts)
+	defer func() { s.phases.Link += time.Since(t0) }()
+	opts := loader.Options{Index: !s.opts.DisableIndexing, Transient: transient}
+	_, err := loader.LinkPredicate(s.m, pi.Name, pi.Arity, ccs, opts)
 	return err
 }
 
 // storeCompiledClauses compiles and stores clauses (and their auxiliary
-// predicates) in the EDB in compiled form.
-func (e *Engine) storeCompiledClauses(terms []term.Term) error {
+// predicates) in the EDB in compiled form. Caller holds the KB write
+// lock.
+func (s *Session) storeCompiledClauses(terms []term.Term) error {
 	for _, tm := range terms {
 		head, _ := splitClauseTerm(tm)
-		if err := e.checkTyped(head); err != nil {
+		if err := s.checkTyped(head); err != nil {
 			return err
 		}
 		t0 := time.Now()
-		ccs, err := e.comp.CompileClause(tm)
-		e.phases.Compile += time.Since(t0)
+		ccs, err := s.comp.CompileClause(tm)
+		s.phases.Compile += time.Since(t0)
 		if err != nil {
 			return err
 		}
@@ -388,7 +518,7 @@ func (e *Engine) storeCompiledClauses(terms []term.Term) error {
 				keys = argKeysOf(headArgsOf(head))
 				isRule = body != term.TrueAtom
 			}
-			if err := e.storeOneCompiled(cc, keys, isRule); err != nil {
+			if err := s.storeOneCompiled(cc, keys, isRule); err != nil {
 				return err
 			}
 		}
@@ -396,54 +526,57 @@ func (e *Engine) storeCompiledClauses(terms []term.Term) error {
 	return nil
 }
 
-func (e *Engine) storeOneCompiled(cc compiler.ClauseCode, keys []edb.ArgKey, isRule bool) error {
+func (s *Session) storeOneCompiled(cc compiler.ClauseCode, keys []edb.ArgKey, isRule bool) error {
 	t0 := time.Now()
-	defer func() { e.phases.Store += time.Since(t0) }()
-	p, err := e.db.EnsureProc(cc.Pred.Name, cc.Pred.Arity, edb.FormCode)
+	defer func() { s.phases.Store += time.Since(t0) }()
+	db := s.kb.db
+	p, err := db.EnsureProc(cc.Pred.Name, cc.Pred.Arity, edb.FormCode)
 	if err != nil {
 		return err
 	}
 	if isRule {
-		if err := e.db.MarkRule(p); err != nil {
+		if err := db.MarkRule(p); err != nil {
 			return err
 		}
 	}
 	// Register every symbol in the external dictionary (paper §4 item 2).
-	for _, s := range cc.Symbols {
-		if _, err := e.db.Ext().Intern(s.Name, s.Arity); err != nil {
+	for _, sym := range cc.Symbols {
+		if _, err := db.Ext().Intern(sym.Name, sym.Arity); err != nil {
 			return err
 		}
 	}
 	for len(keys) < p.K {
 		keys = append(keys, edb.WildKey())
 	}
-	if _, err := e.db.StoreClause(p, keys, loader.EncodeClause(cc)); err != nil {
+	if _, err := db.StoreClause(p, keys, loader.EncodeClause(cc)); err != nil {
 		return err
 	}
-	e.invalidateLoaded(cc.Pred.Name, cc.Pred.Arity)
-	e.markExternal(cc.Pred)
+	s.invalidateStored(cc.Pred.Name, cc.Pred.Arity)
+	s.markExternal(cc.Pred)
 	return nil
 }
 
 // storeSourceClauses stores clause text (Educe baseline form). Facts-only
 // procedures keep the baseline's tuple-at-a-time access path; storing a
-// rule switches the procedure to assert-based loading.
-func (e *Engine) storeSourceClauses(terms []term.Term) error {
+// rule switches the procedure to assert-based loading. Caller holds the
+// KB write lock.
+func (s *Session) storeSourceClauses(terms []term.Term) error {
 	t0 := time.Now()
-	defer func() { e.phases.Store += time.Since(t0) }()
+	defer func() { s.phases.Store += time.Since(t0) }()
+	db := s.kb.db
 	touched := map[*edb.ProcInfo]bool{}
 	for _, tm := range terms {
 		head, body := splitClauseTerm(tm)
-		if err := e.checkTyped(head); err != nil {
+		if err := s.checkTyped(head); err != nil {
 			return err
 		}
 		pi := head.Indicator()
-		p, err := e.db.EnsureProc(pi.Name, pi.Arity, edb.FormSource)
+		p, err := db.EnsureProc(pi.Name, pi.Arity, edb.FormSource)
 		if err != nil {
 			return err
 		}
 		if body != term.TrueAtom {
-			if err := e.db.MarkRule(p); err != nil {
+			if err := db.MarkRule(p); err != nil {
 				return err
 			}
 		}
@@ -452,24 +585,33 @@ func (e *Engine) storeSourceClauses(terms []term.Term) error {
 		for len(keys) < p.K {
 			keys = append(keys, edb.WildKey())
 		}
-		if _, err := e.db.StoreClause(p, keys, []byte(tm.String()+".")); err != nil {
+		if _, err := db.StoreClause(p, keys, []byte(tm.String()+".")); err != nil {
 			return err
 		}
-		e.invalidateLoaded(pi.Name, pi.Arity)
-		e.markExternal(pi)
+		s.invalidateStored(pi.Name, pi.Arity)
+		s.markExternal(pi)
 	}
 	for p := range touched {
 		if p.FactsOnly {
-			e.registerFactResolver(p)
+			s.registerFactResolver(p)
 		}
 	}
 	return nil
 }
 
-func (e *Engine) markExternal(pi term.Indicator) {
-	fn := e.m.Dict.Intern(pi.Name, pi.Arity)
-	if p := e.m.Proc(fn); p == nil {
-		e.m.DefineProc(&wam.Proc{Fn: fn, Arity: pi.Arity, External: true})
+// invalidateStored records that a stored procedure changed: the session's
+// own resident copy is dropped immediately and the shared cache entry is
+// invalidated so other sessions reload at their next query.
+func (s *Session) invalidateStored(name string, arity int) {
+	s.invalidateLocal(name, arity)
+	s.kb.invalidateProc(name, arity)
+	s.syncWithKB()
+}
+
+func (s *Session) markExternal(pi term.Indicator) {
+	fn := s.m.Dict.Intern(pi.Name, pi.Arity)
+	if p := s.m.Proc(fn); p == nil {
+		s.m.DefineProc(&wam.Proc{Fn: fn, Arity: pi.Arity, External: true})
 	} else {
 		p.External = true
 	}
@@ -518,13 +660,13 @@ func argKeyOf(a term.Term) edb.ArgKey {
 
 // ConsultTerms compiles pre-parsed clause terms into main memory (bulk
 // loading path for workload generators).
-func (e *Engine) ConsultTerms(terms []term.Term) error {
-	units, order, err := e.compileProgram(terms)
+func (s *Session) ConsultTerms(terms []term.Term) error {
+	units, order, err := s.compileProgram(terms)
 	if err != nil {
 		return err
 	}
 	for _, pi := range order {
-		if err := e.link(pi, units[pi], false); err != nil {
+		if err := s.link(pi, units[pi], false); err != nil {
 			return err
 		}
 	}
@@ -532,35 +674,41 @@ func (e *Engine) ConsultTerms(terms []term.Term) error {
 }
 
 // ConsultExternalTerms stores pre-parsed clause terms in the EDB in the
-// engine's current rule-storage form.
-func (e *Engine) ConsultExternalTerms(terms []term.Term) error {
-	if e.opts.RuleStorage == RuleStorageSource {
-		return e.storeSourceClauses(terms)
+// session's current rule-storage form, under the KB write lock.
+func (s *Session) ConsultExternalTerms(terms []term.Term) error {
+	unlock := s.wlock()
+	defer unlock()
+	if s.opts.RuleStorage == RuleStorageSource {
+		return s.storeSourceClauses(terms)
 	}
-	return e.storeCompiledClauses(terms)
+	return s.storeCompiledClauses(terms)
 }
 
 // Flush writes all buffered pages to the store.
-func (e *Engine) Flush() error { return e.st.Flush() }
+func (s *Session) Flush() error { return s.kb.st.Flush() }
 
-// AssertExternalTerm stores a single clause in the EDB in the engine's
+// AssertExternalTerm stores a single clause in the EDB in the session's
 // current rule-storage form (the paper's assertion of externally
 // maintained code, one of the triggers of §3.3.2's garbage collection).
-func (e *Engine) AssertExternalTerm(t term.Term) error {
-	return e.ConsultExternalTerms([]term.Term{t})
+func (s *Session) AssertExternalTerm(t term.Term) error {
+	return s.ConsultExternalTerms([]term.Term{t})
 }
 
 // RetractExternal removes the first stored clause matching t (a fact, or
-// Head :- Body) from the EDB and reports whether one was removed.
+// Head :- Body) from the EDB and reports whether one was removed. Takes
+// the KB write lock.
 //
 // Compiled-form matching compares relocatable code bytes, which is exact
 // for clauses without control constructs; clauses containing ;/->/\+
 // compile to uniquely named auxiliary predicates and cannot be matched
 // this way (an error is returned). Source-form matching unifies terms.
-func (e *Engine) RetractExternal(t term.Term) (bool, error) {
+func (s *Session) RetractExternal(t term.Term) (bool, error) {
+	unlock := s.wlock()
+	defer unlock()
+	db := s.kb.db
 	head, body := splitClauseTerm(t)
 	pi := head.Indicator()
-	p := e.db.Proc(pi.Name, pi.Arity)
+	p := db.Proc(pi.Name, pi.Arity)
 	if p == nil {
 		return false, nil
 	}
@@ -568,7 +716,7 @@ func (e *Engine) RetractExternal(t term.Term) (bool, error) {
 	for len(keys) < p.K {
 		keys = append(keys, edb.WildKey())
 	}
-	scs, err := e.db.Retrieve(p, keys)
+	scs, err := db.Retrieve(p, keys)
 	if err != nil {
 		return false, err
 	}
@@ -577,17 +725,17 @@ func (e *Engine) RetractExternal(t term.Term) (bool, error) {
 		if hasControl(body) {
 			return false, fmt.Errorf("core: cannot retract compiled clause with control constructs: %s", t)
 		}
-		ccs, err := compiler.New(compiler.Options{Transparent: transparentFor(e.m)}).CompileClause(t)
+		ccs, err := compiler.New(compiler.Options{Transparent: transparentFor(s.m)}).CompileClause(t)
 		if err != nil {
 			return false, err
 		}
 		want := loader.EncodeClause(ccs[0])
 		for _, sc := range scs {
 			if string(sc.Blob) == string(want) {
-				if err := e.db.DeleteClause(p, sc); err != nil {
+				if err := db.DeleteClause(p, sc); err != nil {
 					return false, err
 				}
-				e.invalidateLoaded(pi.Name, pi.Arity)
+				s.invalidateStored(pi.Name, pi.Arity)
 				return true, nil
 			}
 		}
@@ -595,17 +743,17 @@ func (e *Engine) RetractExternal(t term.Term) (bool, error) {
 	default: // FormSource
 		env := interp.NewEnv()
 		for _, sc := range scs {
-			stored, _, perr := parser.ParseTermWithOps(trimDot(string(sc.Blob)), e.ops)
+			stored, _, perr := parser.ParseTermWithOps(trimDot(string(sc.Blob)), s.ops)
 			if perr != nil {
 				return false, perr
 			}
 			sh, sb := splitClauseTerm(term.Rename(stored))
 			mark := env.Mark()
 			if env.Unify(head, sh) && env.Unify(body, sb) {
-				if err := e.db.DeleteClause(p, sc); err != nil {
+				if err := db.DeleteClause(p, sc); err != nil {
 					return false, err
 				}
-				e.invalidateLoaded(pi.Name, pi.Arity)
+				s.invalidateStored(pi.Name, pi.Arity)
 				return true, nil
 			}
 			env.Undo(mark)
@@ -639,16 +787,20 @@ func trimDot(s string) string {
 	return s
 }
 
-// DropExternal removes an entire externally stored procedure.
-func (e *Engine) DropExternal(name string, arity int) error {
-	p := e.db.Proc(name, arity)
+// DropExternal removes an entire externally stored procedure, under the
+// KB write lock.
+func (s *Session) DropExternal(name string, arity int) error {
+	unlock := s.wlock()
+	defer unlock()
+	db := s.kb.db
+	p := db.Proc(name, arity)
 	if p == nil {
 		return fmt.Errorf("core: no external procedure %s/%d", name, arity)
 	}
-	if err := e.db.DropProc(p); err != nil {
+	if err := db.DropProc(p); err != nil {
 		return err
 	}
-	e.invalidateLoaded(name, arity)
-	e.m.RemoveProc(e.m.Dict.Intern(name, arity))
+	s.invalidateStored(name, arity)
+	s.m.RemoveProc(s.m.Dict.Intern(name, arity))
 	return nil
 }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compiler"
+	"repro/internal/edb"
+	"repro/internal/rel"
+	"repro/internal/store"
+	"repro/internal/term"
+)
+
+// KnowledgeBase is the shared, durable half of an Educe* deployment: the
+// page store with its buffer pool, the EDB (procedures table, clause
+// relations, external dictionary), the relational catalog, and a cache of
+// loaded relocatable code keyed by procedure + pre-unification filter.
+//
+// One KnowledgeBase serves any number of concurrent Sessions. The paper's
+// architecture already separates this state from per-session WAM state
+// (§3.1, §3.3): externally stored code holds only associative addresses,
+// so the same stored (and the same decoded) clauses can be linked into
+// any session's machine. Readers proceed concurrently; writers
+// (ConsultExternal, InsertTuples, assert/retract on stored procedures)
+// take the KB write lock and invalidate affected cache entries.
+type KnowledgeBase struct {
+	opts Options // defaults for sessions created with NewSession
+
+	// mu orders EDB/catalog readers against writers. Sessions hold the
+	// read lock only across individual storage-layer accesses (one
+	// retrieval, one cursor step), never across query execution, so a
+	// session may freely interleave its own reads and writes.
+	mu sync.RWMutex
+
+	st  *store.Store
+	db  *edb.DB
+	cat *rel.Catalog
+
+	// Shared loaded-code cache (paper §3.3.2's main-memory code, hoisted
+	// out of the session): pre-unified candidate clause sets in
+	// relocatable form. Entries are machine-independent; each session
+	// links them against its own dictionary. cacheMu guards racing
+	// loaders; kb.mu (held at least shared by every reader, exclusively
+	// by every writer) orders cache fills against invalidation.
+	cacheMu   sync.Mutex
+	codeCache map[string][]compiler.ClauseCode
+	procVers  map[string]uint64 // name/arity -> invalidation version
+	version   atomic.Uint64     // bumped on every invalidation
+
+	// Compiled bootstrap library, shared so sessions only pay linking.
+	bootMu    sync.Mutex
+	bootUnits map[term.Indicator][]compiler.ClauseCode
+	bootOrder []term.Indicator
+}
+
+// sharedCacheLimit caps the number of shared loaded-code variants before
+// an epoch clear (the code garbage collection of §3.3.2 applied to the
+// KB-level cache).
+const sharedCacheLimit = 4096
+
+// OpenKB opens (or creates) a knowledge base. opts.StorePath and
+// opts.PoolPages configure the store; the remaining options become the
+// defaults for sessions created with NewSession.
+func OpenKB(opts Options) (*KnowledgeBase, error) {
+	st, err := store.Open(opts.StorePath, opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	db, err := edb.Open(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	cat, err := rel.OpenCatalog(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &KnowledgeBase{
+		opts:      opts,
+		st:        st,
+		db:        db,
+		cat:       cat,
+		codeCache: map[string][]compiler.ClauseCode{},
+		procVers:  map[string]uint64{},
+	}, nil
+}
+
+// NewSession creates a session with the knowledge base's default options.
+func (kb *KnowledgeBase) NewSession() (*Session, error) {
+	return kb.NewSessionWithOptions(kb.opts)
+}
+
+// Close flushes and closes the store. Sessions must not be used after
+// their knowledge base is closed.
+func (kb *KnowledgeBase) Close() error { return kb.st.Close() }
+
+// Flush writes all buffered pages to the store.
+func (kb *KnowledgeBase) Flush() error { return kb.st.Flush() }
+
+// Store returns the underlying page store.
+func (kb *KnowledgeBase) Store() *store.Store { return kb.st }
+
+// DB returns the external database layer. Mutating it directly bypasses
+// the KB write lock; use session methods (or Lock/Unlock) for writes.
+func (kb *KnowledgeBase) DB() *edb.DB { return kb.db }
+
+// Catalog returns the relational catalog.
+func (kb *KnowledgeBase) Catalog() *rel.Catalog { return kb.cat }
+
+// InsertTuples appends tuples to a stored relation under the KB write
+// lock, making the set-oriented write path safe against concurrent
+// readers.
+func (kb *KnowledgeBase) InsertTuples(name string, ts []rel.Tuple) error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	r := kb.cat.Get(name)
+	if r == nil {
+		return fmt.Errorf("core: no relation %s", name)
+	}
+	return r.InsertAll(ts)
+}
+
+// --- shared loaded-code cache -----------------------------------------------
+
+// procVersion returns the invalidation version of name/arity. Sessions
+// record it when they link code so they can later tell whether their
+// resident copy is stale.
+func (kb *KnowledgeBase) procVersion(name string, arity int) uint64 {
+	kb.cacheMu.Lock()
+	defer kb.cacheMu.Unlock()
+	return kb.procVers[verKey(name, arity)]
+}
+
+func verKey(name string, arity int) string { return fmt.Sprintf("%s/%d", name, arity) }
+
+// lookupShared returns the cached candidate set for a cache key, if any.
+// Callers must hold kb.mu (shared or exclusive) so the entry cannot be
+// invalidated between lookup and use.
+func (kb *KnowledgeBase) lookupShared(key string) ([]compiler.ClauseCode, bool) {
+	kb.cacheMu.Lock()
+	defer kb.cacheMu.Unlock()
+	ccs, ok := kb.codeCache[key]
+	return ccs, ok
+}
+
+// storeShared publishes a decoded candidate set. Callers must hold kb.mu
+// (shared or exclusive): invalidation takes kb.mu exclusively, so an
+// entry stored under the lock reflects the current stored clauses. Racing
+// loaders of the same key are harmless — both decode the same stored
+// clauses and the second store is a no-op.
+func (kb *KnowledgeBase) storeShared(key string, ccs []compiler.ClauseCode) {
+	kb.cacheMu.Lock()
+	defer kb.cacheMu.Unlock()
+	if len(kb.codeCache) >= sharedCacheLimit {
+		kb.codeCache = map[string][]compiler.ClauseCode{}
+	}
+	if _, ok := kb.codeCache[key]; !ok {
+		kb.codeCache[key] = ccs
+	}
+}
+
+// invalidateProc drops every shared cache entry for name/arity and bumps
+// its version so sessions discard their resident copies. Callers must
+// hold the KB write lock (or be the only user of the KB).
+func (kb *KnowledgeBase) invalidateProc(name string, arity int) {
+	kb.cacheMu.Lock()
+	defer kb.cacheMu.Unlock()
+	exact := verKey(name, arity)
+	prefix := exact + "|"
+	for k := range kb.codeCache {
+		if k == exact || (len(k) > len(prefix) && k[:len(prefix)] == prefix) {
+			delete(kb.codeCache, k)
+		}
+	}
+	kb.procVers[exact]++
+	kb.version.Add(1)
+}
+
+// InvalidateLoaded drops shared cached code for one external procedure;
+// every session reloads it from the EDB on next use.
+func (kb *KnowledgeBase) InvalidateLoaded(name string, arity int) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	kb.invalidateProc(name, arity)
+}
+
+// bootstrapUnits compiles the bootstrap library once per KB and hands the
+// relocatable units to every session for linking (sessions pay only the
+// ~10% loader share of §3.1's compile-cost split).
+func (kb *KnowledgeBase) bootstrapUnits(s *Session) (map[term.Indicator][]compiler.ClauseCode, []term.Indicator, error) {
+	kb.bootMu.Lock()
+	defer kb.bootMu.Unlock()
+	if kb.bootUnits == nil {
+		terms, err := s.parseProgram(bootstrapSrc)
+		if err != nil {
+			return nil, nil, err
+		}
+		units, order, err := s.compileProgram(terms)
+		if err != nil {
+			return nil, nil, err
+		}
+		kb.bootUnits, kb.bootOrder = units, order
+	}
+	return kb.bootUnits, kb.bootOrder, nil
+}

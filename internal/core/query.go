@@ -11,13 +11,20 @@ import (
 )
 
 // Solutions iterates over the answers of one query. Starting a new query
-// on the same engine invalidates any live Solutions.
+// on the same session invalidates any live Solutions.
+//
+// Per-query state (transient procedures, baseline fact caches) is
+// released exactly once — on Close, on a Next error, or when the
+// iteration is exhausted — so abandoning an iterator early without
+// calling Close leaks nothing beyond the current query's footprint,
+// which the next Query on the session reclaims.
 type Solutions struct {
-	e     *Engine
-	names []string
-	err   error
-	done  bool
-	cur   map[string]term.Term
+	e        *Session
+	names    []string
+	err      error
+	done     bool
+	released bool
+	cur      map[string]term.Term
 
 	// compiled (WAM) execution
 	run  *wam.Run
@@ -29,10 +36,13 @@ type Solutions struct {
 
 // Query parses and runs a goal, returning a Solutions iterator. The query
 // executes on the WAM in compiled mode, or on the resolution interpreter
-// in baseline (source) mode.
-func (e *Engine) Query(q string) (*Solutions, error) {
-	e.endQuery()
-	body, vars, err := parser.ParseTermWithOps(q, e.ops)
+// in baseline (source) mode. Each query starts from a fresh view of the
+// shared knowledge base: code another session invalidated since the last
+// query is dropped and reloaded on use.
+func (s *Session) Query(q string) (*Solutions, error) {
+	s.endQuery()
+	s.syncWithKB()
+	body, vars, err := parser.ParseTermWithOps(q, s.ops)
 	if err != nil {
 		return nil, err
 	}
@@ -42,16 +52,16 @@ func (e *Engine) Query(q string) (*Solutions, error) {
 	}
 	sort.Strings(names)
 
-	if e.opts.RuleStorage == RuleStorageSource {
+	if s.opts.RuleStorage == RuleStorageSource {
 		goal := body
 		vlist := make(map[string]*term.Var, len(vars))
 		for n, v := range vars {
 			vlist[n] = v
 		}
 		return &Solutions{
-			e:     e,
+			e:     s,
 			names: names,
-			gen:   newInterpGen(e.in, goal, vlist),
+			gen:   newInterpGen(s.in, goal, vlist),
 		}, nil
 	}
 
@@ -59,7 +69,7 @@ func (e *Engine) Query(q string) (*Solutions, error) {
 	for i, n := range names {
 		vlist[i] = vars[n]
 	}
-	ccs, err := e.comp.CompileQuery("$query", vlist, body)
+	ccs, err := s.comp.CompileQuery("$query", vlist, body)
 	if err != nil {
 		return nil, err
 	}
@@ -68,27 +78,30 @@ func (e *Engine) Query(q string) (*Solutions, error) {
 		units[cc.Pred] = append(units[cc.Pred], cc)
 	}
 	for pi, cs := range units {
-		if err := e.link(pi, cs, true); err != nil {
+		if err := s.link(pi, cs, true); err != nil {
+			// Release any query procs already installed by earlier
+			// iterations of this loop.
+			s.endQuery()
 			return nil, err
 		}
-		e.queryProcs = append(e.queryProcs, e.m.Dict.Intern(pi.Name, pi.Arity))
+		s.queryProcs = append(s.queryProcs, s.m.Dict.Intern(pi.Name, pi.Arity))
 	}
-	e.m.Reset()
+	s.m.Reset()
 	args := make([]wam.Cell, len(vlist))
 	for i := range args {
-		args[i] = wam.MakeRef(e.m.NewVar())
+		args[i] = wam.MakeRef(s.m.NewVar())
 	}
-	fn := e.m.Dict.Intern("$query", len(args))
+	fn := s.m.Dict.Intern("$query", len(args))
 	return &Solutions{
-		e:     e,
+		e:     s,
 		names: names,
-		run:   e.m.Call(fn, args),
+		run:   s.m.Call(fn, args),
 		args:  args,
 	}, nil
 }
 
 // Next advances to the next solution, returning false when exhausted or
-// on error (check Err).
+// on error (check Err). Exhaustion and errors release per-query state.
 func (s *Solutions) Next() bool {
 	if s.done {
 		return false
@@ -97,11 +110,11 @@ func (s *Solutions) Next() bool {
 		ok, err := s.run.Next()
 		if err != nil {
 			s.err = err
-			s.done = true
+			s.finish()
 			return false
 		}
 		if !ok {
-			s.done = true
+			s.finish()
 			return false
 		}
 		s.cur = map[string]term.Term{}
@@ -113,11 +126,11 @@ func (s *Solutions) Next() bool {
 	sol, ok, err := s.gen.next()
 	if err != nil {
 		s.err = err
-		s.done = true
+		s.finish()
 		return false
 	}
 	if !ok {
-		s.done = true
+		s.finish()
 		return false
 	}
 	s.cur = sol
@@ -136,57 +149,66 @@ func (s *Solutions) Vars() []string { return s.names }
 // Err reports the first error encountered.
 func (s *Solutions) Err() error { return s.err }
 
-// Close abandons the query and releases per-query state.
+// Close abandons the query and releases per-query state. Safe to call
+// multiple times and after exhaustion.
 func (s *Solutions) Close() {
-	if !s.done {
-		s.done = true
-		if s.gen != nil {
-			s.gen.stop()
-		}
+	s.finish()
+}
+
+// finish marks the iteration done and releases per-query state exactly
+// once.
+func (s *Solutions) finish() {
+	s.done = true
+	if s.released {
+		return
+	}
+	s.released = true
+	if s.gen != nil {
+		s.gen.stop()
 	}
 	s.e.endQuery()
 }
 
 // QueryAll runs a query to exhaustion, returning all binding maps.
-func (e *Engine) QueryAll(q string) ([]map[string]term.Term, error) {
-	s, err := e.Query(q)
+func (s *Session) QueryAll(q string) ([]map[string]term.Term, error) {
+	sol, err := s.Query(q)
 	if err != nil {
 		return nil, err
 	}
-	defer s.Close()
+	defer sol.Close()
 	var out []map[string]term.Term
-	for s.Next() {
-		out = append(out, s.Map())
+	for sol.Next() {
+		out = append(out, sol.Map())
 	}
-	return out, s.Err()
+	return out, sol.Err()
 }
 
 // QueryCount counts a query's solutions.
-func (e *Engine) QueryCount(q string) (int, error) {
-	s, err := e.Query(q)
+func (s *Session) QueryCount(q string) (int, error) {
+	sol, err := s.Query(q)
 	if err != nil {
 		return 0, err
 	}
-	defer s.Close()
+	defer sol.Close()
 	n := 0
-	for s.Next() {
+	for sol.Next() {
 		n++
 	}
-	return n, s.Err()
+	return n, sol.Err()
 }
 
 // QueryOnce reports whether the query has at least one solution, with its
 // bindings.
-func (e *Engine) QueryOnce(q string) (map[string]term.Term, bool, error) {
-	s, err := e.Query(q)
+func (s *Session) QueryOnce(q string) (map[string]term.Term, bool, error) {
+	sol, err := s.Query(q)
 	if err != nil {
 		return nil, false, err
 	}
-	defer s.Close()
-	if s.Next() {
-		return s.Map(), true, s.Err()
+	defer sol.Close()
+	if sol.Next() {
+		return sol.Map(), true, sol.Err()
 	}
-	return nil, false, s.Err()
+	return nil, false, sol.Err()
 }
 
 // interpGen adapts the interpreter's push-style enumeration to the

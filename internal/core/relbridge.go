@@ -7,13 +7,20 @@ import (
 	"repro/internal/wam"
 )
 
-// CreateRelation registers a relation in the catalog.
-func (e *Engine) CreateRelation(schema rel.Schema) (*rel.Relation, error) {
-	return e.cat.Create(schema)
+// CreateRelation registers a relation in the catalog, under the KB write
+// lock.
+func (s *Session) CreateRelation(schema rel.Schema) (*rel.Relation, error) {
+	unlock := s.wlock()
+	defer unlock()
+	return s.kb.cat.Create(schema)
 }
 
 // Relation fetches a relation by name.
-func (e *Engine) Relation(name string) *rel.Relation { return e.cat.Get(name) }
+func (s *Session) Relation(name string) *rel.Relation {
+	s.kb.mu.RLock()
+	defer s.kb.mu.RUnlock()
+	return s.kb.cat.Get(name)
+}
 
 // BindRelation exposes a stored relation as a Prolog predicate of the same
 // name and arity, implemented as a nondeterministic cursor over the record
@@ -23,9 +30,13 @@ func (e *Engine) Relation(name string) *rel.Relation { return e.cat.Get(name) }
 // it scans sequentially, filtering on whatever arguments are bound.
 //
 // This is the term-oriented face of the dual evaluation strategy (§4); the
-// set-oriented face is the rel package's operator tree.
-func (e *Engine) BindRelation(name string) error {
-	r := e.cat.Get(name)
+// set-oriented face is the rel package's operator tree. The cursor takes
+// the KB read lock around each step, so concurrent sessions can drive
+// cursors over the same stored relation.
+func (s *Session) BindRelation(name string) error {
+	s.kb.mu.RLock()
+	r := s.kb.cat.Get(name)
+	s.kb.mu.RUnlock()
 	if r == nil {
 		return fmt.Errorf("core: no relation %s", name)
 	}
@@ -38,13 +49,14 @@ func (e *Engine) BindRelation(name string) error {
 		}
 		var bound []boundArg
 		for i := 0; i < arity; i++ {
-			if v, ok := e.cellToRelValue(m.Deref(m.Reg(i)), r.Schema.Attrs[i].Type); ok {
+			if v, ok := s.cellToRelValue(m.Deref(m.Reg(i)), r.Schema.Attrs[i].Type); ok {
 				bound = append(bound, boundArg{pos: i, val: v})
 			}
 		}
 		// Pick an access path: an indexed bound attribute if available.
 		var it rel.Iterator
 		usedIndex := -1
+		unlock := s.rlock()
 		for _, ba := range bound {
 			if r.HasIndex(r.Schema.Attrs[ba.pos].Name) {
 				it = rel.IndexScan(r, r.Schema.Attrs[ba.pos].Name, ba.val, ba.val)
@@ -55,6 +67,7 @@ func (e *Engine) BindRelation(name string) error {
 		if it == nil {
 			it = rel.SeqScan(r)
 		}
+		unlock()
 		// Residual filter over the remaining bound attributes.
 		filter := make([]boundArg, 0, len(bound))
 		for _, ba := range bound {
@@ -64,7 +77,9 @@ func (e *Engine) BindRelation(name string) error {
 		}
 		redo := func(m *wam.Machine) (bool, error) {
 			for {
+				unlock := s.rlock()
 				t, err := it.Next()
+				unlock()
 				if err != nil {
 					return false, err
 				}
@@ -83,7 +98,7 @@ func (e *Engine) BindRelation(name string) error {
 				}
 				ok := m.TryUnify(func() bool {
 					for i := 0; i < arity; i++ {
-						if !m.Unify(m.Reg(i), e.relValueToCell(t[i])) {
+						if !m.Unify(m.Reg(i), s.relValueToCell(t[i])) {
 							return false
 						}
 					}
@@ -98,23 +113,23 @@ func (e *Engine) BindRelation(name string) error {
 		return redo(m)
 	}
 
-	idx := e.m.RegisterBuiltin(wam.Builtin{Name: "$rel_" + name, Arity: arity, Fn: cursor})
+	idx := s.m.RegisterBuiltin(wam.Builtin{Name: "$rel_" + name, Arity: arity, Fn: cursor})
 	// Also install the relation under its own name.
-	blk := e.m.AddBlock(&wam.CodeBlock{
+	blk := s.m.AddBlock(&wam.CodeBlock{
 		Name: fmt.Sprintf("$relation %s/%d", name, arity),
 		Instrs: []wam.Instr{
 			{Op: wam.OpBuiltin, N: int32(idx), Ar: int32(arity)},
 			{Op: wam.OpProceed},
 		},
 	})
-	fn := e.m.Dict.Intern(name, arity)
-	e.m.DefineProc(&wam.Proc{Fn: fn, Arity: arity, Block: blk})
+	fn := s.m.Dict.Intern(name, arity)
+	s.m.DefineProc(&wam.Proc{Fn: fn, Arity: arity, Block: blk})
 	return nil
 }
 
 // cellToRelValue converts a bound cell to a relational value of the
 // attribute's type; ok is false for unbound or mismatched cells.
-func (e *Engine) cellToRelValue(c wam.Cell, typ rel.Type) (rel.Value, bool) {
+func (s *Session) cellToRelValue(c wam.Cell, typ rel.Type) (rel.Value, bool) {
 	switch c.Tag() {
 	case wam.TagInt:
 		if typ == rel.Int {
@@ -122,24 +137,24 @@ func (e *Engine) cellToRelValue(c wam.Cell, typ rel.Type) (rel.Value, bool) {
 		}
 	case wam.TagFlt:
 		if typ == rel.Float {
-			return rel.FloatV(e.m.Float(c)), true
+			return rel.FloatV(s.m.Float(c)), true
 		}
 	case wam.TagCon:
 		if typ == rel.String {
-			return rel.StringV(e.m.Dict.Name(c.AtomID())), true
+			return rel.StringV(s.m.Dict.Name(c.AtomID())), true
 		}
 	}
 	return rel.Value{}, false
 }
 
 // relValueToCell converts a relational value to a heap cell.
-func (e *Engine) relValueToCell(v rel.Value) wam.Cell {
+func (s *Session) relValueToCell(v rel.Value) wam.Cell {
 	switch v.Type {
 	case rel.Int:
 		return wam.MakeInt(v.I)
 	case rel.Float:
-		return e.m.PushFloat(v.F)
+		return s.m.PushFloat(v.F)
 	default:
-		return wam.MakeCon(e.m.Dict.Intern(v.S, 0))
+		return wam.MakeCon(s.m.Dict.Intern(v.S, 0))
 	}
 }

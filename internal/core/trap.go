@@ -23,11 +23,19 @@ func floatBits(f float64) uint64 { return math.Float64bits(f) }
 // procedure, invokes the dynamic loader. The loader pre-unifies in the EDB
 // using the call's bound arguments, decodes the candidate relocatable
 // clauses, resolves their associative addresses and splices control code.
-func (e *Engine) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
+//
+// The decoded (still relocatable) candidate sets are shared across
+// sessions through the knowledge base's code cache; only the final link
+// against this session's machine is per-session. The KB read lock is held
+// across the storage access, never across linking or execution.
+func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 	name := m.Dict.Name(fn)
 	arity := m.Dict.Arity(fn)
-	p := e.db.Proc(name, arity)
+
+	unlock := s.rlock()
+	p := s.kb.db.Proc(name, arity)
 	if p == nil {
+		unlock()
 		return nil, nil // genuinely unknown
 	}
 
@@ -39,41 +47,73 @@ func (e *Engine) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 	keys := make([]edb.ArgKey, p.K)
 	allWild := true
 	for i := 0; i < p.K; i++ {
-		if e.opts.DisablePreUnification || !p.FactsOnly {
+		if s.opts.DisablePreUnification || !p.FactsOnly {
 			keys[i] = edb.WildKey()
 			continue
 		}
-		keys[i] = e.cellArgKey(m.Deref(m.Reg(i)))
+		keys[i] = s.cellArgKey(m.Deref(m.Reg(i)))
 		if !keys[i].Wild {
 			allWild = false
 		}
 	}
 
 	cacheKey := cacheKeyFor(name, arity, keys)
-	if proc, ok := e.loadedCache[cacheKey]; ok {
-		return proc, nil
+	if le, ok := s.loadedCache[cacheKey]; ok {
+		unlock()
+		return le.proc, nil
 	}
+	// The proc version is stable while we hold the read lock (writers
+	// hold the write lock across store + invalidate), so code fetched
+	// below is consistently tagged.
+	ver := s.kb.procVersion(name, arity)
+	form := p.Form
 
-	t0 := time.Now()
-	scs, err := e.db.Retrieve(p, keys)
-	e.phases.Retrieve += time.Since(t0)
-	if err != nil {
-		return nil, err
+	var clauses []compiler.ClauseCode // FormCode path
+	var blobs [][]byte                // FormSource path
+	var clauseIDs []uint32
+	switch form {
+	case edb.FormCode:
+		var ok bool
+		clauses, ok = s.kb.lookupShared(cacheKey)
+		if !ok {
+			t0 := time.Now()
+			scs, err := s.kb.db.Retrieve(p, keys)
+			s.phases.Retrieve += time.Since(t0)
+			if err != nil {
+				unlock()
+				return nil, err
+			}
+			clauses, err = decodeClauses(scs)
+			if err != nil {
+				unlock()
+				return nil, fmt.Errorf("core: %s/%d: %w", name, arity, err)
+			}
+			s.kb.storeShared(cacheKey, clauses)
+		}
+	case edb.FormSource:
+		t0 := time.Now()
+		scs, err := s.kb.db.Retrieve(p, keys)
+		s.phases.Retrieve += time.Since(t0)
+		if err != nil {
+			unlock()
+			return nil, err
+		}
+		for _, sc := range scs {
+			blobs = append(blobs, sc.Blob)
+			clauseIDs = append(clauseIDs, sc.ClauseID)
+		}
 	}
+	unlock()
 
 	var proc *wam.Proc
-	switch p.Form {
+	switch form {
 	case edb.FormCode:
-		clauses, err := decodeClauses(scs)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s/%d: %w", name, arity, err)
-		}
 		t1 := time.Now()
 		blk, err := loader.BuildBlock(m, name, arity, clauses, loader.Options{
-			Index:     !e.opts.DisableIndexing,
+			Index:     !s.opts.DisableIndexing,
 			Transient: true,
 		})
-		e.phases.Link += time.Since(t1)
+		s.phases.Link += time.Since(t1)
 		if err != nil {
 			return nil, err
 		}
@@ -81,28 +121,29 @@ func (e *Engine) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 		proc = &wam.Proc{Fn: fn, Arity: arity, Block: blk, External: true, Transient: true}
 	case edb.FormSource:
 		// A source-form procedure reached from compiled execution:
-		// parse and compile on the fly (the hybrid path).
+		// parse and compile on the fly (the hybrid path). Stays
+		// per-session: auxiliary predicate naming is per-compiler.
 		var terms []term.Term
 		t1 := time.Now()
-		for _, sc := range scs {
-			tm, _, err := parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), e.ops)
+		for i, blob := range blobs {
+			tm, _, err := parser.ParseTermWithOps(strings.TrimSuffix(string(blob), "."), s.ops)
 			if err != nil {
-				return nil, fmt.Errorf("core: %s/%d clause %d: %w", name, arity, sc.ClauseID, err)
+				return nil, fmt.Errorf("core: %s/%d clause %d: %w", name, arity, clauseIDs[i], err)
 			}
 			terms = append(terms, tm)
 		}
-		e.phases.Parse += time.Since(t1)
-		units, _, err := e.compileProgram(terms)
+		s.phases.Parse += time.Since(t1)
+		units, _, err := s.compileProgram(terms)
 		if err != nil {
 			return nil, err
 		}
 		pi := term.Indicator{Name: name, Arity: arity}
 		t2 := time.Now()
 		blk, err := loader.BuildBlock(m, name, arity, units[pi], loader.Options{
-			Index:     !e.opts.DisableIndexing,
+			Index:     !s.opts.DisableIndexing,
 			Transient: true,
 		})
-		e.phases.Link += time.Since(t2)
+		s.phases.Link += time.Since(t2)
 		if err != nil {
 			return nil, err
 		}
@@ -113,22 +154,22 @@ func (e *Engine) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 			if api == pi {
 				continue
 			}
-			if err := e.link(api, accs, true); err != nil {
+			if err := s.link(api, accs, true); err != nil {
 				return nil, err
 			}
-			e.queryProcs = append(e.queryProcs, m.Dict.Intern(api.Name, api.Arity))
+			s.queryProcs = append(s.queryProcs, m.Dict.Intern(api.Name, api.Arity))
 		}
 		proc = &wam.Proc{Fn: fn, Arity: arity, Block: blk, External: true, Transient: true}
 	}
 
-	e.loadedCache[cacheKey] = proc
+	s.loadedCache[cacheKey] = &loadedEntry{proc: proc, name: name, arity: arity, ver: ver}
 	if allWild {
 		// The whole definition was loaded: install it so every later
 		// call — in this query and the following ones — skips the trap
 		// entirely. This is the paper's "freezing" of the procedure
 		// definition; the in-memory switch instructions now dispatch
 		// between its clauses. The stub returns when the stored
-		// procedure is updated (invalidateLoaded) or the code garbage
+		// procedure is updated (invalidation) or the code garbage
 		// collector evicts the cache.
 		m.DefineProc(proc)
 	}
@@ -148,8 +189,8 @@ func decodeClauses(scs []edb.StoredClause) ([]compiler.ClauseCode, error) {
 }
 
 // cellArgKey derives a pre-unification key from an argument cell.
-func (e *Engine) cellArgKey(c wam.Cell) edb.ArgKey {
-	m := e.m
+func (s *Session) cellArgKey(c wam.Cell) edb.ArgKey {
+	m := s.m
 	switch c.Tag() {
 	case wam.TagCon:
 		return edb.AtomKey(m.Dict.Name(c.AtomID()))
@@ -183,33 +224,33 @@ func cacheKeyFor(name string, arity int, keys []edb.ArgKey) string {
 // endQuery tears down per-query transient state: procedures loaded from
 // the EDB, query-local auxiliary predicates and, in baseline mode, rules
 // asserted into the interpreter (the paper's "erased to make room").
-func (e *Engine) endQuery() {
-	for _, fn := range e.queryProcs {
-		if p := e.m.Proc(fn); p != nil {
+func (s *Session) endQuery() {
+	for _, fn := range s.queryProcs {
+		if p := s.m.Proc(fn); p != nil {
 			if p.External {
 				// Restore the trap stub; the loaded block stays alive
 				// because the session code cache owns it.
-				e.m.DefineProc(&wam.Proc{Fn: fn, Arity: p.Arity, External: true})
+				s.m.DefineProc(&wam.Proc{Fn: fn, Arity: p.Arity, External: true})
 			} else {
 				if p.Block != nil {
-					e.m.RemoveBlock(p.Block)
+					s.m.RemoveBlock(p.Block)
 				}
-				e.m.RemoveProc(fn)
+				s.m.RemoveProc(fn)
 			}
 		}
 	}
-	e.queryProcs = e.queryProcs[:0]
+	s.queryProcs = s.queryProcs[:0]
 	// The loaded-code cache survives across queries: the paper keeps
 	// dynamically loaded procedures in main memory until the code
 	// garbage collector reclaims them. A simple epoch clear bounds it.
-	if len(e.loadedCache) > loadedCacheLimit {
-		e.evictLoadedCode()
+	if len(s.loadedCache) > loadedCacheLimit {
+		s.evictLoadedCode()
 	}
-	for _, pi := range e.interpLoaded {
-		e.in.RetractAll(pi)
+	for _, pi := range s.interpLoaded {
+		s.in.RetractAll(pi)
 	}
-	e.interpLoaded = e.interpLoaded[:0]
-	for _, c := range e.factCaches {
+	s.interpLoaded = s.interpLoaded[:0]
+	for _, c := range s.factCaches {
 		for k := range c {
 			delete(c, k)
 		}
@@ -219,26 +260,30 @@ func (e *Engine) endQuery() {
 // interpTrap serves the baseline interpreter: rules are fetched from the
 // EDB in source form, parsed and asserted — the per-use cost the paper's
 // §2 itemises. They are erased again at query end.
-func (e *Engine) interpTrap(in *interp.Interp, pi term.Indicator) (bool, error) {
-	p := e.db.Proc(pi.Name, pi.Arity)
+func (s *Session) interpTrap(in *interp.Interp, pi term.Indicator) (bool, error) {
+	unlock := s.rlock()
+	p := s.kb.db.Proc(pi.Name, pi.Arity)
 	if p == nil {
+		unlock()
 		return false, nil
 	}
+	form := p.Form
 	// Poor selectivity: the baseline retrieves every clause of the
 	// procedure (paper §3.2.1).
 	t0 := time.Now()
-	scs, err := e.db.AllClauses(p)
-	e.phases.Retrieve += time.Since(t0)
+	scs, err := s.kb.db.AllClauses(p)
+	s.phases.Retrieve += time.Since(t0)
+	unlock()
 	if err != nil {
 		return false, err
 	}
 	for _, sc := range scs {
 		var tm term.Term
-		switch p.Form {
+		switch form {
 		case edb.FormSource:
 			t1 := time.Now()
-			tm, _, err = parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), e.ops)
-			e.phases.Parse += time.Since(t1)
+			tm, _, err = parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), s.ops)
+			s.phases.Parse += time.Since(t1)
 			if err != nil {
 				return false, err
 			}
@@ -248,9 +293,9 @@ func (e *Engine) interpTrap(in *interp.Interp, pi term.Indicator) (bool, error) 
 		if err := in.Assert(tm); err != nil {
 			return false, err
 		}
-		e.phases.Asserts++
+		s.phases.Asserts++
 	}
-	e.interpLoaded = append(e.interpLoaded, pi)
+	s.interpLoaded = append(s.interpLoaded, pi)
 	return true, nil
 }
 
@@ -259,22 +304,32 @@ func (e *Engine) interpTrap(in *interp.Interp, pi term.Indicator) (bool, error) 
 // interface to the record manager (§3.2.1) — instead of assert-based
 // loading. Parsed tuples are cached per clause so repeated access models
 // cheap tuple interpretation rather than re-parsing.
-func (e *Engine) registerFactResolver(p *edb.ProcInfo) {
+func (s *Session) registerFactResolver(p *edb.ProcInfo) {
 	pi := term.Indicator{Name: p.Name, Arity: p.Arity}
+	if s.resolvers[pi] {
+		return
+	}
+	s.resolvers[pi] = true
 	// Parsed tuples are cached only for the current query: Educe pays
 	// for parsing terms retrieved from the DBMS on each use (§2.3), and
 	// the cache is flushed with the rest of the per-query state.
 	cache := map[uint32]term.Term{}
-	e.factCaches = append(e.factCaches, cache)
-	e.in.RegisterExternal(pi, func(goal term.Term, env *interp.Env, emit func() bool) error {
+	s.factCaches = append(s.factCaches, cache)
+	s.in.RegisterExternal(pi, func(goal term.Term, env *interp.Env, emit func() bool) error {
 		keys := make([]edb.ArgKey, p.K)
 		gargs := goalTermArgs(goal)
 		for i := 0; i < p.K && i < len(gargs); i++ {
 			keys[i] = argKeyOf(env.ResolveDeep(gargs[i]))
 		}
+		// The read lock covers only the retrieval: the returned blobs
+		// are copies, and emit() may re-enter this resolver (a join of
+		// the relation with itself), which must not recurse into the
+		// lock.
+		unlock := s.rlock()
 		t0 := time.Now()
-		scs, err := e.db.Retrieve(p, keys)
-		e.phases.Retrieve += time.Since(t0)
+		scs, err := s.kb.db.Retrieve(p, keys)
+		s.phases.Retrieve += time.Since(t0)
+		unlock()
 		if err != nil {
 			return err
 		}
@@ -283,8 +338,8 @@ func (e *Engine) registerFactResolver(p *edb.ProcInfo) {
 			if !ok {
 				var perr error
 				t1 := time.Now()
-				tm, _, perr = parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), e.ops)
-				e.phases.Parse += time.Since(t1)
+				tm, _, perr = parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), s.ops)
+				s.phases.Parse += time.Since(t1)
 				if perr != nil {
 					return perr
 				}
@@ -317,40 +372,46 @@ const loadedCacheLimit = 1024
 
 // evictLoadedCode drops every cached loaded procedure, restoring trap
 // stubs for the installed ones.
-func (e *Engine) evictLoadedCode() {
-	for k, p := range e.loadedCache {
-		if p != nil && p.Block != nil {
-			e.m.RemoveBlock(p.Block)
+func (s *Session) evictLoadedCode() {
+	for k, le := range s.loadedCache {
+		if le.proc != nil && le.proc.Block != nil {
+			s.m.RemoveBlock(le.proc.Block)
 		}
-		if p != nil {
-			if cur := e.m.Proc(p.Fn); cur == p {
-				e.m.DefineProc(&wam.Proc{Fn: p.Fn, Arity: p.Arity, External: true})
+		if le.proc != nil {
+			if cur := s.m.Proc(le.proc.Fn); cur == le.proc {
+				s.m.DefineProc(&wam.Proc{Fn: le.proc.Fn, Arity: le.proc.Arity, External: true})
 			}
 		}
-		delete(e.loadedCache, k)
+		delete(s.loadedCache, k)
 	}
 }
 
 // InvalidateLoaded drops cached (and installed) code for one external
-// procedure, restoring the trap stub so the next call reloads from the
-// EDB. The engine calls it automatically when stored clauses change.
-func (e *Engine) InvalidateLoaded(name string, arity int) { e.invalidateLoaded(name, arity) }
+// procedure — in this session and in the shared knowledge-base cache —
+// restoring the trap stub so the next call reloads from the EDB. Other
+// sessions reload at their next query. The engine calls it automatically
+// when stored clauses change.
+func (s *Session) InvalidateLoaded(name string, arity int) {
+	s.kb.InvalidateLoaded(name, arity)
+	s.invalidateLocal(name, arity)
+	s.syncWithKB()
+}
 
-// invalidateLoaded drops cached (and installed) code for one procedure
-// after its stored clauses changed, restoring the trap stub.
-func (e *Engine) invalidateLoaded(name string, arity int) {
+// invalidateLocal drops this session's cached (and installed) code for
+// one procedure, restoring the trap stub.
+func (s *Session) invalidateLocal(name string, arity int) {
 	prefix := fmt.Sprintf("%s/%d|", name, arity)
 	exact := fmt.Sprintf("%s/%d", name, arity)
-	for k, p := range e.loadedCache {
+	for k, le := range s.loadedCache {
 		if k == exact || strings.HasPrefix(k, prefix) {
-			if p != nil && p.Block != nil {
-				e.m.RemoveBlock(p.Block)
+			if le.proc != nil && le.proc.Block != nil {
+				s.m.RemoveBlock(le.proc.Block)
 			}
-			delete(e.loadedCache, k)
+			delete(s.loadedCache, k)
 		}
 	}
-	fn := e.m.Dict.Intern(name, arity)
-	if p := e.m.Proc(fn); p != nil && p.Transient {
-		e.m.DefineProc(&wam.Proc{Fn: fn, Arity: arity, External: true})
+	fn := s.m.Dict.Intern(name, arity)
+	if p := s.m.Proc(fn); p != nil && p.Transient {
+		s.m.DefineProc(&wam.Proc{Fn: fn, Arity: arity, External: true})
 	}
 }

@@ -79,21 +79,21 @@ func parseArgType(name string) (ArgType, error) {
 }
 
 // DeclareTyped records a type signature for name/arity.
-func (e *Engine) DeclareTyped(name string, types []ArgType) {
-	if e.typed == nil {
-		e.typed = map[term.Indicator][]ArgType{}
+func (s *Session) DeclareTyped(name string, types []ArgType) {
+	if s.typed == nil {
+		s.typed = map[term.Indicator][]ArgType{}
 	}
-	e.typed[term.Indicator{Name: name, Arity: len(types)}] = types
+	s.typed[term.Indicator{Name: name, Arity: len(types)}] = types
 }
 
 // TypedSignature returns the declared signature, if any.
-func (e *Engine) TypedSignature(name string, arity int) ([]ArgType, bool) {
-	ts, ok := e.typed[term.Indicator{Name: name, Arity: arity}]
+func (s *Session) TypedSignature(name string, arity int) ([]ArgType, bool) {
+	ts, ok := s.typed[term.Indicator{Name: name, Arity: arity}]
 	return ts, ok
 }
 
 // typedDirective handles :- typed(p(atom, integer, ...)).
-func (e *Engine) typedDirective(spec term.Term) error {
+func (s *Session) typedDirective(spec term.Term) error {
 	c, ok := spec.(*term.Compound)
 	if !ok {
 		return fmt.Errorf("core: typed/1 expects p(type, ...), got %s", spec)
@@ -110,15 +110,15 @@ func (e *Engine) typedDirective(spec term.Term) error {
 		}
 		types[i] = t
 	}
-	e.DeclareTyped(c.Functor, types)
+	s.DeclareTyped(c.Functor, types)
 	return nil
 }
 
 // checkTyped validates a clause head against its declared signature.
 // Variables satisfy any type (they are constrained at call time).
-func (e *Engine) checkTyped(head term.Term) error {
+func (s *Session) checkTyped(head term.Term) error {
 	pi := head.Indicator()
-	types, ok := e.typed[pi]
+	types, ok := s.typed[pi]
 	if !ok {
 		return nil
 	}

@@ -25,6 +25,7 @@ package dict
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 // ID identifies an interned atom or functor. The zero ID is invalid.
@@ -66,6 +67,11 @@ type segment struct {
 
 // Table is a segmented closed-hash dictionary. Create one with New; the
 // zero value is not usable.
+//
+// Concurrency: a Table is not safe for concurrent mutation (each engine
+// session owns its own table), but the read-only paths — Lookup, Name,
+// Arity, Hash — are safe under concurrent readers: the stat counters
+// they bump are atomic and nothing else is written.
 type Table struct {
 	segs      []*segment
 	segSize   int
@@ -73,10 +79,10 @@ type Table struct {
 	highWater int     // used-count threshold per segment
 	hwFrac    float64 // configured high-water fraction
 	live      int     // total live entries
-	// stats
-	probes  uint64
-	inserts uint64
-	lookups uint64
+	// stats (atomic: bumped on read paths that may run concurrently)
+	probes  atomic.Uint64
+	inserts atomic.Uint64
+	lookups atomic.Uint64
 }
 
 // Option configures a Table.
@@ -155,7 +161,7 @@ func (t *Table) Intern(name string, arity int) ID {
 	if id, ok := t.find(h, name, arity); ok {
 		return id
 	}
-	t.inserts++
+	t.inserts.Add(1)
 	seg := t.hotSegment()
 	s := t.segs[seg]
 	if s.entries == nil {
@@ -200,7 +206,7 @@ func (t *Table) Intern(name string, arity int) ID {
 
 // Lookup returns the ID for (name, arity) if it is interned.
 func (t *Table) Lookup(name string, arity int) (ID, bool) {
-	t.lookups++
+	t.lookups.Add(1)
 	return t.find(Hash(name, arity), name, arity)
 }
 
@@ -214,7 +220,7 @@ func (t *Table) find(h uint64, name string, arity int) (ID, bool) {
 		for i := 0; i < t.segSize; i++ {
 			j := (start + i) & mask
 			e := &s.entries[j]
-			t.probes++
+			t.probes.Add(1)
 			if e.state == slotFree {
 				break // end of this segment's probe chain
 			}
@@ -330,7 +336,7 @@ type Stats struct {
 
 // Stats returns a snapshot of the dictionary's counters.
 func (t *Table) Stats() Stats {
-	st := Stats{Probes: t.probes, Inserts: t.inserts, Lookups: t.lookups, Live: t.live}
+	st := Stats{Probes: t.probes.Load(), Inserts: t.inserts.Load(), Lookups: t.lookups.Load(), Live: t.live}
 	for _, s := range t.segs {
 		st.SegmentUsed = append(st.SegmentUsed, s.used)
 	}

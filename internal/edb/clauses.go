@@ -175,7 +175,7 @@ func (db *DB) StoreClause(p *ProcInfo, keys []ArgKey, blob []byte) (uint32, erro
 		}
 	}
 	p.ClauseCount++
-	db.stats.ClausesStored++
+	db.stored.Add(1)
 	return id, db.saveProc(p)
 }
 
@@ -185,7 +185,7 @@ func (db *DB) StoreClause(p *ProcInfo, keys []ArgKey, blob []byte) (uint32, erro
 // comparison on every bound indexed argument — and ordered by clause ID
 // (source order). Passing no keys retrieves every clause.
 func (db *DB) Retrieve(p *ProcInfo, query []ArgKey) ([]StoredClause, error) {
-	db.stats.Retrievals++
+	db.retrievals.Add(1)
 	known := make([]bool, p.K)
 	hashes := make([]uint64, p.K)
 	anyKnown := false
@@ -197,7 +197,7 @@ func (db *DB) Retrieve(p *ProcInfo, query []ArgKey) ([]StoredClause, error) {
 		}
 	}
 	if !anyKnown {
-		db.stats.FullScans++
+		db.fullScans.Add(1)
 	}
 
 	var out []StoredClause
@@ -285,7 +285,7 @@ func (db *DB) Retrieve(p *ProcInfo, query []ArgKey) ([]StoredClause, error) {
 		}
 		out[i].Blob = blob
 	}
-	db.stats.CandidatesReturned += uint64(len(out))
+	db.candidates.Add(uint64(len(out)))
 	return out, nil
 }
 
@@ -329,8 +329,8 @@ func (db *DB) DeleteClause(p *ProcInfo, sc StoredClause) error {
 		return err
 	}
 	p.ClauseCount--
-	if db.stats.ClausesStored > 0 {
-		db.stats.ClausesStored--
+	if db.stored.Load() > 0 {
+		db.stored.Add(^uint64(0))
 	}
 	return db.saveProc(p)
 }

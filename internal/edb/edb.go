@@ -25,6 +25,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/store"
 )
@@ -66,9 +68,13 @@ type ProcInfo struct {
 	varRoot      store.PageID
 	attrAnchors  []store.PageID // per-attribute secondary index anchors
 	rid          store.RID      // descriptor record
-	grid         *store.Grid
-	varHeap      *store.Heap
-	attrIdx      []*store.BTree
+
+	// openMu guards the lazy opens below so concurrent readers may race
+	// to materialise the same access structure.
+	openMu  sync.Mutex
+	grid    *store.Grid
+	varHeap *store.Heap
+	attrIdx []*store.BTree
 }
 
 // Indicator renders name/arity.
@@ -83,7 +89,11 @@ type DB struct {
 	procs    map[string]*ProcInfo
 	nextProc uint32
 
-	stats Stats
+	// Counters are atomic: retrievals run concurrently across sessions.
+	retrievals atomic.Uint64
+	candidates atomic.Uint64
+	stored     atomic.Uint64
+	fullScans  atomic.Uint64
 }
 
 // Stats counts pre-unification effectiveness.
@@ -142,11 +152,23 @@ func (db *DB) Store() *store.Store { return db.st }
 // Ext returns the external dictionary.
 func (db *DB) Ext() *ExtDict { return db.ext }
 
-// Stats returns pre-unification counters.
-func (db *DB) Stats() Stats { return db.stats }
+// Stats returns a snapshot of the pre-unification counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Retrievals:         db.retrievals.Load(),
+		CandidatesReturned: db.candidates.Load(),
+		ClausesStored:      db.stored.Load(),
+		FullScans:          db.fullScans.Load(),
+	}
+}
 
-// ResetStats zeroes the counters.
-func (db *DB) ResetStats() { db.stats = Stats{} }
+// ResetStats zeroes the traffic counters (ClausesStored is state, not
+// traffic, and is kept).
+func (db *DB) ResetStats() {
+	db.retrievals.Store(0)
+	db.candidates.Store(0)
+	db.fullScans.Store(0)
+}
 
 func procKey(name string, arity int) string { return fmt.Sprintf("%s/%d", name, arity) }
 
@@ -161,7 +183,7 @@ func (db *DB) loadProcs() error {
 			db.nextProc = p.ProcID + 1
 		}
 		db.procs[procKey(p.Name, p.Arity)] = p
-		db.stats.ClausesStored += uint64(p.ClauseCount)
+		db.stored.Add(uint64(p.ClauseCount))
 		return true, nil
 	})
 }
@@ -345,6 +367,8 @@ func (db *DB) procGrid(p *ProcInfo) (*store.Grid, error) {
 	if p.K == 0 {
 		return nil, nil
 	}
+	p.openMu.Lock()
+	defer p.openMu.Unlock()
 	if p.grid == nil {
 		g, err := store.OpenGrid(db.st.Pool(), p.gridHeader)
 		if err != nil {
@@ -356,6 +380,8 @@ func (db *DB) procGrid(p *ProcInfo) (*store.Grid, error) {
 }
 
 func (db *DB) procVarHeap(p *ProcInfo) *store.Heap {
+	p.openMu.Lock()
+	defer p.openMu.Unlock()
 	if p.varHeap == nil {
 		p.varHeap = store.OpenHeap(db.st.Pool(), p.varRoot)
 	}
@@ -374,6 +400,8 @@ func (db *DB) MarkRule(p *ProcInfo) error {
 
 // procAttrIdx opens (lazily) the secondary index on attribute i.
 func (db *DB) procAttrIdx(p *ProcInfo, i int) *store.BTree {
+	p.openMu.Lock()
+	defer p.openMu.Unlock()
 	for len(p.attrIdx) < len(p.attrAnchors) {
 		p.attrIdx = append(p.attrIdx, nil)
 	}

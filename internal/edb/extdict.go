@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/dict"
 	"repro/internal/store"
@@ -15,7 +16,12 @@ import (
 // so the storage engine's pre-unification compares the same values the
 // runtime dictionary would produce; the strings support range queries and
 // session-independent relinking.
+//
+// Lookup and Len may run concurrently with each other and with Intern;
+// concurrent Interns additionally require external write ordering (the
+// engine serialises them under the knowledge-base write lock).
 type ExtDict struct {
+	mu      sync.RWMutex
 	heap    *store.Heap
 	entries map[extKey]uint64 // (name, arity) -> hash; loaded on open
 	count   int
@@ -93,26 +99,37 @@ func decodeExtEntry(data []byte) (name string, arity int, hash uint64, err error
 // on first use.
 func (d *ExtDict) Intern(name string, arity int) (uint64, error) {
 	k := extKey{name, arity}
-	if h, ok := d.entries[k]; ok {
+	d.mu.RLock()
+	h, ok := d.entries[k]
+	d.mu.RUnlock()
+	if ok {
 		return h, nil
 	}
-	h := dict.Hash(name, arity)
+	h = dict.Hash(name, arity)
 	if _, err := d.heap.Insert(encodeExtEntry(name, arity, h)); err != nil {
 		return 0, err
 	}
+	d.mu.Lock()
 	d.entries[k] = h
 	d.count++
+	d.mu.Unlock()
 	return h, nil
 }
 
 // Lookup returns the stored hash for (name, arity).
 func (d *ExtDict) Lookup(name string, arity int) (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	h, ok := d.entries[extKey{name, arity}]
 	return h, ok
 }
 
 // Len reports the number of registered entries.
-func (d *ExtDict) Len() int { return d.count }
+func (d *ExtDict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.count
+}
 
 // String summarises the dictionary.
-func (d *ExtDict) String() string { return fmt.Sprintf("extdict(%d entries)", d.count) }
+func (d *ExtDict) String() string { return fmt.Sprintf("extdict(%d entries)", d.Len()) }

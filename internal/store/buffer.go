@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // IOStats counts page traffic through the buffer pool. The paper's
@@ -38,6 +39,41 @@ func (f *Frame) ID() PageID { return f.id }
 // eviction or flush.
 func (f *Frame) MarkDirty() { f.dirty = true }
 
+// Tally accumulates the share of pool traffic attributed to one client —
+// typically one session — while it is attached to the pool. Counts are
+// exact when the tally is the only one attached during its accesses;
+// when several sessions overlap in time, each access is charged to every
+// tally attached at that moment (an honest over-approximation: the pool
+// has no way to tell whose retrieval faulted a page both were about to
+// touch). A Tally may be read and reset concurrently with pool traffic.
+type Tally struct {
+	accesses  atomic.Uint64
+	hits      atomic.Uint64
+	reads     atomic.Uint64
+	writes    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// Stats returns a snapshot of the attributed counters.
+func (t *Tally) Stats() IOStats {
+	return IOStats{
+		Accesses:  t.accesses.Load(),
+		Hits:      t.hits.Load(),
+		Reads:     t.reads.Load(),
+		Writes:    t.writes.Load(),
+		Evictions: t.evictions.Load(),
+	}
+}
+
+// Reset zeroes the attributed counters.
+func (t *Tally) Reset() {
+	t.accesses.Store(0)
+	t.hits.Store(0)
+	t.reads.Store(0)
+	t.writes.Store(0)
+	t.evictions.Store(0)
+}
+
 // Pool is an LRU buffer pool. It is safe for concurrent use.
 type Pool struct {
 	mu       sync.Mutex
@@ -46,6 +82,7 @@ type Pool struct {
 	frames   map[PageID]*Frame
 	lru      *list.List // front = most recently used; holds unpinned frames
 	stats    IOStats
+	attached map[*Tally]int // attach counts per tally
 }
 
 // NewPool returns a buffer pool of the given capacity (in pages) over the
@@ -59,7 +96,33 @@ func NewPool(pager Pager, capacity int) *Pool {
 		capacity: capacity,
 		frames:   map[PageID]*Frame{},
 		lru:      list.New(),
+		attached: map[*Tally]int{},
 	}
+}
+
+// Attach starts charging pool traffic to t until the matching Detach.
+// Attach/Detach pairs nest.
+func (p *Pool) Attach(t *Tally) {
+	if t == nil {
+		return
+	}
+	p.mu.Lock()
+	p.attached[t]++
+	p.mu.Unlock()
+}
+
+// Detach stops charging pool traffic to t (one nesting level).
+func (p *Pool) Detach(t *Tally) {
+	if t == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.attached[t] > 1 {
+		p.attached[t]--
+	} else {
+		delete(p.attached, t)
+	}
+	p.mu.Unlock()
 }
 
 // Pager exposes the underlying pager.
@@ -84,8 +147,14 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Accesses++
+	for t := range p.attached {
+		t.accesses.Add(1)
+	}
 	if f, ok := p.frames[id]; ok {
 		p.stats.Hits++
+		for t := range p.attached {
+			t.hits.Add(1)
+		}
 		if f.elem != nil {
 			p.lru.Remove(f.elem)
 			f.elem = nil
@@ -98,6 +167,9 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 		return nil, err
 	}
 	p.stats.Reads++
+	for t := range p.attached {
+		t.reads.Add(1)
+	}
 	if err := p.pager.ReadPage(id, f.Data); err != nil {
 		delete(p.frames, id)
 		return nil, err
@@ -115,6 +187,9 @@ func (p *Pool) Alloc() (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Accesses++
+	for t := range p.attached {
+		t.accesses.Add(1)
+	}
 	f, err := p.newFrame(id)
 	if err != nil {
 		return nil, err
@@ -136,12 +211,18 @@ func (p *Pool) newFrame(id PageID) (*Frame, error) {
 		victim.elem = nil
 		if victim.dirty {
 			p.stats.Writes++
+			for t := range p.attached {
+				t.writes.Add(1)
+			}
 			if err := p.pager.WritePage(victim.id, victim.Data); err != nil {
 				return nil, err
 			}
 		}
 		delete(p.frames, victim.id)
 		p.stats.Evictions++
+		for t := range p.attached {
+			t.evictions.Add(1)
+		}
 	}
 	f := &Frame{id: id, Data: make([]byte, PageSize)}
 	p.frames[id] = f
@@ -189,6 +270,9 @@ func (p *Pool) FlushAll() error {
 	for _, f := range p.frames {
 		if f.dirty {
 			p.stats.Writes++
+			for t := range p.attached {
+				t.writes.Add(1)
+			}
 			if err := p.pager.WritePage(f.id, f.Data); err != nil {
 				return err
 			}
