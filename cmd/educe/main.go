@@ -9,12 +9,24 @@
 // line, and prints solutions; press enter on an empty line (or type ';')
 // for more solutions, anything else for the next goal. Type 'halt.' to
 // leave.
+//
+// Observability:
+//
+//	-stats        print the cost breakdown (phase spans, pre-unification
+//	              selectivity, cache hit ratios, I/O) after every goal
+//	-trace FILE   append one JSON trace event per query phase span plus a
+//	              per-query summary to FILE ("-" = stderr)
+//	-metrics ADDR serve a live JSON snapshot of the knowledge-base metrics
+//	              registry on http://ADDR/metrics (expvar at /debug/vars)
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -23,6 +35,7 @@ import (
 
 	"repro/educe"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,6 +45,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print engine statistics after every goal")
 	goal := flag.String("goal", "", "run one goal non-interactively, print all solutions, exit")
 	sessions := flag.Int("sessions", 1, "with -goal: run the goal concurrently on N sessions sharing one knowledge base (EDB-stored predicates only)")
+	tracePath := flag.String("trace", "", "write per-query JSON trace events to this file (\"-\" = stderr)")
+	metricsAddr := flag.String("metrics", "", "serve live metrics JSON on this address (http://ADDR/metrics)")
 	flag.Parse()
 
 	opts := educe.Options{StorePath: *dbPath}
@@ -49,6 +64,28 @@ func main() {
 		os.Exit(1)
 	}
 	defer eng.Close()
+
+	var tracer *educe.Tracer
+	if *tracePath != "" {
+		w := os.Stderr
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "educe:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = educe.NewTracer(w)
+		eng.SetTracer(tracer)
+	}
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, eng.KB().Obs()); err != nil {
+			fmt.Fprintln(os.Stderr, "educe:", err)
+			os.Exit(1)
+		}
+	}
 
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
@@ -71,7 +108,7 @@ func main() {
 	if *goal != "" {
 		g := strings.TrimSuffix(*goal, ".")
 		if *sessions > 1 {
-			if err := runConcurrent(eng, g, *sessions); err != nil {
+			if err := runConcurrent(eng, g, *sessions, tracer); err != nil {
 				fmt.Fprintln(os.Stderr, "educe:", err)
 				os.Exit(1)
 			}
@@ -150,12 +187,50 @@ func runGoal(eng *educe.Engine, in *bufio.Scanner, goal string) {
 }
 
 func printStats(st core.Stats) {
-	fmt.Printf("%% instrs=%d calls=%d choicepoints=%d gc=%d heap-peak=%d\n",
+	fmt.Printf("%% instrs=%d calls=%d choicepoints=%d (elided %d) gc=%d pause=%v heap-peak=%d\n",
 		st.Machine.Instructions, st.Machine.Calls, st.Machine.ChoicePoints,
-		st.Machine.GCRuns, st.Machine.HeapPeak)
+		st.Machine.ChoicePointsElided, st.Machine.GCRuns,
+		time.Duration(st.Machine.GCPauseNS), st.Machine.HeapPeak)
 	fmt.Printf("%% edb: retrievals=%d candidates=%d io: acc=%d rd=%d wr=%d\n",
 		st.EDB.Retrievals, st.EDB.CandidatesReturned,
 		st.IO.Accesses, st.IO.Reads, st.IO.Writes)
+	fmt.Printf("%% session-io: acc=%d rd=%d wr=%d pages-touched=%d\n",
+		st.SessionIO.Accesses, st.SessionIO.Reads, st.SessionIO.Writes,
+		st.Cost.PagesTouched)
+	fmt.Printf("%% preunify: selectivity %s  code-cache: %s  dict: %s\n",
+		obs.RatioString(st.Cost.ClausesPassed, st.Cost.ClausesScanned),
+		obs.RatioString(st.Cost.CacheHits, st.Cost.CacheHits+st.Cost.CacheMisses),
+		obs.RatioString(st.Dict.Hits, st.Dict.Hits+st.Dict.Misses))
+	ph := st.Phases
+	fmt.Printf("%% phases: parse=%v compile=%v edb_fetch=%v preunify=%v link=%v exec=%v gc=%v store=%v\n",
+		ph.Parse, ph.Compile, ph.EDBFetch, ph.PreUnify, ph.Link, ph.Exec, ph.GC, ph.Store)
+}
+
+// serveMetrics exposes the KB metrics registry: a flat JSON snapshot at
+// /metrics and the standard expvar page at /debug/vars (the registry is
+// published as the expvar "educe" map).
+func serveMetrics(addr string, reg *educe.Registry) error {
+	expvar.Publish("educe", expvar.Func(func() any { return reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	// Surface immediate bind errors; afterwards the server runs for the
+	// process lifetime.
+	select {
+	case err := <-errCh:
+		return err
+	case <-time.After(100 * time.Millisecond):
+		fmt.Fprintf(os.Stderr, "%% metrics on http://%s/metrics\n", addr)
+		return nil
+	}
 }
 
 // runBatch prints every solution of one goal.
@@ -193,7 +268,7 @@ func runBatch(eng *educe.Engine, goal string) error {
 // knowledge base, printing per-session solution counts and times. Only
 // EDB-stored predicates are visible to the extra sessions; main-memory
 // consults are private to the primary session.
-func runConcurrent(eng *educe.Engine, goal string, n int) error {
+func runConcurrent(eng *educe.Engine, goal string, n int, tracer *educe.Tracer) error {
 	kb := eng.KB()
 	type result struct {
 		count   int
@@ -213,6 +288,9 @@ func runConcurrent(eng *educe.Engine, goal string, n int) error {
 				return
 			}
 			defer s.Close()
+			if tracer != nil {
+				s.SetTracer(tracer)
+			}
 			t0 := time.Now()
 			cnt, err := s.QueryCount(goal)
 			results[i] = result{count: cnt, elapsed: time.Since(t0), err: err}

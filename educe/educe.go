@@ -32,7 +32,10 @@
 package educe
 
 import (
+	"io"
+
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/term"
 )
@@ -67,6 +70,21 @@ type Stats = core.Stats
 
 // PhaseStats breaks down rule-pipeline time (parse/compile/link/store).
 type PhaseStats = core.PhaseStats
+
+// QueryStats is the per-session cost-model view: phase spans plus the
+// retrieval/selectivity/cache counters of the paper's tables.
+type QueryStats = obs.QueryStats
+
+// Tracer emits per-query JSON trace events (phase spans + summary).
+// Attach one to a session with Session.SetTracer; a single tracer may
+// serve many concurrent sessions.
+type Tracer = obs.Tracer
+
+// Registry is the KB-wide metrics registry (KnowledgeBase.Obs).
+type Registry = obs.Registry
+
+// NewTracer returns a tracer writing one JSON trace event per line to w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 
 // Options configures an Engine; the zero value is a usable in-memory
 // compiled-mode engine.

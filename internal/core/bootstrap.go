@@ -91,6 +91,7 @@ func (s *Session) loadBootstrap() error {
 	}
 	// Bootstrap loading should not pollute the phase statistics that
 	// benchmarks read.
-	s.phases = PhaseStats{}
+	s.q.Reset()
+	s.cum.Reset()
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/term"
 	"repro/internal/wam"
 )
@@ -28,23 +29,46 @@ func (s *Session) registerEngineBuiltins() {
 
 // biStatistics exposes engine counters to Prolog:
 // educe_statistics(Key, Value) with keys instructions, calls,
-// choice_points, gc_runs, heap_peak, edb_retrievals, edb_candidates,
-// io_accesses, io_reads, io_writes, dict_entries.
+// choice_points, choice_points_elided, gc_runs, gc_pause_ns, heap_peak,
+// edb_retrievals, edb_candidates, io_accesses, io_reads, io_writes,
+// session_io_accesses, session_io_reads, session_io_writes,
+// dict_entries, dict_hits, dict_misses, code_cache_hits,
+// code_cache_misses, preunify_scanned, preunify_passed, pages_touched,
+// asserts, and the per-phase nanosecond totals parse_ns, compile_ns,
+// edb_fetch_ns, preunify_ns, link_ns, exec_ns, gc_ns, store_ns — the
+// statistics/1-style view of the paper's §3.1/§5 cost breakdowns.
 func (s *Session) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
 	st := s.Stats()
 	stats := map[string]int64{
-		"instructions":   int64(st.Machine.Instructions),
-		"calls":          int64(st.Machine.Calls),
-		"choice_points":  int64(st.Machine.ChoicePoints),
-		"gc_runs":        int64(st.Machine.GCRuns),
-		"heap_peak":      int64(st.Machine.HeapPeak),
-		"edb_retrievals": int64(st.EDB.Retrievals),
-		"edb_candidates": int64(st.EDB.CandidatesReturned),
-		"io_accesses":    int64(st.IO.Accesses),
-		"io_reads":       int64(st.IO.Reads),
-		"io_writes":      int64(st.IO.Writes),
-		"dict_entries":   int64(st.Dict.Live),
+		"instructions":         int64(st.Machine.Instructions),
+		"calls":                int64(st.Machine.Calls),
+		"choice_points":        int64(st.Machine.ChoicePoints),
+		"choice_points_elided": int64(st.Machine.ChoicePointsElided),
+		"gc_runs":              int64(st.Machine.GCRuns),
+		"gc_pause_ns":          int64(st.Machine.GCPauseNS),
+		"heap_peak":            int64(st.Machine.HeapPeak),
+		"edb_retrievals":       int64(st.EDB.Retrievals),
+		"edb_candidates":       int64(st.EDB.CandidatesReturned),
+		"io_accesses":          int64(st.IO.Accesses),
+		"io_reads":             int64(st.IO.Reads),
+		"io_writes":            int64(st.IO.Writes),
+		"session_io_accesses":  int64(st.SessionIO.Accesses),
+		"session_io_reads":     int64(st.SessionIO.Reads),
+		"session_io_writes":    int64(st.SessionIO.Writes),
+		"dict_entries":         int64(st.Dict.Live),
+		"dict_hits":            int64(st.Dict.Hits),
+		"dict_misses":          int64(st.Dict.Misses),
+		"code_cache_hits":      int64(st.Cost.CacheHits),
+		"code_cache_misses":    int64(st.Cost.CacheMisses),
+		"preunify_scanned":     int64(st.Cost.ClausesScanned),
+		"preunify_passed":      int64(st.Cost.ClausesPassed),
+		"pages_touched":        int64(st.Cost.PagesTouched),
+		"asserts":              int64(st.Cost.Asserts),
 	}
+	for _, p := range obs.QueryPhases() {
+		stats[p.String()+"_ns"] = st.Cost.Phases[p]
+	}
+	stats["store_ns"] = st.Cost.Phases[obs.PhaseStore]
 	key := m.Deref(args[0])
 	if key.Tag() == wam.TagCon {
 		v, ok := stats[m.Dict.Name(key.AtomID())]

@@ -29,6 +29,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/compiler"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/edb"
 	"repro/internal/interp"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/rel"
 	"repro/internal/store"
@@ -58,18 +60,42 @@ const (
 
 // PhaseStats breaks the rule-management pipeline into the phases the
 // paper's §3.1 compares: reading (lexing+parsing), code generation, and
-// loader/link time, plus EDB store/retrieve time.
+// loader/link time, plus EDB store/retrieve time. It is a view over the
+// session's obs.QueryStats accumulation (see Stats.Cost for the full
+// phase vector); Retrieve is the sum of the finer-grained edb_fetch and
+// preunify phases.
 type PhaseStats struct {
 	Parse    time.Duration
 	Compile  time.Duration
 	Link     time.Duration
 	Store    time.Duration
-	Retrieve time.Duration
-	Asserts  uint64 // baseline-mode assert operations
+	Retrieve time.Duration // EDBFetch + PreUnify
+	EDBFetch time.Duration // clause blob fetches
+	PreUnify time.Duration // in-store candidate selection + hash filtering
+	Exec     time.Duration // WAM / interpreter execution (includes GC)
+	GC       time.Duration // WAM garbage-collection pauses (within Exec)
+	Asserts  uint64        // baseline-mode assert operations
+}
+
+// phaseView projects an obs.QueryStats onto the legacy PhaseStats shape.
+func phaseView(qs *obs.QueryStats) PhaseStats {
+	ph := &qs.Phases
+	return PhaseStats{
+		Parse:    ph.Get(obs.PhaseParse),
+		Compile:  ph.Get(obs.PhaseCompile),
+		Link:     ph.Get(obs.PhaseLink),
+		Store:    ph.Get(obs.PhaseStore),
+		Retrieve: ph.Get(obs.PhaseEDBFetch) + ph.Get(obs.PhasePreUnify),
+		EDBFetch: ph.Get(obs.PhaseEDBFetch),
+		PreUnify: ph.Get(obs.PhasePreUnify),
+		Exec:     ph.Get(obs.PhaseExec),
+		GC:       ph.Get(obs.PhaseGC),
+		Asserts:  qs.Asserts,
+	}
 }
 
 // Stats aggregates engine counters for the benchmark harness. Machine,
-// Phases, Dict and SessionIO are per-session; EDB and IO are shared
+// Phases, Cost, Dict and SessionIO are per-session; EDB and IO are shared
 // knowledge-base counters.
 type Stats struct {
 	Machine wam.Stats
@@ -80,7 +106,11 @@ type Stats struct {
 	// see store.Tally).
 	SessionIO store.IOStats
 	Phases    PhaseStats
-	Dict      dict.Stats
+	// Cost is the session's accumulated cost-model view: the full phase
+	// vector plus the per-session retrieval/selectivity/cache counters
+	// (exact per-session attribution, unlike the shared EDB totals).
+	Cost obs.QueryStats
+	Dict dict.Stats
 }
 
 // Options configures an Engine (or a KnowledgeBase plus its sessions).
@@ -142,7 +172,21 @@ type Session struct {
 	// inside a storage access.
 	tally *store.Tally
 
-	phases PhaseStats
+	// Observability: q accumulates the current query's phase spans and
+	// cost counters (the WAM's phase sink points at q.Phases for GC
+	// attribution); cum holds the roll-up of all finished queries and of
+	// consult work done between queries. Stats() reports cum+q. The
+	// tracer, when set, receives one event group per completed query.
+	id     uint64 // session ID, unique within the KB
+	q      obs.QueryStats
+	cum    obs.QueryStats
+	tracer *obs.Tracer
+
+	// current-query trace metadata.
+	qid       uint64
+	qGoal     string
+	qStart    time.Time
+	qSolCount int
 }
 
 // loadedEntry is one session-resident dynamically loaded procedure, with
@@ -216,7 +260,11 @@ func (kb *KnowledgeBase) NewSessionWithOptions(opts Options) (*Session, error) {
 		resolvers:   map[term.Indicator]bool{},
 		tally:       &store.Tally{},
 		synced:      kb.version.Load(),
+		id:          kb.nextSessionID(),
 	}
+	// The machine charges GC pauses to the current query's phase vector;
+	// &s.q.Phases is stable for the session's lifetime.
+	m.SetPhaseSink(&s.q.Phases)
 	m.OnUndefined = s.onUndefined
 	s.registerEngineBuiltins()
 	if err := s.loadBootstrap(); err != nil {
@@ -287,26 +335,59 @@ func (s *Session) SetRuleStorage(rs RuleStorage) { s.opts.RuleStorage = rs }
 
 // Stats returns aggregated counters.
 func (s *Session) Stats() Stats {
+	cost := s.Cost()
 	return Stats{
 		Machine:   s.m.Stats(),
 		EDB:       s.kb.db.Stats(),
 		IO:        s.kb.st.Stats(),
 		SessionIO: s.tally.Stats(),
-		Phases:    s.phases,
+		Phases:    phaseView(&cost),
+		Cost:      cost,
 		Dict:      s.m.Dict.Stats(),
 	}
 }
 
-// ResetStats zeroes all counters, including the shared knowledge-base
-// counters (EDB and pool I/O) — appropriate for the single-session
-// wrapper; concurrent sessions should prefer their SessionIO tallies.
+// Cost returns the session's accumulated cost-model counters: finished
+// queries plus the one in flight.
+func (s *Session) Cost() obs.QueryStats {
+	total := s.cum
+	total.AddQuery(&s.q)
+	return total
+}
+
+// ID returns the session's KB-unique identifier (stamped on trace events).
+func (s *Session) ID() uint64 { return s.id }
+
+// SetTracer directs the session's per-query trace events to t (nil
+// disables tracing). One tracer may be shared by many sessions; its
+// output is serialised internally.
+func (s *Session) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// SetTraceWriter is SetTracer with a fresh JSON-lines tracer over w.
+func (s *Session) SetTraceWriter(w io.Writer) { s.tracer = obs.NewTracer(w) }
+
+// ResetStats zeroes this session's own counters: the WAM machine, the
+// interpreter, the session I/O tally and the accumulated phase/cost
+// stats. It deliberately does NOT touch the shared knowledge-base
+// counters (EDB retrievals, pool I/O, code-cache traffic): under
+// concurrent sessions those belong to everyone, and resetting them here
+// would corrupt the other sessions' view. Use KnowledgeBase.ResetStats
+// for the shared counters; Engine.ResetStats (single-session wrapper,
+// private KB) does both.
 func (s *Session) ResetStats() {
 	s.m.ResetStats()
-	s.kb.db.ResetStats()
-	s.kb.st.ResetStats()
 	s.in.ResetStats()
 	s.tally.Reset()
-	s.phases = PhaseStats{}
+	s.cum.Reset()
+	s.q.Reset()
+}
+
+// ResetStats zeroes the engine's session counters and its private
+// knowledge base's shared counters — the full reset the benchmark
+// harness expects from the single-session API.
+func (e *Engine) ResetStats() {
+	e.Session.ResetStats()
+	e.kb.ResetStats()
 }
 
 // --- shared-state access helpers --------------------------------------------
@@ -395,7 +476,7 @@ func (s *Session) ConsultExternal(src string) error {
 // parseProgram reads all clauses, executing directives.
 func (s *Session) parseProgram(src string) ([]term.Term, error) {
 	t0 := time.Now()
-	defer func() { s.phases.Parse += time.Since(t0) }()
+	defer func() { s.q.Phases.Add(obs.PhaseParse, time.Since(t0)) }()
 	p := parser.NewWithOps(src, s.ops)
 	var out []term.Term
 	for {
@@ -464,7 +545,7 @@ func parseIndicator(t term.Term) (term.Indicator, error) {
 // included), preserving first-definition order.
 func (s *Session) compileProgram(terms []term.Term) (map[term.Indicator][]compiler.ClauseCode, []term.Indicator, error) {
 	t0 := time.Now()
-	defer func() { s.phases.Compile += time.Since(t0) }()
+	defer func() { s.q.Phases.Add(obs.PhaseCompile, time.Since(t0)) }()
 	units := map[term.Indicator][]compiler.ClauseCode{}
 	var order []term.Indicator
 	for _, tm := range terms {
@@ -485,7 +566,7 @@ func (s *Session) compileProgram(terms []term.Term) (map[term.Indicator][]compil
 // link installs a predicate's clauses on the machine.
 func (s *Session) link(pi term.Indicator, ccs []compiler.ClauseCode, transient bool) error {
 	t0 := time.Now()
-	defer func() { s.phases.Link += time.Since(t0) }()
+	defer func() { s.q.Phases.Add(obs.PhaseLink, time.Since(t0)) }()
 	opts := loader.Options{Index: !s.opts.DisableIndexing, Transient: transient}
 	_, err := loader.LinkPredicate(s.m, pi.Name, pi.Arity, ccs, opts)
 	return err
@@ -502,7 +583,7 @@ func (s *Session) storeCompiledClauses(terms []term.Term) error {
 		}
 		t0 := time.Now()
 		ccs, err := s.comp.CompileClause(tm)
-		s.phases.Compile += time.Since(t0)
+		s.q.Phases.Add(obs.PhaseCompile, time.Since(t0))
 		if err != nil {
 			return err
 		}
@@ -528,7 +609,7 @@ func (s *Session) storeCompiledClauses(terms []term.Term) error {
 
 func (s *Session) storeOneCompiled(cc compiler.ClauseCode, keys []edb.ArgKey, isRule bool) error {
 	t0 := time.Now()
-	defer func() { s.phases.Store += time.Since(t0) }()
+	defer func() { s.q.Phases.Add(obs.PhaseStore, time.Since(t0)) }()
 	db := s.kb.db
 	p, err := db.EnsureProc(cc.Pred.Name, cc.Pred.Arity, edb.FormCode)
 	if err != nil {
@@ -562,7 +643,7 @@ func (s *Session) storeOneCompiled(cc compiler.ClauseCode, keys []edb.ArgKey, is
 // KB write lock.
 func (s *Session) storeSourceClauses(terms []term.Term) error {
 	t0 := time.Now()
-	defer func() { s.phases.Store += time.Since(t0) }()
+	defer func() { s.q.Phases.Add(obs.PhaseStore, time.Since(t0)) }()
 	db := s.kb.db
 	touched := map[*edb.ProcInfo]bool{}
 	for _, tm := range terms {
@@ -716,7 +797,7 @@ func (s *Session) RetractExternal(t term.Term) (bool, error) {
 	for len(keys) < p.K {
 		keys = append(keys, edb.WildKey())
 	}
-	scs, err := db.Retrieve(p, keys)
+	scs, err := db.RetrieveObs(p, keys, &s.q)
 	if err != nil {
 		return false, err
 	}

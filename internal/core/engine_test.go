@@ -693,10 +693,17 @@ func TestStatisticsBuiltin(t *testing.T) {
 	if len(got) != 1 || got[0] == "0" {
 		t.Fatalf("instructions stat = %v", got)
 	}
-	// Enumeration mode yields all keys.
+	// Enumeration mode yields all keys: 24 counters plus the seven query
+	// phases and store_ns.
 	n, err := e.QueryCount("educe_statistics(_, _)")
-	if err != nil || n != 11 {
+	if err != nil || n != 32 {
 		t.Fatalf("stat keys = %d (%v)", n, err)
+	}
+	// The phase breakdown is exposed: the p(X) query above must have
+	// spent time executing.
+	got = values(t, e, "educe_statistics(exec_ns, N)", "N")
+	if len(got) != 1 || got[0] == "0" {
+		t.Fatalf("exec_ns stat = %v", got)
 	}
 	// Unknown key fails.
 	if n, _ := e.QueryCount("educe_statistics(bogus, _)"); n != 0 {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/edb"
+	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/store"
 	"repro/internal/term"
@@ -52,6 +53,18 @@ type KnowledgeBase struct {
 	bootMu    sync.Mutex
 	bootUnits map[term.Indicator][]compiler.ClauseCode
 	bootOrder []term.Indicator
+
+	// Observability: the KB-wide metrics registry (owned by the store,
+	// shared by every layer) plus the shared decoded-code cache counters
+	// and the session/query identity sequences the tracer stamps events
+	// with.
+	reg          *obs.Registry
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheInvals  *obs.Counter
+	cacheEntries *obs.Gauge
+	sessionSeq   atomic.Uint64
+	querySeq     atomic.Uint64
 }
 
 // sharedCacheLimit caps the number of shared loaded-code variants before
@@ -77,15 +90,45 @@ func OpenKB(opts Options) (*KnowledgeBase, error) {
 		st.Close()
 		return nil, err
 	}
-	return &KnowledgeBase{
-		opts:      opts,
-		st:        st,
-		db:        db,
-		cat:       cat,
-		codeCache: map[string][]compiler.ClauseCode{},
-		procVers:  map[string]uint64{},
-	}, nil
+	reg := st.Obs()
+	kb := &KnowledgeBase{
+		opts:         opts,
+		st:           st,
+		db:           db,
+		cat:          cat,
+		codeCache:    map[string][]compiler.ClauseCode{},
+		procVers:     map[string]uint64{},
+		reg:          reg,
+		cacheHits:    reg.Counter("core.codecache.hits"),
+		cacheMisses:  reg.Counter("core.codecache.misses"),
+		cacheInvals:  reg.Counter("core.codecache.invalidations"),
+		cacheEntries: reg.Gauge("core.codecache.entries"),
+	}
+	reg.RegisterFunc("core.codecache.hit_ratio", func() any {
+		h := kb.cacheHits.Value()
+		return obs.Ratio(h, h+kb.cacheMisses.Value())
+	})
+	return kb, nil
 }
+
+// Obs returns the KB-wide metrics registry (one per knowledge base; every
+// layer's shared counters live in it).
+func (kb *KnowledgeBase) Obs() *obs.Registry { return kb.reg }
+
+// ResetStats zeroes the shared knowledge-base traffic counters — the
+// buffer-pool I/O, EDB retrieval and decoded-code cache metrics every
+// session contributes to. This is the explicit KB-level reset:
+// Session.ResetStats deliberately does not touch these, because under
+// concurrent sessions one session resetting them would corrupt the
+// others' view. Gauges (clauses stored, cache entries) are state, not
+// traffic, and keep their values.
+func (kb *KnowledgeBase) ResetStats() { kb.reg.ResetTraffic() }
+
+// nextSessionID allocates a session identifier for trace attribution.
+func (kb *KnowledgeBase) nextSessionID() uint64 { return kb.sessionSeq.Add(1) }
+
+// nextQueryID allocates a KB-unique query identifier.
+func (kb *KnowledgeBase) nextQueryID() uint64 { return kb.querySeq.Add(1) }
 
 // NewSession creates a session with the knowledge base's default options.
 func (kb *KnowledgeBase) NewSession() (*Session, error) {
@@ -140,8 +183,13 @@ func verKey(name string, arity int) string { return fmt.Sprintf("%s/%d", name, a
 // invalidated between lookup and use.
 func (kb *KnowledgeBase) lookupShared(key string) ([]compiler.ClauseCode, bool) {
 	kb.cacheMu.Lock()
-	defer kb.cacheMu.Unlock()
 	ccs, ok := kb.codeCache[key]
+	kb.cacheMu.Unlock()
+	if ok {
+		kb.cacheHits.Inc()
+	} else {
+		kb.cacheMisses.Inc()
+	}
 	return ccs, ok
 }
 
@@ -159,6 +207,7 @@ func (kb *KnowledgeBase) storeShared(key string, ccs []compiler.ClauseCode) {
 	if _, ok := kb.codeCache[key]; !ok {
 		kb.codeCache[key] = ccs
 	}
+	kb.cacheEntries.Set(int64(len(kb.codeCache)))
 }
 
 // invalidateProc drops every shared cache entry for name/arity and bumps
@@ -176,6 +225,8 @@ func (kb *KnowledgeBase) invalidateProc(name string, arity int) {
 	}
 	kb.procVers[exact]++
 	kb.version.Add(1)
+	kb.cacheInvals.Inc()
+	kb.cacheEntries.Set(int64(len(kb.codeCache)))
 }
 
 // InvalidateLoaded drops shared cached code for one external procedure;

@@ -2,9 +2,11 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/term"
 	"repro/internal/wam"
@@ -42,7 +44,10 @@ type Solutions struct {
 func (s *Session) Query(q string) (*Solutions, error) {
 	s.endQuery()
 	s.syncWithKB()
+	s.beginQuery(q)
+	t0 := time.Now()
 	body, vars, err := parser.ParseTermWithOps(q, s.ops)
+	s.q.Phases.Add(obs.PhaseParse, time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +74,9 @@ func (s *Session) Query(q string) (*Solutions, error) {
 	for i, n := range names {
 		vlist[i] = vars[n]
 	}
+	t1 := time.Now()
 	ccs, err := s.comp.CompileQuery("$query", vlist, body)
+	s.q.Phases.Add(obs.PhaseCompile, time.Since(t1))
 	if err != nil {
 		return nil, err
 	}
@@ -102,12 +109,20 @@ func (s *Session) Query(q string) (*Solutions, error) {
 
 // Next advances to the next solution, returning false when exhausted or
 // on error (check Err). Exhaustion and errors release per-query state.
+//
+// The time spent resolving is charged to the exec phase. Dynamic-loader
+// work triggered from inside execution (an undefined-procedure trap
+// fetching, decoding and linking stored code) is charged to its own
+// phases, so exec overlaps edb_fetch/preunify/link/gc; elapsed wall time
+// is reported separately in the query trace event.
 func (s *Solutions) Next() bool {
 	if s.done {
 		return false
 	}
 	if s.run != nil {
+		t0 := time.Now()
 		ok, err := s.run.Next()
+		s.e.q.Phases.Add(obs.PhaseExec, time.Since(t0))
 		if err != nil {
 			s.err = err
 			s.finish()
@@ -117,13 +132,16 @@ func (s *Solutions) Next() bool {
 			s.finish()
 			return false
 		}
+		s.e.qSolCount++
 		s.cur = map[string]term.Term{}
 		for i, n := range s.names {
 			s.cur[n] = s.e.m.DecodeTerm(s.args[i])
 		}
 		return true
 	}
+	t0 := time.Now()
 	sol, ok, err := s.gen.next()
+	s.e.q.Phases.Add(obs.PhaseExec, time.Since(t0))
 	if err != nil {
 		s.err = err
 		s.finish()
@@ -133,6 +151,7 @@ func (s *Solutions) Next() bool {
 		s.finish()
 		return false
 	}
+	s.e.qSolCount++
 	s.cur = sol
 	return true
 }
@@ -155,6 +174,38 @@ func (s *Solutions) Close() {
 	s.finish()
 }
 
+// beginQuery rolls the previous query's (and any between-query consult
+// work's) cost stats into the session cumulative, then stamps the new
+// query's identity for tracing.
+func (s *Session) beginQuery(goal string) {
+	s.cum.AddQuery(&s.q)
+	s.q.Reset()
+	s.qid = s.kb.nextQueryID()
+	s.qGoal = goal
+	s.qStart = time.Now()
+	s.qSolCount = 0
+}
+
+// traceQuery emits the completed query's span and summary events.
+func (s *Session) traceQuery() {
+	if !s.tracer.Enabled() {
+		return
+	}
+	mode := "compiled"
+	if s.opts.RuleStorage == RuleStorageSource {
+		mode = "source"
+	}
+	s.tracer.TraceQuery(obs.QueryEvent{
+		SessionID: s.id,
+		QueryID:   s.qid,
+		Goal:      s.qGoal,
+		Mode:      mode,
+		Solutions: s.qSolCount,
+		Elapsed:   time.Since(s.qStart),
+		Stats:     s.q,
+	})
+}
+
 // finish marks the iteration done and releases per-query state exactly
 // once.
 func (s *Solutions) finish() {
@@ -166,6 +217,7 @@ func (s *Solutions) finish() {
 	if s.gen != nil {
 		s.gen.stop()
 	}
+	s.e.traceQuery()
 	s.e.endQuery()
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/edb"
 	"repro/internal/interp"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/term"
 	"repro/internal/wam"
@@ -75,10 +76,11 @@ func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 	case edb.FormCode:
 		var ok bool
 		clauses, ok = s.kb.lookupShared(cacheKey)
-		if !ok {
-			t0 := time.Now()
-			scs, err := s.kb.db.Retrieve(p, keys)
-			s.phases.Retrieve += time.Since(t0)
+		if ok {
+			s.q.CacheHits++
+		} else {
+			s.q.CacheMisses++
+			scs, err := s.kb.db.RetrieveObs(p, keys, &s.q)
 			if err != nil {
 				unlock()
 				return nil, err
@@ -91,9 +93,7 @@ func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 			s.kb.storeShared(cacheKey, clauses)
 		}
 	case edb.FormSource:
-		t0 := time.Now()
-		scs, err := s.kb.db.Retrieve(p, keys)
-		s.phases.Retrieve += time.Since(t0)
+		scs, err := s.kb.db.RetrieveObs(p, keys, &s.q)
 		if err != nil {
 			unlock()
 			return nil, err
@@ -113,7 +113,7 @@ func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 			Index:     !s.opts.DisableIndexing,
 			Transient: true,
 		})
-		s.phases.Link += time.Since(t1)
+		s.q.Phases.Add(obs.PhaseLink, time.Since(t1))
 		if err != nil {
 			return nil, err
 		}
@@ -132,7 +132,7 @@ func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 			}
 			terms = append(terms, tm)
 		}
-		s.phases.Parse += time.Since(t1)
+		s.q.Phases.Add(obs.PhaseParse, time.Since(t1))
 		units, _, err := s.compileProgram(terms)
 		if err != nil {
 			return nil, err
@@ -143,7 +143,7 @@ func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 			Index:     !s.opts.DisableIndexing,
 			Transient: true,
 		})
-		s.phases.Link += time.Since(t2)
+		s.q.Phases.Add(obs.PhaseLink, time.Since(t2))
 		if err != nil {
 			return nil, err
 		}
@@ -270,9 +270,7 @@ func (s *Session) interpTrap(in *interp.Interp, pi term.Indicator) (bool, error)
 	form := p.Form
 	// Poor selectivity: the baseline retrieves every clause of the
 	// procedure (paper §3.2.1).
-	t0 := time.Now()
-	scs, err := s.kb.db.AllClauses(p)
-	s.phases.Retrieve += time.Since(t0)
+	scs, err := s.kb.db.RetrieveObs(p, nil, &s.q)
 	unlock()
 	if err != nil {
 		return false, err
@@ -283,7 +281,7 @@ func (s *Session) interpTrap(in *interp.Interp, pi term.Indicator) (bool, error)
 		case edb.FormSource:
 			t1 := time.Now()
 			tm, _, err = parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), s.ops)
-			s.phases.Parse += time.Since(t1)
+			s.q.Phases.Add(obs.PhaseParse, time.Since(t1))
 			if err != nil {
 				return false, err
 			}
@@ -293,7 +291,7 @@ func (s *Session) interpTrap(in *interp.Interp, pi term.Indicator) (bool, error)
 		if err := in.Assert(tm); err != nil {
 			return false, err
 		}
-		s.phases.Asserts++
+		s.q.Asserts++
 	}
 	s.interpLoaded = append(s.interpLoaded, pi)
 	return true, nil
@@ -326,9 +324,7 @@ func (s *Session) registerFactResolver(p *edb.ProcInfo) {
 		// the relation with itself), which must not recurse into the
 		// lock.
 		unlock := s.rlock()
-		t0 := time.Now()
-		scs, err := s.kb.db.Retrieve(p, keys)
-		s.phases.Retrieve += time.Since(t0)
+		scs, err := s.kb.db.RetrieveObs(p, keys, &s.q)
 		unlock()
 		if err != nil {
 			return err
@@ -339,7 +335,7 @@ func (s *Session) registerFactResolver(p *edb.ProcInfo) {
 				var perr error
 				t1 := time.Now()
 				tm, _, perr = parser.ParseTermWithOps(strings.TrimSuffix(string(sc.Blob), "."), s.ops)
-				s.phases.Parse += time.Since(t1)
+				s.q.Phases.Add(obs.PhaseParse, time.Since(t1))
 				if perr != nil {
 					return perr
 				}

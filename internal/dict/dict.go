@@ -83,6 +83,13 @@ type Table struct {
 	probes  atomic.Uint64
 	inserts atomic.Uint64
 	lookups atomic.Uint64
+	// hits/misses count associative-address resolutions through Intern:
+	// a hit finds the (name, arity) pair already interned, a miss
+	// allocates a fresh ID. The dynamic loader resolves every symbol of
+	// an EDB-loaded clause this way, so the hit ratio measures how much
+	// of the paper's §3.1 "load/link" share is pure table lookup.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // Option configures a Table.
@@ -159,8 +166,10 @@ func (t *Table) split(id ID) (seg, slot int) {
 func (t *Table) Intern(name string, arity int) ID {
 	h := Hash(name, arity)
 	if id, ok := t.find(h, name, arity); ok {
+		t.hits.Add(1)
 		return id
 	}
+	t.misses.Add(1)
 	t.inserts.Add(1)
 	seg := t.hotSegment()
 	s := t.segs[seg]
@@ -326,17 +335,24 @@ func (t *Table) Segments() int { return len(t.segs) }
 // SegmentSize returns the per-segment capacity.
 func (t *Table) SegmentSize() int { return t.segSize }
 
-// Stats reports cumulative probe/insert/lookup counters, and per-segment
-// occupancy, for benchmarks and tests.
+// Stats reports cumulative probe/insert/lookup counters, associative-
+// address resolution hits/misses, and per-segment occupancy, for
+// benchmarks and tests.
 type Stats struct {
 	Probes, Inserts, Lookups uint64
-	Live                     int
-	SegmentUsed              []int
+	// Hits counts Intern calls resolved to an existing entry; Misses
+	// counts Intern calls that allocated a fresh ID.
+	Hits, Misses uint64
+	Live         int
+	SegmentUsed  []int
 }
 
 // Stats returns a snapshot of the dictionary's counters.
 func (t *Table) Stats() Stats {
-	st := Stats{Probes: t.probes.Load(), Inserts: t.inserts.Load(), Lookups: t.lookups.Load(), Live: t.live}
+	st := Stats{
+		Probes: t.probes.Load(), Inserts: t.inserts.Load(), Lookups: t.lookups.Load(),
+		Hits: t.hits.Load(), Misses: t.misses.Load(), Live: t.live,
+	}
 	for _, s := range t.segs {
 		st.SegmentUsed = append(st.SegmentUsed, s.used)
 	}

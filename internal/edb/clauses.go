@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dict"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -185,7 +187,31 @@ func (db *DB) StoreClause(p *ProcInfo, keys []ArgKey, blob []byte) (uint32, erro
 // comparison on every bound indexed argument — and ordered by clause ID
 // (source order). Passing no keys retrieves every clause.
 func (db *DB) Retrieve(p *ProcInfo, query []ArgKey) ([]StoredClause, error) {
+	return db.RetrieveObs(p, query, nil)
+}
+
+// RetrieveObs is Retrieve with per-query cost attribution: when qs is
+// non-nil the call charges its preunify time (candidate selection and
+// hash filtering inside the storage layer), its edb_fetch time (clause
+// blob fetches), and its clauses-scanned / clauses-passed / pages-touched
+// counts to qs. KB-wide totals go to the metrics registry either way.
+func (db *DB) RetrieveObs(p *ProcInfo, query []ArgKey, qs *obs.QueryStats) ([]StoredClause, error) {
 	db.retrievals.Add(1)
+	var tally *store.Tally
+	var t0 time.Time
+	if qs != nil {
+		qs.Retrievals++
+		tally = &store.Tally{}
+		db.st.Pool().Attach(tally)
+		defer func() {
+			pages := tally.Stats().Accesses
+			db.st.Pool().Detach(tally)
+			qs.PagesTouched += pages
+			db.pagesPerRt.ObserveN(pages)
+		}()
+		t0 = time.Now()
+	}
+	scanned := uint64(0)
 	known := make([]bool, p.K)
 	hashes := make([]uint64, p.K)
 	anyKnown := false
@@ -244,6 +270,7 @@ func (db *DB) Retrieve(p *ProcInfo, query []ArgKey) ([]StoredClause, error) {
 			if err != nil {
 				return nil, err
 			}
+			scanned++
 			// Residual filter on the remaining bound attributes.
 			match := true
 			for i := range known {
@@ -265,6 +292,7 @@ func (db *DB) Retrieve(p *ProcInfo, query []ArgKey) ([]StoredClause, error) {
 		if err != nil {
 			return false, err
 		}
+		scanned++
 		for i := range known {
 			if known[i] && i < len(keys) && !keys[i].Wild && keys[i].Hash != hashes[i] {
 				return true, nil // filtered out
@@ -278,6 +306,13 @@ func (db *DB) Retrieve(p *ProcInfo, query []ArgKey) ([]StoredClause, error) {
 	}
 
 	sort.Slice(out, func(i, j int) bool { return out[i].ClauseID < out[j].ClauseID })
+	// Candidate selection (pre-unification inside the storage layer) ends
+	// here; what follows is fetching the surviving clauses' code.
+	if qs != nil {
+		now := time.Now()
+		qs.Phases.Add(obs.PhasePreUnify, now.Sub(t0))
+		t0 = now
+	}
 	for i := range out {
 		blob, err := db.clauses.Get(out[i].blobRID)
 		if err != nil {
@@ -285,7 +320,13 @@ func (db *DB) Retrieve(p *ProcInfo, query []ArgKey) ([]StoredClause, error) {
 		}
 		out[i].Blob = blob
 	}
+	db.scanned.Add(scanned)
 	db.candidates.Add(uint64(len(out)))
+	if qs != nil {
+		qs.Phases.Add(obs.PhaseEDBFetch, time.Since(t0))
+		qs.ClausesScanned += scanned
+		qs.ClausesPassed += uint64(len(out))
+	}
 	return out, nil
 }
 
@@ -329,8 +370,8 @@ func (db *DB) DeleteClause(p *ProcInfo, sc StoredClause) error {
 		return err
 	}
 	p.ClauseCount--
-	if db.stored.Load() > 0 {
-		db.stored.Add(^uint64(0))
+	if db.stored.Value() > 0 {
+		db.stored.Add(-1)
 	}
 	return db.saveProc(p)
 }

@@ -26,8 +26,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -89,17 +89,27 @@ type DB struct {
 	procs    map[string]*ProcInfo
 	nextProc uint32
 
-	// Counters are atomic: retrievals run concurrently across sessions.
-	retrievals atomic.Uint64
-	candidates atomic.Uint64
-	stored     atomic.Uint64
-	fullScans  atomic.Uint64
+	// Counters live in the store's obs.Registry (one per knowledge
+	// base); retrievals run concurrently across sessions, so every
+	// update is atomic. Stats() is a view over these.
+	retrievals *obs.Counter
+	scanned    *obs.Counter // clauses examined by pre-unification
+	candidates *obs.Counter // clauses that passed pre-unification
+	stored     *obs.Gauge   // clauses currently stored (state, not traffic)
+	fullScans  *obs.Counter
+	pagesPerRt *obs.Histogram // buffer accesses per retrieval
 }
 
-// Stats counts pre-unification effectiveness.
+// Stats counts pre-unification effectiveness. It is a view over the
+// knowledge base's metrics registry.
 type Stats struct {
 	// Retrievals counts clause-set retrievals.
 	Retrievals uint64
+	// ClausesScanned counts clauses examined by pre-unification (index
+	// candidates plus variable-list records); with pre-unification
+	// disabled every stored clause of the procedure is scanned and
+	// returned.
+	ClausesScanned uint64
 	// CandidatesReturned counts clauses that passed pre-unification.
 	CandidatesReturned uint64
 	// ClausesStored is the total clauses currently stored.
@@ -108,9 +118,31 @@ type Stats struct {
 	FullScans uint64
 }
 
+// Selectivity returns CandidatesReturned/ClausesScanned — the §4
+// pre-unification selectivity (1 when nothing was scanned).
+func (s Stats) Selectivity() float64 {
+	if s.ClausesScanned == 0 {
+		return 1
+	}
+	return float64(s.CandidatesReturned) / float64(s.ClausesScanned)
+}
+
 // Open attaches to (creating if necessary) the EDB inside st.
 func Open(st *store.Store) (*DB, error) {
-	db := &DB{st: st, procs: map[string]*ProcInfo{}}
+	reg := st.Obs()
+	db := &DB{
+		st:         st,
+		procs:      map[string]*ProcInfo{},
+		retrievals: reg.Counter("edb.retrievals"),
+		scanned:    reg.Counter("edb.clauses_scanned"),
+		candidates: reg.Counter("edb.clauses_passed"),
+		stored:     reg.Gauge("edb.clauses_stored"),
+		fullScans:  reg.Counter("edb.full_scans"),
+		pagesPerRt: reg.Histogram("edb.pages_per_retrieval"),
+	}
+	reg.RegisterFunc("edb.preunify_selectivity", func() any {
+		return obs.Ratio(db.candidates.Value(), db.scanned.Value())
+	})
 	if root, ok := st.GetMeta("edb.clauses"); ok {
 		db.clauses = store.OpenHeap(st.Pool(), store.PageID(root))
 	} else {
@@ -155,19 +187,23 @@ func (db *DB) Ext() *ExtDict { return db.ext }
 // Stats returns a snapshot of the pre-unification counters.
 func (db *DB) Stats() Stats {
 	return Stats{
-		Retrievals:         db.retrievals.Load(),
-		CandidatesReturned: db.candidates.Load(),
-		ClausesStored:      db.stored.Load(),
-		FullScans:          db.fullScans.Load(),
+		Retrievals:         db.retrievals.Value(),
+		ClausesScanned:     db.scanned.Value(),
+		CandidatesReturned: db.candidates.Value(),
+		ClausesStored:      uint64(db.stored.Value()),
+		FullScans:          db.fullScans.Value(),
 	}
 }
 
 // ResetStats zeroes the traffic counters (ClausesStored is state, not
-// traffic, and is kept).
+// traffic, and is kept). These counters are shared across every session
+// of the knowledge base; reset them only from a KB-level call.
 func (db *DB) ResetStats() {
-	db.retrievals.Store(0)
-	db.candidates.Store(0)
-	db.fullScans.Store(0)
+	db.retrievals.Reset()
+	db.scanned.Reset()
+	db.candidates.Reset()
+	db.fullScans.Reset()
+	db.pagesPerRt.Reset()
 }
 
 func procKey(name string, arity int) string { return fmt.Sprintf("%s/%d", name, arity) }
@@ -183,7 +219,7 @@ func (db *DB) loadProcs() error {
 			db.nextProc = p.ProcID + 1
 		}
 		db.procs[procKey(p.Name, p.Arity)] = p
-		db.stored.Add(uint64(p.ClauseCount))
+		db.stored.Add(int64(p.ClauseCount))
 		return true, nil
 	})
 }

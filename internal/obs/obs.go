@@ -1,0 +1,338 @@
+// Package obs is the observability substrate of the engine: a
+// low-overhead metrics registry (atomic counters, gauges and fixed-bucket
+// latency histograms) plus the per-query phase-span machinery that
+// reproduces the paper's cost model.
+//
+// The paper's entire argument is a cost attribution — compiled-rule
+// storage moves time out of parse/assert and into load/link + execute
+// (§3.1), and pre-unification slashes pages retrieved per query (§4) —
+// so every layer of the engine reports into one registry per knowledge
+// base, and every query is broken into the phases those sections compare:
+// parse, compile, edb_fetch, preunify, link, exec and gc.
+//
+// Design constraints:
+//
+//   - metrics must be updatable from many sessions concurrently (atomic
+//     operations only, no locks on the hot path);
+//   - a disabled tracer must cost nothing beyond a nil check;
+//   - the package sits below every other engine package and therefore
+//     imports only the standard library.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter (benchmark harness use; concurrent Adds may
+// land on either side of the reset).
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.v.Store(0)
+}
+
+// Gauge is an instantaneous atomic value (e.g. resident cache entries).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of exponential latency buckets: bucket i
+// covers [2^i, 2^(i+1)) nanoseconds, with the last bucket open-ended.
+// 2^31 ns ≈ 2.1 s, which comfortably covers page I/O and GC pauses.
+const histBuckets = 32
+
+// Histogram is a fixed-bucket latency histogram with power-of-two
+// nanosecond buckets. Recording is one atomic add plus two for the
+// sum/count — cheap enough for per-page-I/O use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveN(uint64(d.Nanoseconds()))
+}
+
+// ObserveN records one raw observation (for non-latency distributions
+// such as pages touched per retrieval; bucket i then covers [2^(i-1),
+// 2^i) units).
+func (h *Histogram) ObserveN(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := bits.Len64(v) // 0 for 0, else floor(log2)+1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	SumNS uint64 `json:"sum_ns"`
+	// Buckets holds counts per power-of-two bucket; Buckets[i] counts
+	// observations with floor(log2(ns))+1 == i (index 0 is exactly 0ns).
+	// Trailing empty buckets are trimmed.
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Mean returns the average observation in nanoseconds (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}
+
+// Snapshot returns a consistent-enough view for reporting (individual
+// fields are read atomically; the histogram may be concurrently updated).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), SumNS: h.sum.Load()}
+	last := -1
+	var bs [histBuckets]uint64
+	for i := range h.buckets {
+		bs[i] = h.buckets[i].Load()
+		if bs[i] != 0 {
+			last = i
+		}
+	}
+	s.Buckets = append([]uint64{}, bs[:last+1]...)
+	return s
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Registry is a named collection of metrics. One registry serves one
+// knowledge base; every layer (store, edb, dict, wam, core) registers its
+// shared counters here, and the ad-hoc Stats structs of those layers are
+// views over it. Metric handles are looked up once at construction time
+// and updated lock-free afterwards.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	funcs      map[string]func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		funcs:      map[string]func() any{},
+	}
+}
+
+// Counter returns (creating if absent) the named counter. Safe for
+// concurrent use; intended to be called once per metric at setup.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if absent) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if absent) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// RegisterFunc registers a callback evaluated at snapshot time (for
+// derived values such as ratios, mirroring expvar.Func).
+func (r *Registry) RegisterFunc(name string, f func() any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = f
+}
+
+// Snapshot returns every metric as a flat name → value map suitable for
+// JSON encoding: counters and gauges as numbers, histograms as
+// HistogramSnapshot objects, funcs as their returned value.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return map[string]any{}
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms)+len(r.funcs))
+	out := make(map[string]any, cap(names))
+	for n, c := range r.counters {
+		out[n] = c.Value()
+		names = append(names, n)
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, h := range r.histograms {
+		out[n] = h.Snapshot()
+	}
+	fs := make(map[string]func() any, len(r.funcs))
+	for n, f := range r.funcs {
+		fs[n] = f
+	}
+	r.mu.Unlock()
+	// Funcs run outside the registry lock: they may read other metrics.
+	for n, f := range fs {
+		out[n] = f()
+	}
+	return out
+}
+
+// ResetTraffic zeroes every counter and histogram (gauges and funcs are
+// state, not traffic, and keep their values). This backs the explicit
+// KB-level statistics reset.
+func (r *Registry) ResetTraffic() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, h := range r.histograms {
+		h.Reset()
+	}
+}
+
+// Names returns every registered metric name, sorted (diagnostics).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms)+len(r.funcs))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	for n := range r.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ratio formats hits/total as a fraction in [0,1] (0 when total is 0),
+// shared by the hit-ratio RegisterFunc callbacks.
+func Ratio(hits, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// String renders a ratio for human-readable stats output.
+func RatioString(hits, total uint64) string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", hits, total, 100*Ratio(hits, total))
+}

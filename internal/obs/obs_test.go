@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(time.Millisecond)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram must be empty")
+	}
+	var pt *PhaseTimes
+	pt.Add(PhaseExec, time.Second)
+	if pt.Get(PhaseExec) != 0 {
+		t.Fatal("nil phase times must read 0")
+	}
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must be disabled")
+	}
+	tr.TraceQuery(QueryEvent{}) // must not panic
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveN(0) // bucket 0
+	h.ObserveN(1) // bucket 1
+	h.ObserveN(2) // bucket 2: [2,4)
+	h.ObserveN(3)
+	h.ObserveN(1024) // bucket 11
+	s := h.Snapshot()
+	if s.Count != 5 || s.SumNS != 1030 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.SumNS)
+	}
+	want := []uint64{1, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+	if got := s.Mean(); got != 206 {
+		t.Fatalf("mean = %v", got)
+	}
+	h.Reset()
+	if h.Snapshot().Count != 0 {
+		t.Fatal("reset histogram must be empty")
+	}
+}
+
+func TestRegistrySnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.hits").Add(3)
+	r.Gauge("a.live").Set(9)
+	r.Histogram("a.lat").Observe(5 * time.Nanosecond)
+	r.RegisterFunc("a.ratio", func() any { return Ratio(1, 4) })
+
+	snap := r.Snapshot()
+	if snap["a.hits"] != uint64(3) || snap["a.live"] != int64(9) {
+		t.Fatalf("snapshot = %#v", snap)
+	}
+	if snap["a.ratio"] != 0.25 {
+		t.Fatalf("func value = %v", snap["a.ratio"])
+	}
+	if hs, ok := snap["a.lat"].(HistogramSnapshot); !ok || hs.Count != 1 {
+		t.Fatalf("histogram snapshot = %#v", snap["a.lat"])
+	}
+
+	// Same name returns the same handle.
+	if r.Counter("a.hits") != r.Counter("a.hits") {
+		t.Fatal("counter handles must be stable")
+	}
+
+	r.ResetTraffic()
+	snap = r.Snapshot()
+	if snap["a.hits"] != uint64(0) {
+		t.Fatal("ResetTraffic must zero counters")
+	}
+	if snap["a.live"] != int64(9) {
+		t.Fatal("ResetTraffic must keep gauges")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				r.Histogram("lat").ObserveN(uint64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestQueryStatsRollup(t *testing.T) {
+	var q, cum QueryStats
+	q.Phases.Add(PhaseExec, 5*time.Nanosecond)
+	q.Retrievals = 2
+	q.ClausesScanned = 10
+	q.ClausesPassed = 4
+	q.Asserts = 1
+	cum.AddQuery(&q)
+	cum.AddQuery(&q)
+	if cum.Retrievals != 4 || cum.ClausesScanned != 20 || cum.Asserts != 2 {
+		t.Fatalf("rollup = %+v", cum)
+	}
+	if cum.Phases.Get(PhaseExec) != 10*time.Nanosecond {
+		t.Fatalf("exec = %v", cum.Phases.Get(PhaseExec))
+	}
+	if s := cum.Selectivity(); s != 0.4 {
+		t.Fatalf("selectivity = %v", s)
+	}
+	var empty QueryStats
+	if empty.Selectivity() != 1 {
+		t.Fatal("empty selectivity must be 1")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := []string{"parse", "compile", "edb_fetch", "preunify", "link", "exec", "gc"}
+	qp := QueryPhases()
+	if len(qp) != NumQueryPhases || NumQueryPhases != 7 {
+		t.Fatalf("query phases = %v", qp)
+	}
+	for i, p := range qp {
+		if p.String() != want[i] {
+			t.Fatalf("phase %d = %q, want %q", i, p.String(), want[i])
+		}
+	}
+	if PhaseStore.String() != "store" {
+		t.Fatal("store phase name")
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// TraceEvent names, emitted as the slog message.
+const (
+	// EventSpan is one phase span of one query.
+	EventSpan = "span"
+	// EventQuery is the per-query summary (counters + totals).
+	EventQuery = "query"
+)
+
+// QueryEvent describes one completed query for the tracer: its identity,
+// the goal, the engine mode, its phase spans and its cost counters.
+type QueryEvent struct {
+	SessionID uint64
+	QueryID   uint64
+	Goal      string
+	Mode      string // "compiled" or "source"
+	Solutions int
+	Elapsed   time.Duration
+	Stats     QueryStats
+}
+
+// Tracer emits structured JSON trace events via slog. A nil *Tracer is a
+// valid no-op tracer so the instrumented path is a nil check. One Tracer
+// may serve many sessions concurrently.
+type Tracer struct {
+	mu  sync.Mutex
+	log *slog.Logger
+}
+
+// lockedWriter serialises concurrent sessions' records onto one stream.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// NewTracer returns a tracer writing one JSON object per line to w.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{}
+	h := slog.NewJSONHandler(lockedWriter{mu: &t.mu, w: w}, &slog.HandlerOptions{})
+	t.log = slog.New(h)
+	return t
+}
+
+// NewDeterministicTracer returns a tracer whose records omit the
+// timestamp, for golden-file schema tests.
+func NewDeterministicTracer(w io.Writer) *Tracer {
+	t := &Tracer{}
+	h := slog.NewJSONHandler(lockedWriter{mu: &t.mu, w: w}, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	t.log = slog.New(h)
+	return t
+}
+
+// Enabled reports whether events will be emitted.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// TraceQuery emits the trace records of one completed query: one span
+// event per query phase (all seven, zero-duration included, so the cost
+// breakdown is always complete) followed by one query summary event.
+func (t *Tracer) TraceQuery(ev QueryEvent) {
+	if t == nil {
+		return
+	}
+	common := []any{
+		slog.Uint64("session_id", ev.SessionID),
+		slog.Uint64("query_id", ev.QueryID),
+	}
+	for _, p := range QueryPhases() {
+		args := append([]any{}, common...)
+		args = append(args,
+			slog.String("phase", p.String()),
+			slog.Int64("ns", ev.Stats.Phases[p]),
+		)
+		t.log.Info(EventSpan, args...)
+	}
+	args := append([]any{}, common...)
+	args = append(args,
+		slog.String("goal", ev.Goal),
+		slog.String("mode", ev.Mode),
+		slog.Int("solutions", ev.Solutions),
+		slog.Int64("elapsed_ns", ev.Elapsed.Nanoseconds()),
+		slog.Group("counters",
+			slog.Uint64("retrievals", ev.Stats.Retrievals),
+			slog.Uint64("clauses_scanned", ev.Stats.ClausesScanned),
+			slog.Uint64("clauses_passed", ev.Stats.ClausesPassed),
+			slog.Uint64("pages_touched", ev.Stats.PagesTouched),
+			slog.Uint64("code_cache_hits", ev.Stats.CacheHits),
+			slog.Uint64("code_cache_misses", ev.Stats.CacheMisses),
+			slog.Uint64("asserts", ev.Stats.Asserts),
+		),
+		slog.Float64("preunify_selectivity", ev.Stats.Selectivity()),
+	)
+	t.log.Info(EventQuery, args...)
+}

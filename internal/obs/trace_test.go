@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixedEvent is a fully deterministic query event for the schema test.
+func fixedEvent() QueryEvent {
+	ev := QueryEvent{
+		SessionID: 3,
+		QueryID:   17,
+		Goal:      "conn(marienplatz, X)",
+		Mode:      "compiled",
+		Solutions: 4,
+		Elapsed:   1500 * time.Nanosecond,
+	}
+	for i, p := range QueryPhases() {
+		ev.Stats.Phases.Add(p, time.Duration(100*(i+1)))
+	}
+	ev.Stats.Retrievals = 2
+	ev.Stats.ClausesScanned = 40
+	ev.Stats.ClausesPassed = 8
+	ev.Stats.PagesTouched = 5
+	ev.Stats.CacheHits = 1
+	ev.Stats.CacheMisses = 1
+	return ev
+}
+
+// TestTraceGolden pins the JSON trace event schema: one span record per
+// query phase followed by one query summary, with stable field names.
+// Run with -update to regenerate testdata/trace.golden.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewDeterministicTracer(&buf)
+	tr.TraceQuery(fixedEvent())
+
+	golden := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("trace output diverged from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestTraceEventStructure checks the decoded shape: every span names one
+// of the seven query phases exactly once, and the summary carries the
+// full counter set.
+func TestTraceEventStructure(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.TraceQuery(fixedEvent())
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != NumQueryPhases+1 {
+		t.Fatalf("got %d records, want %d", len(lines), NumQueryPhases+1)
+	}
+	seen := map[string]bool{}
+	for _, ln := range lines[:NumQueryPhases] {
+		var rec struct {
+			Msg       string `json:"msg"`
+			SessionID uint64 `json:"session_id"`
+			QueryID   uint64 `json:"query_id"`
+			Phase     string `json:"phase"`
+			NS        *int64 `json:"ns"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad JSON %q: %v", ln, err)
+		}
+		if rec.Msg != EventSpan || rec.SessionID != 3 || rec.QueryID != 17 || rec.NS == nil {
+			t.Fatalf("bad span record %q", ln)
+		}
+		if seen[rec.Phase] {
+			t.Fatalf("phase %s emitted twice", rec.Phase)
+		}
+		seen[rec.Phase] = true
+	}
+	for _, p := range QueryPhases() {
+		if !seen[p.String()] {
+			t.Fatalf("missing span for phase %s", p)
+		}
+	}
+	var sum map[string]any
+	if err := json.Unmarshal([]byte(lines[NumQueryPhases]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum["msg"] != EventQuery || sum["goal"] != "conn(marienplatz, X)" {
+		t.Fatalf("bad summary %v", sum)
+	}
+	counters, ok := sum["counters"].(map[string]any)
+	if !ok {
+		t.Fatalf("summary missing counters group: %v", sum)
+	}
+	for _, k := range []string{"retrievals", "clauses_scanned", "clauses_passed",
+		"pages_touched", "code_cache_hits", "code_cache_misses", "asserts"} {
+		if _, ok := counters[k]; !ok {
+			t.Fatalf("counters missing %q: %v", k, counters)
+		}
+	}
+	if sum["preunify_selectivity"] != 0.2 {
+		t.Fatalf("selectivity = %v", sum["preunify_selectivity"])
+	}
+}
+
+// TestTracerConcurrent exercises the locked writer: records from many
+// goroutines must stay line-atomic.
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewDeterministicTracer(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			ev := fixedEvent()
+			ev.SessionID = id
+			tr.TraceQuery(ev)
+		}(uint64(i))
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*(NumQueryPhases+1) {
+		t.Fatalf("got %d records, want %d", len(lines), 8*(NumQueryPhases+1))
+	}
+	for _, ln := range lines {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("interleaved record: %q", ln)
+		}
+	}
+}

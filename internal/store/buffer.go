@@ -5,11 +5,15 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // IOStats counts page traffic through the buffer pool. The paper's
 // Wisconsin table reports buffer accesses and page read/write frequencies
-// (Table 2b); these counters regenerate that data.
+// (Table 2b); these counters regenerate that data. IOStats is a view: the
+// authoritative counters live in the store's obs.Registry.
 type IOStats struct {
 	// Accesses counts every Get (buffer accesses).
 	Accesses uint64
@@ -21,6 +25,39 @@ type IOStats struct {
 	Writes uint64
 	// Evictions counts frames recycled.
 	Evictions uint64
+}
+
+// HitRatio returns Hits/Accesses (the paper's buffer warmth measure).
+func (s IOStats) HitRatio() float64 { return obs.Ratio(s.Hits, s.Accesses) }
+
+// poolMetrics bundles the registry handles the pool updates. All handles
+// are resolved once at pool construction; updates are lock-free atomics.
+type poolMetrics struct {
+	accesses  *obs.Counter
+	hits      *obs.Counter
+	reads     *obs.Counter
+	writes    *obs.Counter
+	evictions *obs.Counter
+	readNS    *obs.Histogram // page read latency
+	writeNS   *obs.Histogram // page write latency
+	evictNS   *obs.Histogram // eviction latency (incl. dirty write-back)
+}
+
+func newPoolMetrics(reg *obs.Registry) poolMetrics {
+	m := poolMetrics{
+		accesses:  reg.Counter("store.pool.accesses"),
+		hits:      reg.Counter("store.pool.hits"),
+		reads:     reg.Counter("store.pool.reads"),
+		writes:    reg.Counter("store.pool.writes"),
+		evictions: reg.Counter("store.pool.evictions"),
+		readNS:    reg.Histogram("store.page_read_ns"),
+		writeNS:   reg.Histogram("store.page_write_ns"),
+		evictNS:   reg.Histogram("store.evict_ns"),
+	}
+	reg.RegisterFunc("store.pool.hit_ratio", func() any {
+		return obs.Ratio(m.hits.Value(), m.accesses.Value())
+	})
+	return m
 }
 
 // Frame is a pinned page in the buffer pool. Callers must Unpin it.
@@ -81,13 +118,20 @@ type Pool struct {
 	capacity int
 	frames   map[PageID]*Frame
 	lru      *list.List // front = most recently used; holds unpinned frames
-	stats    IOStats
+	met      poolMetrics
 	attached map[*Tally]int // attach counts per tally
 }
 
 // NewPool returns a buffer pool of the given capacity (in pages) over the
-// pager. Capacity below 8 is raised to 8.
+// pager, reporting into a private metrics registry. Capacity below 8 is
+// raised to 8.
 func NewPool(pager Pager, capacity int) *Pool {
+	return NewPoolObs(pager, capacity, obs.NewRegistry())
+}
+
+// NewPoolObs returns a buffer pool reporting into reg (one registry per
+// knowledge base; the pool contributes the store.* metrics).
+func NewPoolObs(pager Pager, capacity int, reg *obs.Registry) *Pool {
 	if capacity < 8 {
 		capacity = 8
 	}
@@ -96,6 +140,7 @@ func NewPool(pager Pager, capacity int) *Pool {
 		capacity: capacity,
 		frames:   map[PageID]*Frame{},
 		lru:      list.New(),
+		met:      newPoolMetrics(reg),
 		attached: map[*Tally]int{},
 	}
 }
@@ -128,30 +173,42 @@ func (p *Pool) Detach(t *Tally) {
 // Pager exposes the underlying pager.
 func (p *Pool) Pager() Pager { return p.pager }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters — a view over the
+// registry-backed metrics, which are the single source of truth.
 func (p *Pool) Stats() IOStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return IOStats{
+		Accesses:  p.met.accesses.Value(),
+		Hits:      p.met.hits.Value(),
+		Reads:     p.met.reads.Value(),
+		Writes:    p.met.writes.Value(),
+		Evictions: p.met.evictions.Value(),
+	}
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the pool's registry counters. This resets shared
+// state visible to every session of the knowledge base; sessions wanting
+// a private baseline should use a Tally instead.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = IOStats{}
+	p.met.accesses.Reset()
+	p.met.hits.Reset()
+	p.met.reads.Reset()
+	p.met.writes.Reset()
+	p.met.evictions.Reset()
+	p.met.readNS.Reset()
+	p.met.writeNS.Reset()
+	p.met.evictNS.Reset()
 }
 
 // Get pins page id and returns its frame, reading it if absent.
 func (p *Pool) Get(id PageID) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.Accesses++
+	p.met.accesses.Inc()
 	for t := range p.attached {
 		t.accesses.Add(1)
 	}
 	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
+		p.met.hits.Inc()
 		for t := range p.attached {
 			t.hits.Add(1)
 		}
@@ -166,14 +223,16 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.stats.Reads++
+	p.met.reads.Inc()
 	for t := range p.attached {
 		t.reads.Add(1)
 	}
+	t0 := time.Now()
 	if err := p.pager.ReadPage(id, f.Data); err != nil {
 		delete(p.frames, id)
 		return nil, err
 	}
+	p.met.readNS.Observe(time.Since(t0))
 	f.pins = 1
 	return f, nil
 }
@@ -186,7 +245,7 @@ func (p *Pool) Alloc() (*Frame, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.Accesses++
+	p.met.accesses.Inc()
 	for t := range p.attached {
 		t.accesses.Add(1)
 	}
@@ -206,20 +265,24 @@ func (p *Pool) newFrame(id PageID) (*Frame, error) {
 		if back == nil {
 			return nil, fmt.Errorf("store: buffer pool exhausted (%d pages, all pinned)", p.capacity)
 		}
+		t0 := time.Now()
 		victim := back.Value.(*Frame)
 		p.lru.Remove(back)
 		victim.elem = nil
 		if victim.dirty {
-			p.stats.Writes++
+			p.met.writes.Inc()
 			for t := range p.attached {
 				t.writes.Add(1)
 			}
+			tw := time.Now()
 			if err := p.pager.WritePage(victim.id, victim.Data); err != nil {
 				return nil, err
 			}
+			p.met.writeNS.Observe(time.Since(tw))
 		}
 		delete(p.frames, victim.id)
-		p.stats.Evictions++
+		p.met.evictions.Inc()
+		p.met.evictNS.Observe(time.Since(t0))
 		for t := range p.attached {
 			t.evictions.Add(1)
 		}
@@ -269,13 +332,15 @@ func (p *Pool) FlushAll() error {
 	defer p.mu.Unlock()
 	for _, f := range p.frames {
 		if f.dirty {
-			p.stats.Writes++
+			p.met.writes.Inc()
 			for t := range p.attached {
 				t.writes.Add(1)
 			}
+			tw := time.Now()
 			if err := p.pager.WritePage(f.id, f.Data); err != nil {
 				return err
 			}
+			p.met.writeNS.Observe(time.Since(tw))
 			f.dirty = false
 		}
 	}

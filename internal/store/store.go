@@ -1,13 +1,21 @@
 package store
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Store bundles a pager and a buffer pool and exposes a small name->root
 // metadata table used by higher layers (the EDB catalog) to find their
-// structures again after reopening a file.
+// structures again after reopening a file. It also owns the metrics
+// registry shared by every layer of the knowledge base built on top of
+// it (the store is the bottom of the stack, so the registry is created
+// here and exposed upward via Obs).
 type Store struct {
 	pager Pager
 	pool  *Pool
+	reg   *obs.Registry
 }
 
 // DefaultPoolPages is the default buffer pool capacity. The paper's test
@@ -31,11 +39,16 @@ func Open(path string, poolPages int) (*Store, error) {
 			return nil, err
 		}
 	}
-	return &Store{pager: pager, pool: NewPool(pager, poolPages)}, nil
+	reg := obs.NewRegistry()
+	return &Store{pager: pager, pool: NewPoolObs(pager, poolPages, reg), reg: reg}, nil
 }
 
 // Pool returns the buffer pool.
 func (s *Store) Pool() *Pool { return s.pool }
+
+// Obs returns the metrics registry shared by every layer of the
+// knowledge base built on this store.
+func (s *Store) Obs() *obs.Registry { return s.reg }
 
 // Stats returns buffer pool I/O counters.
 func (s *Store) Stats() IOStats { return s.pool.Stats() }

@@ -32,6 +32,7 @@ func (m *Machine) runLoop() (bool, error) {
 		}
 		ins := &m.p.blk.Instrs[m.p.off]
 		m.stats.Instructions++
+		m.stats.OpClasses[opClassOf[ins.Op]]++
 
 		switch ins.Op {
 		case OpNop:
@@ -433,6 +434,7 @@ func (m *Machine) runLoop() (bool, error) {
 				continue
 			}
 			m.p.off = int(target)
+			m.noteSwitchDispatch()
 		case OpSwitchOnConstant:
 			d := m.Deref(m.x[0])
 			off := switchLookup(ins.Tbl, d)
@@ -446,6 +448,7 @@ func (m *Machine) runLoop() (bool, error) {
 				continue
 			}
 			m.p.off = int(off)
+			m.noteSwitchDispatch()
 		case OpSwitchOnStructure:
 			d := m.Deref(m.x[0])
 			var key Cell
@@ -463,6 +466,7 @@ func (m *Machine) runLoop() (bool, error) {
 				continue
 			}
 			m.p.off = int(off)
+			m.noteSwitchDispatch()
 
 		// --- cut ----------------------------------------------------
 		case OpNeckCut:

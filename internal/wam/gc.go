@@ -1,5 +1,11 @@
 package wam
 
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
 // Garbage collection of the global stack (paper §3.3.2).
 //
 // The collector is a mark-slide compactor: live cells keep their relative
@@ -31,8 +37,17 @@ func (m *Machine) maybeGC(nargs int) {
 }
 
 // Collect performs a full mark-slide collection with the first nargs
-// argument registers as register roots.
+// argument registers as register roots. The pause is timed: totals go to
+// Stats.GCPauseNS, per-query attribution to the phase sink (the paper's
+// §3.3.2 spreads collections across normal processing; the gc span makes
+// their cost visible in every query's breakdown).
 func (m *Machine) Collect(nargs int) {
+	gcStart := time.Now()
+	defer func() {
+		d := time.Since(gcStart)
+		m.stats.GCPauseNS += uint64(d.Nanoseconds())
+		m.phaseSink.Add(obs.PhaseGC, d)
+	}()
 	m.stats.GCRuns++
 	if len(m.heap) > m.stats.HeapPeak {
 		m.stats.HeapPeak = len(m.heap)

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/dict"
+	"repro/internal/obs"
 	"repro/internal/term"
 )
 
@@ -16,12 +17,22 @@ type Stats struct {
 	Instructions uint64
 	Calls        uint64
 	ChoicePoints uint64
-	Backtracks   uint64
-	Unifications uint64
-	TrailOps     uint64
-	GCRuns       uint64
-	GCCellsFreed uint64
-	HeapPeak     int
+	// ChoicePointsElided counts indexing dispatches that jumped straight
+	// into a single candidate clause, skipping the try chain a naive
+	// translation would have pushed (§3.2.2).
+	ChoicePointsElided uint64
+	Backtracks         uint64
+	Unifications       uint64
+	TrailOps           uint64
+	GCRuns             uint64
+	GCCellsFreed       uint64
+	// GCPauseNS is the total time spent in heap collections; per-query
+	// attribution goes through the machine's phase sink.
+	GCPauseNS uint64
+	HeapPeak  int
+	// OpClasses counts executed instructions per opcode class (indexed
+	// by OpClass).
+	OpClasses [NumOpClasses]uint64
 }
 
 // ErrUnknownProc reports a call to a procedure with no definition.
@@ -126,6 +137,10 @@ type Machine struct {
 	gcLastHeap  int
 
 	stats Stats
+	// phaseSink receives per-query phase attributions the machine makes
+	// itself (currently gc pauses). Nil records nothing; the owning
+	// session points it at the current query's span set.
+	phaseSink *obs.PhaseTimes
 
 	haltBlock  *CodeBlock
 	retryBlock *CodeBlock
@@ -169,6 +184,11 @@ func (m *Machine) Stats() Stats {
 
 // ResetStats zeroes the counters.
 func (m *Machine) ResetStats() { m.stats = Stats{} }
+
+// SetPhaseSink directs the machine's own phase attributions (gc pauses)
+// to pt; nil disables attribution. The owning session points this at the
+// current query's span set.
+func (m *Machine) SetPhaseSink(pt *obs.PhaseTimes) { m.phaseSink = pt }
 
 // SetGC enables or disables the garbage collector (paper §3.3.2 allows
 // temporarily disabling it in time-critical regions).
