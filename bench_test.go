@@ -6,6 +6,7 @@ package repro
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -113,6 +114,31 @@ func BenchmarkMVVClass1EduceStar(b *testing.B) { benchMVV(b, bench.EduceStar, 1)
 func BenchmarkMVVClass2EduceStar(b *testing.B) { benchMVV(b, bench.EduceStar, 2) }
 func BenchmarkMVVClass1Educe(b *testing.B)     { benchMVV(b, bench.Educe, 1) }
 func BenchmarkMVVClass2Educe(b *testing.B)     { benchMVV(b, bench.Educe, 2) }
+
+// File-backed variants: same workload through the durable store —
+// checksummed frames, write-ahead log, recovery metadata — to measure
+// the cost of crash safety against the in-memory baselines above.
+func benchMVVFile(b *testing.B, class int) {
+	data := mvv.Generate()
+	e, err := bench.SetupMVVAt(bench.EduceStar, data, filepath.Join(b.TempDir(), "mvv.edb"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	queries := data.Class1
+	if class == 2 {
+		queries = data.Class2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunMVVClass(e, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMVVClass1EduceStarFile(b *testing.B) { benchMVVFile(b, 1) }
+func BenchmarkMVVClass2EduceStarFile(b *testing.B) { benchMVVFile(b, 2) }
 
 // --- E1 concurrent: N sessions over one shared knowledge base -----------------
 

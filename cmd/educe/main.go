@@ -10,6 +10,16 @@
 // for more solutions, anything else for the next goal. Type 'halt.' to
 // leave.
 //
+// Robustness:
+//
+//	-check        verify the knowledge base's on-disk integrity (page
+//	              checksums, structural invariants, index consistency)
+//	              and exit; nonzero exit status on corruption
+//	-repair       like -check, but rebuild derived structures (secondary
+//	              attribute indexes) when the check fails, then re-verify
+//	-timeout D    bound every goal by wall-clock duration D (e.g. 5s);
+//	              runaway goals abort with a catchable timeout error
+//
 // Observability:
 //
 //	-stats        print the cost breakdown (phase spans, pre-unification
@@ -47,6 +57,9 @@ func main() {
 	sessions := flag.Int("sessions", 1, "with -goal: run the goal concurrently on N sessions sharing one knowledge base (EDB-stored predicates only)")
 	tracePath := flag.String("trace", "", "write per-query JSON trace events to this file (\"-\" = stderr)")
 	metricsAddr := flag.String("metrics", "", "serve live metrics JSON on this address (http://ADDR/metrics)")
+	check := flag.Bool("check", false, "verify the knowledge base's integrity and exit (nonzero on corruption)")
+	repair := flag.Bool("repair", false, "verify, rebuild derived indexes on failure, re-verify, and exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound per goal; runaway goals abort with a timeout error (0 = none)")
 	flag.Parse()
 
 	opts := educe.Options{StorePath: *dbPath}
@@ -64,6 +77,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer eng.Close()
+
+	if *check || *repair {
+		code := runCheck(eng, *repair)
+		eng.Close()
+		os.Exit(code)
+	}
 
 	var tracer *educe.Tracer
 	if *tracePath != "" {
@@ -108,11 +127,11 @@ func main() {
 	if *goal != "" {
 		g := strings.TrimSuffix(*goal, ".")
 		if *sessions > 1 {
-			if err := runConcurrent(eng, g, *sessions, tracer); err != nil {
+			if err := runConcurrent(eng, g, *sessions, tracer, *timeout); err != nil {
 				fmt.Fprintln(os.Stderr, "educe:", err)
 				os.Exit(1)
 			}
-		} else if err := runBatch(eng, g); err != nil {
+		} else if err := runBatch(eng, g, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "educe:", err)
 			os.Exit(1)
 		}
@@ -138,14 +157,15 @@ func main() {
 		if goal == "halt" {
 			return
 		}
-		runGoal(eng, in, goal)
+		runGoal(eng, in, goal, *timeout)
 		if *stats {
 			printStats(eng.Stats())
 		}
 	}
 }
 
-func runGoal(eng *educe.Engine, in *bufio.Scanner, goal string) {
+func runGoal(eng *educe.Engine, in *bufio.Scanner, goal string, timeout time.Duration) {
+	eng.SetTimeout(timeout)
 	sols, err := eng.Query(goal)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -233,8 +253,36 @@ func serveMetrics(addr string, reg *educe.Registry) error {
 	}
 }
 
+// runCheck verifies the knowledge base and, when asked, repairs what is
+// derivable. Exit status 0 means the store is (now) sound.
+func runCheck(eng *educe.Engine, repair bool) int {
+	kb := eng.KB()
+	err := kb.Check()
+	if err == nil {
+		fmt.Println("% knowledge base check: ok")
+		return 0
+	}
+	fmt.Fprintln(os.Stderr, "educe: check:", err)
+	if !repair {
+		return 1
+	}
+	n, rerr := kb.Repair()
+	fmt.Printf("%% repair: %d derived indexes rebuilt\n", n)
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "educe: repair:", rerr)
+		return 1
+	}
+	if err := kb.Check(); err != nil {
+		fmt.Fprintln(os.Stderr, "educe: check after repair:", err)
+		return 1
+	}
+	fmt.Println("% knowledge base check: ok after repair")
+	return 0
+}
+
 // runBatch prints every solution of one goal.
-func runBatch(eng *educe.Engine, goal string) error {
+func runBatch(eng *educe.Engine, goal string, timeout time.Duration) error {
+	eng.SetTimeout(timeout)
 	sols, err := eng.Query(goal)
 	if err != nil {
 		return err
@@ -268,7 +316,7 @@ func runBatch(eng *educe.Engine, goal string) error {
 // knowledge base, printing per-session solution counts and times. Only
 // EDB-stored predicates are visible to the extra sessions; main-memory
 // consults are private to the primary session.
-func runConcurrent(eng *educe.Engine, goal string, n int, tracer *educe.Tracer) error {
+func runConcurrent(eng *educe.Engine, goal string, n int, tracer *educe.Tracer, timeout time.Duration) error {
 	kb := eng.KB()
 	type result struct {
 		count   int
@@ -291,6 +339,7 @@ func runConcurrent(eng *educe.Engine, goal string, n int, tracer *educe.Tracer) 
 			if tracer != nil {
 				s.SetTracer(tracer)
 			}
+			s.SetTimeout(timeout)
 			t0 := time.Now()
 			cnt, err := s.QueryCount(goal)
 			results[i] = result{count: cnt, elapsed: time.Since(t0), err: err}

@@ -55,7 +55,15 @@ type MVVRow struct {
 // SetupMVV builds an engine loaded with the MVV knowledge base: facts in
 // the EDB, route rules in internal storage (paper §5.1).
 func SetupMVV(sys System, data *mvv.Data) (*core.Engine, error) {
-	opts := core.Options{}
+	return SetupMVVAt(sys, data, "")
+}
+
+// SetupMVVAt is SetupMVV over a store at path (empty = in-memory). A
+// file path exercises the full durable stack — checksummed pages and
+// the write-ahead log — under the same workload, so the durability
+// overhead can be measured against the in-memory baseline.
+func SetupMVVAt(sys System, data *mvv.Data, path string) (*core.Engine, error) {
+	opts := core.Options{StorePath: path}
 	if sys == Educe {
 		opts.RuleStorage = core.RuleStorageSource
 	}

@@ -358,6 +358,28 @@ func (s *Session) Cost() obs.QueryStats {
 // ID returns the session's KB-unique identifier (stamped on trace events).
 func (s *Session) ID() uint64 { return s.id }
 
+// SetDeadline bounds compiled-mode query execution by wall-clock time:
+// once t passes, the running (or any later) query on this session
+// aborts with a catchable error(timeout, educe) ball. The zero time
+// removes the bound. The deadline is polled amortized in the WAM
+// dispatch loop; baseline (source-mode) queries are not covered.
+func (s *Session) SetDeadline(t time.Time) { s.m.SetDeadline(t) }
+
+// SetTimeout arms a deadline d from now; d <= 0 removes any deadline.
+func (s *Session) SetTimeout(d time.Duration) {
+	if d <= 0 {
+		s.m.SetDeadline(time.Time{})
+		return
+	}
+	s.m.SetDeadline(time.Now().Add(d))
+}
+
+// Interrupt asynchronously aborts this session's running compiled-mode
+// query with a catchable error(interrupted, educe) ball. Safe to call
+// from any goroutine; a pending interrupt is discarded when the next
+// query starts.
+func (s *Session) Interrupt() { s.m.Interrupt() }
+
 // SetTracer directs the session's per-query trace events to t (nil
 // disables tracing). One tracer may be shared by many sessions; its
 // output is serialised internally.

@@ -63,8 +63,11 @@ type KnowledgeBase struct {
 	cacheMisses  *obs.Counter
 	cacheInvals  *obs.Counter
 	cacheEntries *obs.Gauge
-	sessionSeq   atomic.Uint64
-	querySeq     atomic.Uint64
+	// panicsRecovered counts runtime panics contained at the query
+	// boundary and converted into Prolog system_error balls.
+	panicsRecovered *obs.Counter
+	sessionSeq      atomic.Uint64
+	querySeq        atomic.Uint64
 }
 
 // sharedCacheLimit caps the number of shared loaded-code variants before
@@ -99,10 +102,11 @@ func OpenKB(opts Options) (*KnowledgeBase, error) {
 		codeCache:    map[string][]compiler.ClauseCode{},
 		procVers:     map[string]uint64{},
 		reg:          reg,
-		cacheHits:    reg.Counter("core.codecache.hits"),
-		cacheMisses:  reg.Counter("core.codecache.misses"),
-		cacheInvals:  reg.Counter("core.codecache.invalidations"),
-		cacheEntries: reg.Gauge("core.codecache.entries"),
+		cacheHits:       reg.Counter("core.codecache.hits"),
+		cacheMisses:     reg.Counter("core.codecache.misses"),
+		cacheInvals:     reg.Counter("core.codecache.invalidations"),
+		cacheEntries:    reg.Gauge("core.codecache.entries"),
+		panicsRecovered: reg.Counter("core.panics_recovered"),
 	}
 	reg.RegisterFunc("core.codecache.hit_ratio", func() any {
 		h := kb.cacheHits.Value()
@@ -144,6 +148,38 @@ func (kb *KnowledgeBase) Flush() error { return kb.st.Flush() }
 
 // Store returns the underlying page store.
 func (kb *KnowledgeBase) Store() *store.Store { return kb.st }
+
+// Check verifies the knowledge base's on-disk integrity: every EDB
+// structure (procedure descriptors, clause heaps, grid and attribute
+// indexes, variable lists) passes its invariant verifier and every
+// stored clause's code blob is readable. On a file-backed store each
+// page visited has its checksum verified as a side effect. Check takes
+// the read lock, so it can run against a live KB between queries.
+func (kb *KnowledgeBase) Check() error {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.db.Check()
+}
+
+// Repair rebuilds the EDB's derived structures (per-attribute secondary
+// indexes) from its primary ones for every procedure whose Check fails,
+// then flushes. It returns the number of indexes rebuilt; corruption in
+// a primary structure is unrepairable and reported as an error. Cached
+// loaded code for repaired procedures is invalidated.
+func (kb *KnowledgeBase) Repair() (int, error) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	n, err := kb.db.Repair()
+	if n > 0 {
+		for _, p := range kb.db.Procs() {
+			kb.invalidateProc(p.Name, p.Arity)
+		}
+		if ferr := kb.st.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return n, err
+}
 
 // DB returns the external database layer. Mutating it directly bypasses
 // the KB write lock; use session methods (or Lock/Unlock) for writes.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -41,10 +42,17 @@ type Solutions struct {
 // in baseline (source) mode. Each query starts from a fresh view of the
 // shared knowledge base: code another session invalidated since the last
 // query is dropped and reloaded on use.
-func (s *Session) Query(q string) (*Solutions, error) {
+func (s *Session) Query(q string) (sol *Solutions, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, s.containPanic(r)
+		}
+	}()
 	s.endQuery()
 	s.syncWithKB()
 	s.beginQuery(q)
+	// An interrupt aimed at the previous query must not kill this one.
+	s.m.ClearInterrupt()
 	t0 := time.Now()
 	body, vars, err := parser.ParseTermWithOps(q, s.ops)
 	s.q.Phases.Add(obs.PhaseParse, time.Since(t0))
@@ -115,7 +123,14 @@ func (s *Session) Query(q string) (*Solutions, error) {
 // fetching, decoding and linking stored code) is charged to its own
 // phases, so exec overlaps edb_fetch/preunify/link/gc; elapsed wall time
 // is reported separately in the query trace event.
-func (s *Solutions) Next() bool {
+func (s *Solutions) Next() (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = s.e.containPanic(r)
+			s.finish()
+			ok = false
+		}
+	}()
 	if s.done {
 		return false
 	}
@@ -172,6 +187,18 @@ func (s *Solutions) Err() error { return s.err }
 // multiple times and after exhaustion.
 func (s *Solutions) Close() {
 	s.finish()
+}
+
+// containPanic converts a runtime panic escaping query execution into
+// a Prolog error term, so one query tripping an engine bug surfaces as
+// an error on that query instead of killing every session sharing the
+// process. The recovered value is preserved in the term; the machine's
+// transient state is abandoned (the next Query resets it).
+func (s *Session) containPanic(r any) error {
+	s.kb.panicsRecovered.Inc()
+	return &wam.ErrBall{Term: term.Comp("error",
+		term.Comp("system_error", term.Atom(fmt.Sprint(r))),
+		term.Atom("educe"))}
 }
 
 // beginQuery rolls the previous query's (and any between-query consult

@@ -1,0 +1,250 @@
+package edb
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// Check verifies the EDB's integrity: the shared heaps and every
+// procedure's access structures pass their storage-level invariant
+// checks, every clause registry record decodes and its code blob is
+// readable, the secondary attribute indexes mirror the grid exactly,
+// and reachable clause counts match the procedure descriptors. On a
+// file-backed store every page visited also has its checksum verified
+// by the pager, so a clean Check means the whole knowledge base is
+// readable and structurally sound.
+func (db *DB) Check() error {
+	if err := db.clauses.Check(); err != nil {
+		return fmt.Errorf("edb: clauses heap: %w", err)
+	}
+	if err := db.procHeap.Check(); err != nil {
+		return fmt.Errorf("edb: procedures heap: %w", err)
+	}
+	for _, p := range db.Procs() {
+		if err := db.CheckProc(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckProc verifies one procedure's stored clauses and indexes.
+func (db *DB) CheckProc(p *ProcInfo) error {
+	count, err := db.checkVarList(p)
+	if err != nil {
+		return err
+	}
+	if p.K > 0 {
+		ground, err := db.checkGround(p)
+		if err != nil {
+			return err
+		}
+		count += ground
+	}
+	if count != p.ClauseCount {
+		return fmt.Errorf("edb: %s: %d clauses reachable, descriptor records %d", p.Indicator(), count, p.ClauseCount)
+	}
+	return nil
+}
+
+// checkVarList verifies the variable-list heap and its records.
+func (db *DB) checkVarList(p *ProcInfo) (int, error) {
+	vh := db.procVarHeap(p)
+	if err := vh.Check(); err != nil {
+		return 0, fmt.Errorf("edb: %s: variable list: %w", p.Indicator(), err)
+	}
+	count := 0
+	err := vh.Scan(func(rid store.RID, data []byte) (bool, error) {
+		_, blobRID, _, err := decodeClauseRec(data)
+		if err != nil {
+			return false, fmt.Errorf("edb: %s: variable-list record %s: %w", p.Indicator(), rid, err)
+		}
+		if _, err := db.clauses.Get(blobRID); err != nil {
+			return false, fmt.Errorf("edb: %s: clause blob %s: %w", p.Indicator(), blobRID, err)
+		}
+		count++
+		return true, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// checkGround verifies the grid, the registry records it addresses, and
+// that each secondary attribute index holds exactly the grid's entries.
+func (db *DB) checkGround(p *ProcInfo) (int, error) {
+	if len(p.attrAnchors) != p.K {
+		return 0, fmt.Errorf("edb: %s: %d attribute indexes recorded, want %d", p.Indicator(), len(p.attrAnchors), p.K)
+	}
+	g, err := db.procGrid(p)
+	if err != nil {
+		return 0, fmt.Errorf("edb: %s: grid: %w", p.Indicator(), err)
+	}
+	if err := g.Check(); err != nil {
+		return 0, fmt.Errorf("edb: %s: grid: %w", p.Indicator(), err)
+	}
+	// Resolve every grid payload: registry record decodes, its keys are
+	// ground, and the code blob it addresses is readable.
+	type regRec struct{ keys []ArgKey }
+	recs := map[uint64]regRec{}
+	var walkErr error
+	err = g.PartialMatch(make([]bool, p.K), make([]uint64, p.K), func(payload uint64) bool {
+		rid := store.UnpackRID(payload)
+		rec, err := db.clauses.Get(rid)
+		if err != nil {
+			walkErr = fmt.Errorf("edb: %s: clause record %s: %w", p.Indicator(), rid, err)
+			return false
+		}
+		_, blobRID, keys, err := decodeClauseRec(rec)
+		if err != nil {
+			walkErr = fmt.Errorf("edb: %s: clause record %s: %w", p.Indicator(), rid, err)
+			return false
+		}
+		for i, k := range keys {
+			if k.Wild {
+				walkErr = fmt.Errorf("edb: %s: clause record %s: wildcard key %d stored in the grid", p.Indicator(), rid, i)
+				return false
+			}
+		}
+		if _, err := db.clauses.Get(blobRID); err != nil {
+			walkErr = fmt.Errorf("edb: %s: clause blob %s: %w", p.Indicator(), blobRID, err)
+			return false
+		}
+		if _, dup := recs[payload]; dup {
+			walkErr = fmt.Errorf("edb: %s: clause record %s indexed twice in the grid", p.Indicator(), rid)
+			return false
+		}
+		recs[payload] = regRec{keys: keys}
+		return true
+	})
+	if err != nil {
+		return 0, fmt.Errorf("edb: %s: grid: %w", p.Indicator(), err)
+	}
+	if walkErr != nil {
+		return 0, walkErr
+	}
+	// The per-attribute secondary indexes must mirror the grid: same
+	// payload set, keyed by that attribute's hash.
+	for i := range p.attrAnchors {
+		bt := db.procAttrIdx(p, i)
+		if err := bt.Check(); err != nil {
+			return 0, fmt.Errorf("edb: %s: attribute index %d: %w", p.Indicator(), i, err)
+		}
+		seen := 0
+		var idxErr error
+		err := bt.Range(nil, nil, func(key []byte, val uint64) bool {
+			r, ok := recs[val]
+			if !ok {
+				idxErr = fmt.Errorf("edb: %s: attribute index %d: payload %d not in the grid", p.Indicator(), i, val)
+				return false
+			}
+			if i < len(r.keys) && !bytes.Equal(key, hashKeyBytes(r.keys[i].Hash)) {
+				idxErr = fmt.Errorf("edb: %s: attribute index %d: payload %d filed under the wrong hash", p.Indicator(), i, val)
+				return false
+			}
+			seen++
+			return true
+		})
+		if err != nil {
+			return 0, fmt.Errorf("edb: %s: attribute index %d: %w", p.Indicator(), i, err)
+		}
+		if idxErr != nil {
+			return 0, idxErr
+		}
+		if seen != len(recs) {
+			return 0, fmt.Errorf("edb: %s: attribute index %d holds %d entries, grid holds %d", p.Indicator(), i, seen, len(recs))
+		}
+	}
+	return len(recs), nil
+}
+
+// Repair rebuilds what is derivable: for every procedure whose check
+// fails, the per-attribute secondary indexes are reconstructed from the
+// grid (the primary index). It returns the number of indexes rebuilt.
+// Corruption in a primary structure — a heap, the grid, or the
+// variable list — cannot be regenerated from elsewhere and is reported
+// as an error.
+func (db *DB) Repair() (int, error) {
+	rebuilt := 0
+	for _, p := range db.Procs() {
+		if db.CheckProc(p) == nil {
+			continue
+		}
+		if p.K == 0 {
+			return rebuilt, fmt.Errorf("edb: %s: unrepairable: no derived structures to rebuild", p.Indicator())
+		}
+		// The grid and the records it addresses must be sound; they are
+		// the source the secondary indexes are derived from.
+		g, err := db.procGrid(p)
+		if err != nil {
+			return rebuilt, fmt.Errorf("edb: %s: unrepairable: %w", p.Indicator(), err)
+		}
+		if err := g.Check(); err != nil {
+			return rebuilt, fmt.Errorf("edb: %s: unrepairable primary index: %w", p.Indicator(), err)
+		}
+		type entry struct {
+			keys    []ArgKey
+			payload uint64
+		}
+		var entries []entry
+		var walkErr error
+		err = g.PartialMatch(make([]bool, p.K), make([]uint64, p.K), func(payload uint64) bool {
+			rec, err := db.clauses.Get(store.UnpackRID(payload))
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			_, _, keys, err := decodeClauseRec(rec)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			entries = append(entries, entry{keys: keys, payload: payload})
+			return true
+		})
+		if err == nil {
+			err = walkErr
+		}
+		if err != nil {
+			return rebuilt, fmt.Errorf("edb: %s: unrepairable clause registry: %w", p.Indicator(), err)
+		}
+		// Rebuild every secondary index fresh. The old trees' pages are
+		// abandoned rather than walked for freeing: their links are the
+		// very thing no longer trusted.
+		p.openMu.Lock()
+		p.attrIdx = nil
+		p.attrAnchors = nil
+		p.openMu.Unlock()
+		for i := 0; i < p.K; i++ {
+			bt, err := store.CreateBTree(db.st.Pool())
+			if err != nil {
+				return rebuilt, err
+			}
+			for _, e := range entries {
+				if i >= len(e.keys) {
+					continue
+				}
+				if err := bt.Insert(hashKeyBytes(e.keys[i].Hash), e.payload); err != nil {
+					return rebuilt, err
+				}
+			}
+			p.openMu.Lock()
+			p.attrAnchors = append(p.attrAnchors, bt.Anchor())
+			p.attrIdx = append(p.attrIdx, bt)
+			p.openMu.Unlock()
+			rebuilt++
+		}
+		if err := db.saveProc(p); err != nil {
+			return rebuilt, err
+		}
+		// Rebuilding the derived structures is all repair can do; if the
+		// procedure still fails, the corruption is in a primary one.
+		if err := db.CheckProc(p); err != nil {
+			return rebuilt, fmt.Errorf("edb: unrepairable after index rebuild: %w", err)
+		}
+	}
+	return rebuilt, nil
+}

@@ -1,0 +1,86 @@
+package edb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func buildCheckedDB(t *testing.T) (*DB, *ProcInfo) {
+	t.Helper()
+	st, err := store.Open("", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	db, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.CreateProc("r", 2, FormCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		keys := []ArgKey{AtomKey(fmt.Sprintf("k%d", i%5)), IntKey(int64(i))}
+		if i%4 == 0 {
+			keys[0] = WildKey()
+		}
+		if _, err := db.StoreClause(p, keys, []byte(fmt.Sprintf("code-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, p
+}
+
+func TestCheckAcceptsSoundStore(t *testing.T) {
+	db, _ := buildCheckedDB(t)
+	if err := db.Check(); err != nil {
+		t.Fatalf("sound store fails check: %v", err)
+	}
+}
+
+func TestRepairRebuildsSecondaryIndexes(t *testing.T) {
+	db, p := buildCheckedDB(t)
+	// Poison attribute index 0 with an entry addressing no grid record:
+	// a derived structure now disagrees with its primary.
+	bt := db.procAttrIdx(p, 0)
+	if err := bt.Insert(hashKeyBytes(12345), 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Check(); err == nil {
+		t.Fatal("check accepted a poisoned secondary index")
+	}
+	n, err := db.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if n != p.K {
+		t.Fatalf("rebuilt %d indexes, want %d", n, p.K)
+	}
+	if err := db.Check(); err != nil {
+		t.Fatalf("store still unsound after repair: %v", err)
+	}
+	scs, err := db.Retrieve(p, []ArgKey{AtomKey("k1"), WildKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) == 0 {
+		t.Fatal("indexed retrieval empty after repair")
+	}
+}
+
+func TestRepairRefusesPrimaryCorruption(t *testing.T) {
+	db, p := buildCheckedDB(t)
+	// Lie about the clause count: nothing derivable can explain it, so
+	// repair must refuse rather than fabricate consistency.
+	p.ClauseCount++
+	defer func() { p.ClauseCount-- }()
+	if err := db.Check(); err == nil {
+		t.Fatal("check accepted a bad clause count")
+	}
+	if _, err := db.Repair(); err == nil {
+		t.Fatal("repair claimed success on unrepairable corruption")
+	}
+}

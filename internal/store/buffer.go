@@ -276,6 +276,10 @@ func (p *Pool) newFrame(id PageID) (*Frame, error) {
 			}
 			tw := time.Now()
 			if err := p.pager.WritePage(victim.id, victim.Data); err != nil {
+				// Put the victim back on the LRU still dirty: the pool stays
+				// consistent, the page's data is preserved, and a later
+				// eviction or FlushAll retries the write.
+				victim.elem = p.lru.PushBack(victim)
 				return nil, err
 			}
 			p.met.writeNS.Observe(time.Since(tw))

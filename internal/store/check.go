@@ -1,0 +1,287 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Structural invariant verifiers. Check walks a structure page by page
+// and verifies every invariant its operations rely on — offsets in
+// range, keys ordered, chains acyclic, directory consistent — reporting
+// the first violation as an error. Reads go through the buffer pool, so
+// on a file-backed store every visited page also has its checksum
+// verified by the pager. The crash-injection harness runs these after
+// every simulated crash and recovery; the educe CLI exposes them as
+// `educe -check`.
+
+// maxChain bounds chain walks so a corrupt link cycle terminates: no
+// well-formed chain can be longer than the number of allocated pages.
+func (h *Heap) maxChain() int { return int(h.pool.Pager().NumPages()) + 1 }
+
+// Check verifies the heap's structural invariants: the page chain is
+// acyclic, slot tables and free offsets are within bounds, records
+// carry valid flags, and every overflow chain is acyclic and sums to
+// its recorded length.
+func (h *Heap) Check() error {
+	limit := h.maxChain()
+	seen := map[PageID]bool{}
+	n := 0
+	for pid := h.root; pid != invalidPage; {
+		if seen[pid] {
+			return fmt.Errorf("store: heap %d: page chain cycle at page %d", h.root, pid)
+		}
+		seen[pid] = true
+		if n++; n > limit {
+			return fmt.Errorf("store: heap %d: page chain longer than %d pages", h.root, limit)
+		}
+		f, err := h.pool.Get(pid)
+		if err != nil {
+			return fmt.Errorf("store: heap %d: page %d: %w", h.root, pid, err)
+		}
+		next := pageNext(f.Data)
+		err = h.checkPage(pid, f.Data)
+		h.pool.Unpin(f, false)
+		if err != nil {
+			return err
+		}
+		pid = next
+	}
+	return nil
+}
+
+func (h *Heap) checkPage(pid PageID, d []byte) error {
+	nslots := pageNSlots(d)
+	free := pageFree(d)
+	slotEnd := heapHdr + nslots*slotSize
+	if slotEnd > PageSize || free < slotEnd || free > PageSize {
+		return fmt.Errorf("store: heap page %d: %d slots, free offset %d out of range", pid, nslots, free)
+	}
+	for i := 0; i < nslots; i++ {
+		off, ln := slotAt(d, i)
+		if off == 0 {
+			continue // deleted
+		}
+		if off < free || off+ln > PageSize || ln < 1 {
+			return fmt.Errorf("store: heap page %d slot %d: record [%d:%d] outside data area [%d:%d]", pid, i, off, off+ln, free, PageSize)
+		}
+		switch d[off] {
+		case 0:
+		case 1:
+			if ln != 9 {
+				return fmt.Errorf("store: heap page %d slot %d: overflow stub of %d bytes", pid, i, ln)
+			}
+			head := PageID(binary.LittleEndian.Uint32(d[off+1 : off+5]))
+			total := int(binary.LittleEndian.Uint32(d[off+5 : off+9]))
+			if err := h.checkOverflow(pid, i, head, total); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("store: heap page %d slot %d: bad record flag %d", pid, i, d[off])
+		}
+	}
+	return nil
+}
+
+func (h *Heap) checkOverflow(pid PageID, slot int, head PageID, total int) error {
+	limit := h.maxChain()
+	seen := map[PageID]bool{}
+	got := 0
+	for cur := head; cur != invalidPage; {
+		if seen[cur] || len(seen) > limit {
+			return fmt.Errorf("store: heap page %d slot %d: overflow chain cycle at page %d", pid, slot, cur)
+		}
+		seen[cur] = true
+		f, err := h.pool.Get(cur)
+		if err != nil {
+			return fmt.Errorf("store: heap page %d slot %d: overflow page %d: %w", pid, slot, cur, err)
+		}
+		ln := int(binary.LittleEndian.Uint32(f.Data[4:8]))
+		next := PageID(binary.LittleEndian.Uint32(f.Data[0:4]))
+		h.pool.Unpin(f, false)
+		if ln < 0 || ln > PageSize-8 {
+			return fmt.Errorf("store: heap page %d slot %d: overflow page %d: chunk length %d", pid, slot, cur, ln)
+		}
+		got += ln
+		cur = next
+	}
+	if got != total {
+		return fmt.Errorf("store: heap page %d slot %d: overflow chain holds %d bytes, stub says %d", pid, slot, got, total)
+	}
+	return nil
+}
+
+// Check verifies the B+tree's invariants: nodes parse and fit in a
+// page, keys are ordered and bounded by their parent separators, every
+// leaf sits at the same depth, and the leaf chain links the leaves in
+// left-to-right order.
+func (t *BTree) Check() error {
+	root, err := t.rootID()
+	if err != nil {
+		return fmt.Errorf("store: btree %d: %w", t.anchor, err)
+	}
+	c := &btCheck{t: t, seen: map[PageID]bool{root: true}, leafDepth: -1}
+	if err := c.node(root, nil, nil, 0); err != nil {
+		return err
+	}
+	// The leaf chain must thread the leaves exactly in key order.
+	for i, id := range c.leaves {
+		var want PageID
+		if i+1 < len(c.leaves) {
+			want = c.leaves[i+1]
+		}
+		if c.leafNext[i] != want {
+			return fmt.Errorf("store: btree %d: leaf %d links to %d, want %d", t.anchor, id, c.leafNext[i], want)
+		}
+	}
+	return nil
+}
+
+type btCheck struct {
+	t         *BTree
+	seen      map[PageID]bool
+	leafDepth int
+	leaves    []PageID
+	leafNext  []PageID
+}
+
+func (c *btCheck) node(id PageID, lo, hi []byte, depth int) error {
+	n, err := c.t.load(id)
+	if err != nil {
+		return fmt.Errorf("store: btree %d: node %d: %w", c.t.anchor, id, err)
+	}
+	if nodeSize(n) > PageSize {
+		return fmt.Errorf("store: btree %d: node %d: serialized size %d exceeds page", c.t.anchor, id, nodeSize(n))
+	}
+	for i, k := range n.keys {
+		if len(k) > MaxKeyLen {
+			return fmt.Errorf("store: btree %d: node %d: key %d of %d bytes", c.t.anchor, id, i, len(k))
+		}
+		if i > 0 && bytes.Compare(n.keys[i-1], k) > 0 {
+			return fmt.Errorf("store: btree %d: node %d: keys out of order at %d", c.t.anchor, id, i)
+		}
+		if lo != nil && bytes.Compare(k, lo) < 0 {
+			return fmt.Errorf("store: btree %d: node %d: key %d below parent separator", c.t.anchor, id, i)
+		}
+		if hi != nil && bytes.Compare(k, hi) > 0 {
+			return fmt.Errorf("store: btree %d: node %d: key %d above parent separator", c.t.anchor, id, i)
+		}
+	}
+	if n.leaf {
+		if len(n.vals) != len(n.keys) {
+			return fmt.Errorf("store: btree %d: leaf %d: %d keys, %d values", c.t.anchor, id, len(n.keys), len(n.vals))
+		}
+		if c.leafDepth == -1 {
+			c.leafDepth = depth
+		} else if depth != c.leafDepth {
+			return fmt.Errorf("store: btree %d: leaf %d at depth %d, expected %d", c.t.anchor, id, depth, c.leafDepth)
+		}
+		c.leaves = append(c.leaves, id)
+		c.leafNext = append(c.leafNext, n.next)
+		return nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return fmt.Errorf("store: btree %d: node %d: %d keys but %d children", c.t.anchor, id, len(n.keys), len(n.children))
+	}
+	for i, child := range n.children {
+		if c.seen[child] {
+			return fmt.Errorf("store: btree %d: node %d shared or cyclic (reached twice)", c.t.anchor, child)
+		}
+		c.seen[child] = true
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			chi = n.keys[i]
+		}
+		if err := c.node(child, clo, chi, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check verifies the grid's invariants: the directory has 2^depth
+// entries, each bucket's local depth fits the directory depth, the
+// directory slots addressing a bucket agree on its low localDepth bits,
+// overflow chains are acyclic with sane entry counts, and every stored
+// entry is reachable from the directory slot its hashes map to.
+func (g *Grid) Check() error {
+	if len(g.dir) != 1<<g.depth {
+		return fmt.Errorf("store: grid %d: directory has %d entries for depth %d", g.header, len(g.dir), g.depth)
+	}
+	numPages := g.pool.Pager().NumPages()
+	heads := map[PageID][]int{} // bucket head -> directory slots
+	for idx, id := range g.dir {
+		if id == invalidPage || id >= numPages {
+			return fmt.Errorf("store: grid %d: directory slot %d points at invalid page %d", g.header, idx, id)
+		}
+		heads[id] = append(heads[id], idx)
+	}
+	for id, slots := range heads {
+		if err := g.checkBucket(id, slots); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Grid) checkBucket(id PageID, slots []int) error {
+	f, err := g.pool.Get(id)
+	if err != nil {
+		return fmt.Errorf("store: grid %d: bucket %d: %w", g.header, id, err)
+	}
+	localDepth := int(f.Data[0])
+	g.pool.Unpin(f, false)
+	if localDepth > g.depth {
+		return fmt.Errorf("store: grid %d: bucket %d: local depth %d exceeds directory depth %d", g.header, id, localDepth, g.depth)
+	}
+	// Every slot addressing this bucket shares its low localDepth bits,
+	// and the bucket owns all 2^(depth-localDepth) such slots.
+	mask := 1<<uint(localDepth) - 1
+	for _, s := range slots[1:] {
+		if s&mask != slots[0]&mask {
+			return fmt.Errorf("store: grid %d: bucket %d addressed by slots %d and %d that differ in their low %d bits", g.header, id, slots[0], s, localDepth)
+		}
+	}
+	if want := 1 << uint(g.depth-localDepth); len(slots) != want {
+		return fmt.Errorf("store: grid %d: bucket %d (local depth %d) addressed by %d slots, want %d", g.header, id, localDepth, len(slots), want)
+	}
+	// Walk the chain: counts in range, same local depth, no cycles, and
+	// every entry hashes back to this bucket.
+	limit := int(g.pool.Pager().NumPages()) + 1
+	seen := map[PageID]bool{}
+	cur := id
+	for cur != invalidPage {
+		if seen[cur] || len(seen) > limit {
+			return fmt.Errorf("store: grid %d: bucket %d: overflow chain cycle at page %d", g.header, id, cur)
+		}
+		seen[cur] = true
+		f, err := g.pool.Get(cur)
+		if err != nil {
+			return fmt.Errorf("store: grid %d: bucket %d: page %d: %w", g.header, id, cur, err)
+		}
+		cnt := int(binary.LittleEndian.Uint16(f.Data[1:3]))
+		ld := int(f.Data[0])
+		next := PageID(binary.LittleEndian.Uint32(f.Data[3:7]))
+		var entries []gridEntry
+		if cnt >= 0 && cnt <= g.bucketCap() {
+			entries = g.readEntries(f.Data)
+		}
+		g.pool.Unpin(f, false)
+		if cnt < 0 || cnt > g.bucketCap() {
+			return fmt.Errorf("store: grid %d: bucket %d: page %d holds %d entries, capacity %d", g.header, id, cur, cnt, g.bucketCap())
+		}
+		if ld != localDepth {
+			return fmt.Errorf("store: grid %d: bucket %d: page %d has local depth %d, head has %d", g.header, id, cur, ld, localDepth)
+		}
+		for _, e := range entries {
+			if got := g.dir[g.interleave(e.hashes, g.depth)]; got != id {
+				return fmt.Errorf("store: grid %d: entry with payload %d stored in bucket %d but addressed to bucket %d", g.header, e.payload, id, got)
+			}
+		}
+		cur = next
+	}
+	return nil
+}

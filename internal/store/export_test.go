@@ -1,0 +1,8 @@
+package store
+
+// Test-only exports for the external store_test package.
+
+// DiskFrameSize is the on-disk frame size (page + checksum trailer),
+// exported so the crash harness can address individual frames in a raw
+// store image.
+const DiskFrameSize = diskFrameSize

@@ -56,8 +56,23 @@ func (p *flakyPager) Free(id PageID) error {
 }
 
 func (p *flakyPager) NumPages() PageID { return p.inner.NumPages() }
-func (p *flakyPager) Sync() error      { return p.inner.Sync() }
-func (p *flakyPager) Close() error     { return p.inner.Close() }
+
+// Sync and Close are durability operations and can fail like any other
+// I/O; they must burn the countdown too, or tests silently skip the
+// commit path.
+func (p *flakyPager) Sync() error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	return p.inner.Sync()
+}
+
+func (p *flakyPager) Close() error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	return p.inner.Close()
+}
 
 // runUntilFailure executes op with progressively later failure points
 // until it succeeds without any injection, checking that every earlier
@@ -154,6 +169,76 @@ func TestGridSurvivesInjectedFailures(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+// TestEvictionWriteBackFailure drives the pool into evicting a dirty
+// frame while the pager refuses writes: the Get must fail cleanly, the
+// victim's data must survive in the pool (still dirty, still evictable),
+// and once the pager heals the same operations must succeed with no
+// data loss.
+func TestEvictionWriteBackFailure(t *testing.T) {
+	inner := NewMemPager()
+	fp := &flakyPager{inner: inner, remaining: 1 << 30}
+	pool := NewPool(fp, 8)
+
+	stamp := func(f *Frame, id PageID) {
+		for i := range f.Data {
+			f.Data[i] = byte(uint32(id) * 31)
+		}
+	}
+	// First page: filled, then pushed out by the next eight while the
+	// pager is healthy, so it lives only in the pager.
+	f, err := pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicted := f.ID()
+	stamp(f, evicted)
+	pool.Unpin(f, true)
+	var resident []PageID
+	for i := 0; i < 8; i++ {
+		f, err := pool.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamp(f, f.ID())
+		resident = append(resident, f.ID())
+		pool.Unpin(f, true)
+	}
+
+	// Pager down: faulting the evicted page back in needs an eviction,
+	// whose dirty write-back fails. Repeating must keep failing with the
+	// injected error — not exhaust the pool by leaking victims.
+	fp.remaining = 0
+	for i := 0; i < 20; i++ {
+		if _, err := pool.Get(evicted); !errors.Is(err, errInjected) {
+			t.Fatalf("attempt %d: expected injected error, got %v", i, err)
+		}
+	}
+
+	// Pager healed: the same Get succeeds and every page still carries
+	// the data written before the outage.
+	fp.remaining = 1 << 30
+	check := func(id PageID) {
+		t.Helper()
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatalf("page %d after heal: %v", id, err)
+		}
+		for _, b := range f.Data {
+			if b != byte(uint32(id)*31) {
+				t.Fatalf("page %d: data corrupted after failed eviction", id)
+			}
+		}
+		pool.Unpin(f, false)
+	}
+	check(evicted)
+	for _, id := range resident {
+		check(id)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestReadErrorsPropagate(t *testing.T) {

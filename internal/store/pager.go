@@ -7,15 +7,24 @@
 //
 // All I/O is counted through the buffer pool, which is how the benchmark
 // harness reproduces the paper's I/O-frequency table (Table 2b).
+//
+// File-backed stores are crash-safe: every page carries a CRC32C trailer
+// verified on read, updates go through a write-ahead log (wal.go) with
+// group commit, and opening a file replays the log, discarding any torn
+// tail, before the header is trusted.
 package store
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // PageSize is the fixed page size in bytes.
@@ -57,28 +66,74 @@ type Pager interface {
 	// NumPages reports the number of pages ever allocated (including
 	// header and freed pages).
 	NumPages() PageID
-	// Sync flushes to stable storage.
+	// Sync flushes to stable storage. For the file pager this is the
+	// commit point: everything written since the previous Sync becomes
+	// durable atomically.
 	Sync() error
 	Close() error
 }
 
-// header page layout (page 0):
+// On disk, each logical page occupies a diskFrameSize frame: PageSize
+// data bytes, the low half of the LSN that wrote the frame, then a
+// CRC32C over the page ID, the data, and the LSN field — the ID so a
+// frame can never be misread as a different page, the LSN so every
+// byte of the frame is covered. Keeping the trailer outside the
+// logical page means the page-layout code of the heap, B+tree and grid
+// is unaware of checksums.
+const (
+	frameTrailer  = 8
+	diskFrameSize = PageSize + frameTrailer
+)
+
+// ErrChecksum reports that a page read from the file failed CRC
+// verification: the page was torn or corrupted on disk. It is always
+// returned wrapped with the page number; test with errors.Is.
+var ErrChecksum = errors.New("store: page checksum mismatch")
+
+func frameCRC(id PageID, data []byte) uint32 {
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], uint32(id))
+	c := crc32.Update(0, crcTable, idb[:])
+	return crc32.Update(c, crcTable, data)
+}
+
+// header page layout (page 0 data, stored with a frame trailer like any
+// other page):
 //
 //	[0:4]   magic
 //	[4:8]   page count
 //	[8:12]  free list head
-//	[12:  ] meta table: count, then (name, rootPage) pairs
-const pagerMagic = 0xBA461990
+//	[12:20] LSN at the last commit
+//	[20:  ] meta table: count, then (name, rootPage) pairs
+const pagerMagic = 0xBA461991
 
 var errBadMagic = errors.New("store: not a store file (bad magic)")
 
-// filePager is a Pager over an *os.File.
+// filePager is a crash-safe Pager over two Files: the page file and its
+// write-ahead log. Page writes accumulate in memory (tail) and in the
+// log buffer; Sync commits them with one log write and one fsync; a
+// checkpoint folds the committed images into the page file and empties
+// the log. The header (page count, free list, meta table) lives in
+// memory and rides along with every commit as the page-0 image, so
+// Allocate and Free are pure memory operations.
 type filePager struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        File
+	wal      *wal
 	numPages PageID
 	freeHead PageID
 	meta     map[string]uint64
+	hdrDirty bool
+	// tail holds the latest image of every page written since the last
+	// checkpoint; reads are served from it before the page file.
+	tail map[PageID][]byte
+
+	checkpointBytes int64
+
+	checksumErrors atomic.Uint64
+	checkpoints    atomic.Uint64
+	recoveredPages uint64 // pages replayed from the log at open
+	discardedRecs  uint64 // uncommitted/torn log records dropped at open
 }
 
 // memPager keeps pages in memory; used for tests and for purely in-memory
@@ -147,44 +202,101 @@ func (p *memPager) NumPages() PageID { return PageID(len(p.pages)) }
 func (p *memPager) Sync() error      { return nil }
 func (p *memPager) Close() error     { return nil }
 
-// OpenFilePager opens (or creates) a page file at path.
+// OpenFilePager opens (or creates) a page file at path, replaying the
+// write-ahead log at path+WALSuffix if a previous run crashed.
 func OpenFilePager(path string) (Pager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFilePagerFS(OSFS{}, path)
+}
+
+// OpenFilePagerFS is OpenFilePager over an explicit filesystem, so tests
+// can inject deterministic in-memory files and crash points.
+func OpenFilePagerFS(fsys FS, path string) (Pager, error) {
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, err
 	}
-	p := &filePager{f: f, meta: map[string]uint64{}}
-	st, err := f.Stat()
+	wf, err := fsys.OpenFile(path + WALSuffix)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() == 0 {
+	p := &filePager{
+		f:               f,
+		wal:             newWAL(wf),
+		meta:            map[string]uint64{},
+		tail:            map[PageID][]byte{},
+		checkpointBytes: defaultCheckpointBytes,
+	}
+	if err := p.recoverLog(); err != nil {
+		wf.Close()
+		f.Close()
+		return nil, err
+	}
+	sz, err := f.Size()
+	if err != nil {
+		wf.Close()
+		f.Close()
+		return nil, err
+	}
+	if sz == 0 {
+		// Fresh file: the header exists only in memory until the first
+		// commit reaches disk.
 		p.numPages = 1
-		if err := p.writeHeader(); err != nil {
-			f.Close()
-			return nil, err
-		}
+		p.hdrDirty = true
 		return p, nil
 	}
 	if err := p.readHeader(); err != nil {
+		wf.Close()
 		f.Close()
 		return nil, err
 	}
 	return p, nil
 }
 
-func (p *filePager) writeHeader() error {
+// recoverLog replays the WAL: committed page images are folded into the
+// page file (idempotent — a crash during recovery just replays again)
+// and the log is truncated; uncommitted or torn tail records are
+// dropped.
+func (p *filePager) recoverLog() error {
+	committed, maxLSN, discarded, err := p.wal.replay()
+	if err != nil {
+		return err
+	}
+	p.discardedRecs = uint64(discarded)
+	if maxLSN > p.wal.lsn {
+		p.wal.lsn = maxLSN
+	}
+	if len(committed) > 0 {
+		for _, id := range sortedPageIDs(committed) {
+			if err := p.writeFrame(id, committed[id]); err != nil {
+				return err
+			}
+		}
+		if err := p.f.Sync(); err != nil {
+			return err
+		}
+		p.recoveredPages = uint64(len(committed))
+	}
+	if p.wal.off > 0 || len(committed) > 0 || discarded > 0 {
+		if err := p.wal.resetLog(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *filePager) encodeHeaderPage() ([]byte, error) {
 	buf := make([]byte, PageSize)
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(pagerMagic))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(p.numPages))
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(p.freeHead))
-	off := 12
+	binary.LittleEndian.PutUint64(buf[12:20], p.wal.lsn)
+	off := 20
 	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(p.meta)))
 	off += 4
 	for name, root := range p.meta {
 		if off+4+len(name)+8 > PageSize {
-			return errors.New("store: header meta table overflow")
+			return nil, errors.New("store: header meta table overflow")
 		}
 		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(name)))
 		off += 4
@@ -193,13 +305,12 @@ func (p *filePager) writeHeader() error {
 		binary.LittleEndian.PutUint64(buf[off:off+8], root)
 		off += 8
 	}
-	_, err := p.f.WriteAt(buf, 0)
-	return err
+	return buf, nil
 }
 
 func (p *filePager) readHeader() error {
 	buf := make([]byte, PageSize)
-	if _, err := p.f.ReadAt(buf, 0); err != nil {
+	if err := p.readFrame(0, buf); err != nil {
 		return err
 	}
 	if binary.LittleEndian.Uint32(buf[0:4]) != uint32(pagerMagic) {
@@ -207,7 +318,10 @@ func (p *filePager) readHeader() error {
 	}
 	p.numPages = PageID(binary.LittleEndian.Uint32(buf[4:8]))
 	p.freeHead = PageID(binary.LittleEndian.Uint32(buf[8:12]))
-	off := 12
+	if lsn := binary.LittleEndian.Uint64(buf[12:20]); lsn > p.wal.lsn {
+		p.wal.lsn = lsn
+	}
+	off := 20
 	n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
 	off += 4
 	for i := 0; i < n; i++ {
@@ -221,21 +335,85 @@ func (p *filePager) readHeader() error {
 	return nil
 }
 
+// writeFrame writes data as page id's frame in the page file, trailer
+// included.
+func (p *filePager) writeFrame(id PageID, data []byte) error {
+	frame := make([]byte, diskFrameSize)
+	copy(frame, data[:PageSize])
+	binary.LittleEndian.PutUint32(frame[PageSize:PageSize+4], uint32(p.wal.lsn))
+	binary.LittleEndian.PutUint32(frame[PageSize+4:], frameCRC(id, frame[:PageSize+4]))
+	_, err := p.f.WriteAt(frame, int64(id)*diskFrameSize)
+	return err
+}
+
+// readFrame reads page id from the page file, verifying its checksum.
+// Frames beyond EOF or wholly zero (file holes: allocated, never
+// checkpointed) read as zero pages.
+func (p *filePager) readFrame(id PageID, buf []byte) error {
+	frame := make([]byte, diskFrameSize)
+	n, err := p.f.ReadAt(frame, int64(id)*diskFrameSize)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if n < diskFrameSize {
+		if allZero(frame[:n]) {
+			zeroPage(buf)
+			return nil
+		}
+		p.checksumErrors.Add(1)
+		return fmt.Errorf("store: page %d: torn frame (%d of %d bytes): %w", id, n, diskFrameSize, ErrChecksum)
+	}
+	stored := binary.LittleEndian.Uint32(frame[PageSize+4:])
+	if crc := frameCRC(id, frame[:PageSize+4]); crc != stored {
+		if allZero(frame) {
+			zeroPage(buf)
+			return nil
+		}
+		p.checksumErrors.Add(1)
+		return fmt.Errorf("store: page %d: stored CRC %#08x, computed %#08x: %w", id, stored, crc, ErrChecksum)
+	}
+	copy(buf[:PageSize], frame[:PageSize])
+	return nil
+}
+
+// sortedPageIDs returns m's keys ascending: frame write-back proceeds
+// in page order, keeping the I/O sequential and the crash harness's op
+// numbering deterministic.
+func sortedPageIDs(m map[PageID][]byte) []PageID {
+	ids := make([]PageID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func zeroPage(buf []byte) {
+	for i := range buf[:PageSize] {
+		buf[i] = 0
+	}
+}
+
 func (p *filePager) ReadPage(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if id >= p.numPages {
 		return fmt.Errorf("store: read of unallocated page %d", id)
 	}
-	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
-	if err == io.EOF {
-		// Page allocated but never written: zeros.
-		for i := range buf[:PageSize] {
-			buf[i] = 0
-		}
+	if img, ok := p.tail[id]; ok {
+		copy(buf[:PageSize], img)
 		return nil
 	}
-	return err
+	return p.readFrame(id, buf)
 }
 
 func (p *filePager) WritePage(id PageID, buf []byte) error {
@@ -244,8 +422,22 @@ func (p *filePager) WritePage(id PageID, buf []byte) error {
 	if id >= p.numPages {
 		return fmt.Errorf("store: write of unallocated page %d", id)
 	}
-	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
-	return err
+	p.stash(id, buf)
+	return nil
+}
+
+// stash records buf as the current image of page id and appends it to
+// the log buffer (lock held). Nothing touches the page file here: the
+// image becomes durable at the next Sync and reaches its home frame at
+// the next checkpoint.
+func (p *filePager) stash(id PageID, buf []byte) {
+	img := p.tail[id]
+	if img == nil {
+		img = make([]byte, PageSize)
+		p.tail[id] = img
+	}
+	copy(img, buf[:PageSize])
+	p.wal.appendPage(id, img)
 }
 
 func (p *filePager) Allocate() (PageID, error) {
@@ -253,24 +445,27 @@ func (p *filePager) Allocate() (PageID, error) {
 	defer p.mu.Unlock()
 	if p.freeHead != invalidPage {
 		id := p.freeHead
-		buf := make([]byte, PageSize)
-		if _, err := p.f.ReadAt(buf, int64(id)*PageSize); err != nil && err != io.EOF {
-			return 0, err
+		var next PageID
+		if img, ok := p.tail[id]; ok {
+			next = PageID(binary.LittleEndian.Uint32(img[:4]))
+		} else {
+			buf := make([]byte, PageSize)
+			if err := p.readFrame(id, buf); err != nil {
+				return 0, err
+			}
+			next = PageID(binary.LittleEndian.Uint32(buf[:4]))
 		}
-		p.freeHead = PageID(binary.LittleEndian.Uint32(buf[:4]))
-		zero := make([]byte, PageSize)
-		if _, err := p.f.WriteAt(zero, int64(id)*PageSize); err != nil {
-			return 0, err
-		}
-		return id, p.writeHeader()
+		p.freeHead = next
+		p.stash(id, make([]byte, PageSize)) // reused pages must read as zero
+		p.hdrDirty = true
+		return id, nil
 	}
+	// Fresh pages need no write at all: they read as zeros until first
+	// written, and the grown page count rides with the next commit.
 	id := p.numPages
 	p.numPages++
-	zero := make([]byte, PageSize)
-	if _, err := p.f.WriteAt(zero, int64(id)*PageSize); err != nil {
-		return 0, err
-	}
-	return id, p.writeHeader()
+	p.hdrDirty = true
+	return id, nil
 }
 
 func (p *filePager) Free(id PageID) error {
@@ -281,31 +476,130 @@ func (p *filePager) Free(id PageID) error {
 	}
 	buf := make([]byte, PageSize)
 	binary.LittleEndian.PutUint32(buf[:4], uint32(p.freeHead))
-	if _, err := p.f.WriteAt(buf, int64(id)*PageSize); err != nil {
-		return err
-	}
+	p.stash(id, buf)
 	p.freeHead = id
-	return p.writeHeader()
+	p.hdrDirty = true
+	return nil
 }
 
-func (p *filePager) NumPages() PageID { return p.numPages }
+func (p *filePager) NumPages() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.numPages
+}
 
+// Sync is the commit point: the header page and every page written
+// since the last Sync become durable atomically (or, after a crash, the
+// store recovers to the previous Sync). With nothing to commit it is
+// free — no write, no fsync.
 func (p *filePager) Sync() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if err := p.writeHeader(); err != nil {
+	return p.commit()
+}
+
+func (p *filePager) commit() error {
+	if !p.hdrDirty && !p.wal.pending() {
+		return nil
+	}
+	hdr, err := p.encodeHeaderPage()
+	if err != nil {
 		return err
 	}
-	return p.f.Sync()
+	p.wal.appendPage(0, hdr)
+	if err := p.wal.commit(); err != nil {
+		return err
+	}
+	p.hdrDirty = false
+	if p.wal.size() >= p.checkpointBytes {
+		return p.checkpoint()
+	}
+	return nil
+}
+
+// checkpoint folds every committed page image into the page file and
+// truncates the log. Called only at commit points, so the tail holds
+// committed images exclusively.
+func (p *filePager) checkpoint() error {
+	if p.wal.size() == 0 && len(p.tail) == 0 {
+		if sz, err := p.f.Size(); err == nil && sz > 0 {
+			return nil // nothing new and the header is already on disk
+		}
+	}
+	for _, id := range sortedPageIDs(p.tail) {
+		if err := p.writeFrame(id, p.tail[id]); err != nil {
+			return err
+		}
+	}
+	hdr, err := p.encodeHeaderPage()
+	if err != nil {
+		return err
+	}
+	if err := p.writeFrame(0, hdr); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return err
+	}
+	if err := p.wal.resetLog(); err != nil {
+		return err
+	}
+	p.tail = map[PageID][]byte{}
+	p.checkpoints.Add(1)
+	return nil
 }
 
 func (p *filePager) Close() error {
-	if err := p.Sync(); err != nil {
-		p.f.Close()
-		return err
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.commit()
+	if err == nil {
+		err = p.checkpoint()
 	}
-	return p.f.Close()
+	if werr := p.wal.f.Close(); err == nil && werr != nil {
+		err = werr
+	}
+	if ferr := p.f.Close(); err == nil && ferr != nil {
+		err = ferr
+	}
+	return err
 }
+
+// setCheckpointLimit lowers the log-size threshold that triggers a
+// checkpoint (tests exercise checkpoint crossings with small limits).
+func (p *filePager) setCheckpointLimit(bytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkpointBytes = bytes
+}
+
+// SetCheckpointLimit configures the WAL-size checkpoint threshold on
+// pagers that have one (the file pager); other pagers ignore it.
+func SetCheckpointLimit(pg Pager, bytes int64) {
+	if p, ok := pg.(*filePager); ok {
+		p.setCheckpointLimit(bytes)
+	}
+}
+
+// attachObs exposes the pager's durability counters in the knowledge
+// base's metrics registry. The pager exists before the registry (the
+// store creates the registry after opening the pager, and recovery has
+// already run), so the metrics are registered as readers over the
+// pager's own counters rather than registry-owned handles.
+func (p *filePager) attachObs(reg *obs.Registry) {
+	reg.RegisterFunc("store.wal.appends", func() any { return p.wal.appends.Load() })
+	reg.RegisterFunc("store.wal.commits", func() any { return p.wal.commits.Load() })
+	reg.RegisterFunc("store.wal.fsyncs", func() any { return p.wal.fsyncs.Load() })
+	reg.RegisterFunc("store.wal.bytes", func() any { return p.wal.bytes.Load() })
+	reg.RegisterFunc("store.wal.checkpoints", func() any { return p.checkpoints.Load() })
+	reg.RegisterFunc("store.wal.recovered_pages", func() any { return p.recoveredPages })
+	reg.RegisterFunc("store.wal.discarded_records", func() any { return p.discardedRecs })
+	reg.RegisterFunc("store.checksum_errors", func() any { return p.checksumErrors.Load() })
+}
+
+// obsAttacher is implemented by pagers that contribute metrics to the
+// store's registry.
+type obsAttacher interface{ attachObs(reg *obs.Registry) }
 
 // metaTable gives Store access to the pager's name->root map.
 type metaTable interface {
@@ -334,9 +628,12 @@ func (p *filePager) metaGet(name string) (uint64, bool) {
 	return v, ok
 }
 
+// metaSet updates the in-memory header; like Allocate and Free it costs
+// no I/O — the header persists with the next commit.
 func (p *filePager) metaSet(name string, v uint64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.meta[name] = v
-	return p.writeHeader()
+	p.hdrDirty = true
+	return nil
 }

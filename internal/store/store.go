@@ -26,6 +26,12 @@ const DefaultPoolPages = 512
 // Open opens (or creates) a store. An empty path yields an in-memory
 // store. poolPages <= 0 selects DefaultPoolPages.
 func Open(path string, poolPages int) (*Store, error) {
+	return OpenFS(OSFS{}, path, poolPages)
+}
+
+// OpenFS is Open over an explicit filesystem, letting tests inject
+// deterministic in-memory files and crash points under a real store.
+func OpenFS(fsys FS, path string, poolPages int) (*Store, error) {
 	if poolPages <= 0 {
 		poolPages = DefaultPoolPages
 	}
@@ -34,13 +40,24 @@ func Open(path string, poolPages int) (*Store, error) {
 	if path == "" {
 		pager = NewMemPager()
 	} else {
-		pager, err = OpenFilePager(path)
+		pager, err = OpenFilePagerFS(fsys, path)
 		if err != nil {
 			return nil, err
 		}
 	}
+	return NewStore(pager, poolPages), nil
+}
+
+// NewStore builds a store over an already-open pager.
+func NewStore(pager Pager, poolPages int) *Store {
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
 	reg := obs.NewRegistry()
-	return &Store{pager: pager, pool: NewPoolObs(pager, poolPages, reg), reg: reg}, nil
+	if oa, ok := pager.(obsAttacher); ok {
+		oa.attachObs(reg)
+	}
+	return &Store{pager: pager, pool: NewPoolObs(pager, poolPages, reg), reg: reg}
 }
 
 // Pool returns the buffer pool.

@@ -1,0 +1,46 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// File is the I/O surface the pager needs from a backing file. It is
+// satisfied by *os.File (via osFile) in production; tests substitute
+// deterministic in-memory files with crash injection to exercise the
+// recovery path at every write and sync boundary.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Size() (int64, error)
+}
+
+// FS opens backing files by name, creating them when absent.
+type FS interface {
+	OpenFile(name string) (File, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// OpenFile opens or creates name read-write.
+func (OSFS) OpenFile(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"sync/atomic"
+)
+
+// The write-ahead log makes page-file updates crash-atomic. Every
+// WritePage appends a full page image to the log (buffered in memory);
+// Sync appends a commit marker, writes the whole batch with a single
+// WriteAt and makes it durable with a single fsync — group commit: the
+// cost of durability is one fsync per flush, not per page. The main
+// page file is only written at checkpoint, after the images it absorbs
+// are already durable in the log, so a crash at any instant leaves
+// either the old or the new committed state recoverable.
+//
+// Record layout (little-endian):
+//
+//	[0]     kind: 1 = page image, 2 = commit marker
+//	[1:9]   LSN
+//	[9:13]  page ID
+//	[13:17] CRC32C over bytes [0:13] and the payload
+//	[17: ]  page image (walPage records only, PageSize bytes)
+//
+// Replay applies page records in order and promotes them to the
+// committed state at each valid commit marker; a record that is torn
+// (short) or fails its CRC ends the scan — it and everything after it
+// is the discarded tail.
+const (
+	walPage   = 1
+	walCommit = 2
+	walRecHdr = 17
+)
+
+// WALSuffix names the log file next to the page file.
+const WALSuffix = ".wal"
+
+// defaultCheckpointBytes bounds log growth: after a commit that leaves
+// the log larger than this, the pager checkpoints and truncates it.
+const defaultCheckpointBytes = 4 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type wal struct {
+	f     File
+	buf   []byte // records appended since the last flush to f
+	off   int64  // flushed bytes in f
+	lsn   uint64
+	dirty bool // page records appended since the last commit
+
+	appends atomic.Uint64
+	commits atomic.Uint64
+	fsyncs  atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+func newWAL(f File) *wal { return &wal{f: f} }
+
+// pending reports whether any page image awaits a commit marker.
+func (w *wal) pending() bool { return w.dirty }
+
+// size is the log's logical length (flushed plus buffered).
+func (w *wal) size() int64 { return w.off + int64(len(w.buf)) }
+
+func (w *wal) appendRec(kind byte, id PageID, data []byte) {
+	w.lsn++
+	var hdr [walRecHdr]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint64(hdr[1:9], w.lsn)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(id))
+	crc := crc32.Update(0, crcTable, hdr[:13])
+	crc = crc32.Update(crc, crcTable, data)
+	binary.LittleEndian.PutUint32(hdr[13:17], crc)
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, data...)
+}
+
+func (w *wal) appendPage(id PageID, data []byte) {
+	w.appendRec(walPage, id, data)
+	w.dirty = true
+	w.appends.Add(1)
+}
+
+// commit seals the current batch: one commit marker, one write, one
+// fsync, regardless of how many pages the batch touched.
+func (w *wal) commit() error {
+	w.appendRec(walCommit, 0, nil)
+	if _, err := w.f.WriteAt(w.buf, w.off); err != nil {
+		return err
+	}
+	w.off += int64(len(w.buf))
+	w.bytes.Add(uint64(len(w.buf)))
+	w.buf = w.buf[:0]
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	w.commits.Add(1)
+	w.dirty = false
+	return nil
+}
+
+// resetLog empties the log after a checkpoint has made the main file
+// current.
+func (w *wal) resetLog() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	w.off = 0
+	w.buf = w.buf[:0]
+	w.dirty = false
+	return nil
+}
+
+// replay scans the log and returns the page images established by the
+// last durable commit, the highest LSN seen (committed or not, so new
+// records never reuse one), and how many records were discarded as
+// uncommitted or torn tail.
+func (w *wal) replay() (committed map[PageID][]byte, maxLSN uint64, discarded int, err error) {
+	committed = map[PageID][]byte{}
+	sz, err := w.f.Size()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if sz == 0 {
+		return committed, 0, 0, nil
+	}
+	log := make([]byte, sz)
+	if _, err := w.f.ReadAt(log, 0); err != nil && err != io.EOF {
+		return nil, 0, 0, err
+	}
+	pending := map[PageID][]byte{}
+	pendingN := 0
+	off := 0
+	for off+walRecHdr <= len(log) {
+		hdr := log[off : off+walRecHdr]
+		kind := hdr[0]
+		if kind != walPage && kind != walCommit {
+			break
+		}
+		var data []byte
+		recLen := walRecHdr
+		if kind == walPage {
+			if off+walRecHdr+PageSize > len(log) {
+				break // torn page record
+			}
+			data = log[off+walRecHdr : off+walRecHdr+PageSize]
+			recLen += PageSize
+		}
+		crc := crc32.Update(0, crcTable, hdr[:13])
+		crc = crc32.Update(crc, crcTable, data)
+		if crc != binary.LittleEndian.Uint32(hdr[13:17]) {
+			break
+		}
+		lsn := binary.LittleEndian.Uint64(hdr[1:9])
+		if lsn > maxLSN {
+			maxLSN = lsn
+		}
+		off += recLen
+		if kind == walPage {
+			id := PageID(binary.LittleEndian.Uint32(hdr[9:13]))
+			img := make([]byte, PageSize)
+			copy(img, data)
+			pending[id] = img
+			pendingN++
+		} else {
+			for id, img := range pending {
+				committed[id] = img
+			}
+			pending = map[PageID][]byte{}
+			pendingN = 0
+		}
+	}
+	discarded = pendingN
+	if off < len(log) {
+		discarded++ // the torn or corrupt record that ended the scan
+	}
+	return committed, maxLSN, discarded, nil
+}

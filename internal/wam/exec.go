@@ -34,6 +34,25 @@ func (m *Machine) runLoop() (bool, error) {
 		m.stats.Instructions++
 		m.stats.OpClasses[opClassOf[ins.Op]]++
 
+		// Amortized cancellation poll: deadlines and interrupts surface
+		// here as catchable balls, so even a runaway deterministic goal
+		// (no calls, no builtins) is bounded.
+		if m.stats.Instructions&interruptMask == 0 {
+			if err := m.checkCancel(); err != nil {
+				switch act, perr := m.handleBuiltinError(err); act {
+				case errJump:
+					continue
+				case errFail:
+					if !m.backtrack() {
+						return false, nil
+					}
+					continue
+				default:
+					return false, perr
+				}
+			}
+		}
+
 		switch ins.Op {
 		case OpNop:
 			m.p.off++

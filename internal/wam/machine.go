@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dict"
 	"repro/internal/obs"
@@ -136,6 +138,13 @@ type Machine struct {
 	gcThreshold int // run GC when heap grew this much since last collection
 	gcLastHeap  int
 
+	// Cancellation. deadline is a unix-nanosecond wall-clock bound (0 =
+	// none) and interrupted an asynchronous abort request; both may be
+	// set from other goroutines and are polled amortized by the dispatch
+	// loop, surfacing as catchable error balls.
+	deadline    atomic.Int64
+	interrupted atomic.Bool
+
 	stats Stats
 	// phaseSink receives per-query phase attributions the machine makes
 	// itself (currently gc pauses). Nil records nothing; the owning
@@ -193,6 +202,46 @@ func (m *Machine) SetPhaseSink(pt *obs.PhaseTimes) { m.phaseSink = pt }
 // SetGC enables or disables the garbage collector (paper §3.3.2 allows
 // temporarily disabling it in time-critical regions).
 func (m *Machine) SetGC(enabled bool) { m.gcEnabled = enabled }
+
+// interruptMask selects how often the dispatch loop polls for
+// cancellation: every 256 instructions, cheap enough to vanish in the
+// dispatch cost while bounding reaction latency.
+const interruptMask = 0xff
+
+// SetDeadline arms a wall-clock execution bound; once it passes, the
+// running (or any later) query aborts with a catchable
+// error(timeout, educe) ball. The zero time disarms. Safe to call from
+// any goroutine.
+func (m *Machine) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		m.deadline.Store(0)
+		return
+	}
+	m.deadline.Store(t.UnixNano())
+}
+
+// Interrupt asynchronously aborts the running query with a catchable
+// error(interrupted, educe) ball at the next dispatch-loop poll. One
+// interrupt aborts one query; the flag clears when delivered. Safe to
+// call from any goroutine.
+func (m *Machine) Interrupt() { m.interrupted.Store(true) }
+
+// ClearInterrupt discards a pending interrupt (a new query starting
+// should not die for its predecessor's abort).
+func (m *Machine) ClearInterrupt() { m.interrupted.Store(false) }
+
+// checkCancel reports a pending interrupt or an expired deadline as an
+// error ball, or nil to continue.
+func (m *Machine) checkCancel() error {
+	if m.interrupted.Load() {
+		m.interrupted.Store(false)
+		return &ErrBall{Term: term.Comp("error", term.Atom("interrupted"), term.Atom("educe"))}
+	}
+	if d := m.deadline.Load(); d != 0 && time.Now().UnixNano() > d {
+		return &ErrBall{Term: term.Comp("error", term.Atom("timeout"), term.Atom("educe"))}
+	}
+	return nil
+}
 
 // SetGCThreshold sets the heap-growth trigger in cells.
 func (m *Machine) SetGCThreshold(cells int) {
