@@ -10,6 +10,7 @@
 //	benchtool -table cpuscale   # §5.4 client/server CPU scaling
 //	benchtool -table phases     # §3.1 compile-phase split
 //	benchtool -table ruleuse    # §2 per-use rule cost
+//	benchtool -table server     # served MVV: concurrent wire clients
 //	benchtool -table all
 package main
 
@@ -24,8 +25,11 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: mvv, wisconsin, icheck, cpuscale, phases, ruleuse, all")
+	table := flag.String("table", "all", "table to regenerate: mvv, wisconsin, icheck, cpuscale, phases, ruleuse, server, all")
 	wiscN := flag.Int("wisconsin-n", 10000, "Wisconsin relation cardinality")
+	clients := flag.Int("clients", 8, "with -table server: concurrent wire clients")
+	queries := flag.Int("queries", 20, "with -table server: queries per client")
+	sessions := flag.Int("server-sessions", 4, "with -table server: session pool size")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -43,6 +47,23 @@ func main() {
 	run("cpuscale", printCPUScale)
 	run("phases", printPhases)
 	run("ruleuse", printRuleUse)
+	run("server", func() error { return printServer(*clients, *queries, *sessions) })
+}
+
+func printServer(clients, queries, sessions int) error {
+	row, err := bench.ServerBench(clients, queries, sessions)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Served MVV — concurrent clients over the line protocol (mixed class 1/2)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "clients\tsessions\tqueries\tsolutions\tsheds\telapsed(ms)\tqps\tp50(ms)\tp95(ms)\tp99(ms)")
+	fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%s\t%.0f\t%s\t%s\t%s\n",
+		row.Clients, row.Sessions, row.Queries, row.Solutions, row.Sheds,
+		ms(row.Elapsed), row.QPS, ms(row.P50), ms(row.P95), ms(row.P99))
+	w.Flush()
+	fmt.Println()
+	return nil
 }
 
 func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }

@@ -28,24 +28,48 @@
 //	              per-query summary to FILE ("-" = stderr)
 //	-metrics ADDR serve a live JSON snapshot of the knowledge-base metrics
 //	              registry on http://ADDR/metrics (expvar at /debug/vars)
+//
+// Serving:
+//
+//	-serve ADDR        serve the line protocol on ADDR (see internal/server)
+//	                   instead of running a shell; SIGINT/SIGTERM drains
+//	                   in-flight queries and exits 0
+//	-max-sessions N    session pool size (concurrent queries)
+//	-queue N           admission queue depth; past it queries are shed with
+//	                   "overloaded retry-after=<ms>"
+//	-quota-heap N      per-query cap on live WAM heap cells
+//	-quota-trail N     per-query cap on trail entries
+//	-quota-pages N     per-query cap on EDB pages touched
+//	-quota-solutions N per-query cap on solutions delivered
+//	-drain-timeout D   how long a drain waits for in-flight queries before
+//	                   interrupting them (with -serve)
+//
+// The -timeout flag bounds each served query's execution like it bounds
+// shell goals.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/educe"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/server"
 )
 
 func main() {
@@ -60,6 +84,14 @@ func main() {
 	check := flag.Bool("check", false, "verify the knowledge base's integrity and exit (nonzero on corruption)")
 	repair := flag.Bool("repair", false, "verify, rebuild derived indexes on failure, re-verify, and exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound per goal; runaway goals abort with a timeout error (0 = none)")
+	serveAddr := flag.String("serve", "", "serve the line protocol on this address instead of running a shell")
+	maxSessions := flag.Int("max-sessions", 4, "with -serve: session pool size (concurrent queries)")
+	queueDepth := flag.Int("queue", 16, "with -serve: admission queue depth before load shedding")
+	quotaHeap := flag.Int("quota-heap", 0, "with -serve: per-query cap on live WAM heap cells (0 = none)")
+	quotaTrail := flag.Int("quota-trail", 0, "with -serve: per-query cap on trail entries (0 = none)")
+	quotaPages := flag.Int("quota-pages", 0, "with -serve: per-query cap on EDB pages touched (0 = none)")
+	quotaSolutions := flag.Int("quota-solutions", 0, "with -serve: per-query cap on solutions delivered (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "with -serve: grace for in-flight queries at shutdown before they are interrupted")
 	flag.Parse()
 
 	opts := educe.Options{StorePath: *dbPath}
@@ -99,8 +131,10 @@ func main() {
 		tracer = educe.NewTracer(w)
 		eng.SetTracer(tracer)
 	}
+	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		if err := serveMetrics(*metricsAddr, eng.KB().Obs()); err != nil {
+		metricsSrv, err = startMetrics(*metricsAddr, eng.KB().Obs())
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "educe:", err)
 			os.Exit(1)
 		}
@@ -122,6 +156,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%% consulted %s\n", path)
+	}
+
+	if *serveAddr != "" {
+		if len(flag.Args()) > 0 && !*external {
+			fmt.Fprintln(os.Stderr, "% note: files consulted without -external are private to this process's shell session and invisible to served queries")
+		}
+		cfg := server.Config{
+			MaxSessions:  *maxSessions,
+			QueueDepth:   *queueDepth,
+			QueryTimeout: *timeout,
+			Quota: core.Quota{
+				HeapCells:    *quotaHeap,
+				TrailEntries: *quotaTrail,
+				PagesTouched: *quotaPages,
+				Solutions:    *quotaSolutions,
+			},
+		}
+		if err := runServe(eng, *serveAddr, cfg, *drainTimeout, metricsSrv); err != nil {
+			fmt.Fprintln(os.Stderr, "educe:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *goal != "" {
@@ -226,10 +282,13 @@ func printStats(st core.Stats) {
 		ph.Parse, ph.Compile, ph.EDBFetch, ph.PreUnify, ph.Link, ph.Exec, ph.GC, ph.Store)
 }
 
-// serveMetrics exposes the KB metrics registry: a flat JSON snapshot at
+// startMetrics exposes the KB metrics registry: a flat JSON snapshot at
 // /metrics and the standard expvar page at /debug/vars (the registry is
-// published as the expvar "educe" map).
-func serveMetrics(addr string, reg *educe.Registry) error {
+// published as the expvar "educe" map). Bind errors are returned
+// synchronously; later serve errors are reported on stderr. The returned
+// handle lets the drain path shut the listener down with the rest of the
+// process instead of leaking it until exit.
+func startMetrics(addr string, reg *educe.Registry) (*http.Server, error) {
 	expvar.Publish("educe", expvar.Func(func() any { return reg.Snapshot() }))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -239,18 +298,58 @@ func serveMetrics(addr string, reg *educe.Registry) error {
 		enc.Encode(reg.Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Addr: addr, Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "educe: metrics:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "%% metrics on http://%s/metrics\n", ln.Addr())
+	return srv, nil
+}
+
+// runServe serves the query protocol until SIGINT/SIGTERM, then drains:
+// stop accepting, let in-flight queries finish for drainTimeout, then
+// interrupt them. The metrics listener (when present) is shut down with
+// the query server. A clean drain exits 0.
+func runServe(eng *educe.Engine, addr string, cfg server.Config, drainTimeout time.Duration, metricsSrv *http.Server) error {
+	srv, err := server.New(eng.KB(), cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%% serving educe protocol on %s (%d sessions, queue %d)\n",
+		ln.Addr(), cfg.MaxSessions, cfg.QueueDepth)
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	// Surface immediate bind errors; afterwards the server runs for the
-	// process lifetime.
+	go func() { errCh <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	select {
 	case err := <-errCh:
 		return err
-	case <-time.After(100 * time.Millisecond):
-		fmt.Fprintf(os.Stderr, "%% metrics on http://%s/metrics\n", addr)
-		return nil
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "%% %v: draining (up to %v)\n", s, drainTimeout)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if metricsSrv != nil {
+		mctx, mcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer mcancel()
+		metricsSrv.Shutdown(mctx)
+	}
+	fmt.Fprintln(os.Stderr, "% drained")
+	return nil
 }
 
 // runCheck verifies the knowledge base and, when asked, repairs what is

@@ -65,6 +65,12 @@ type Session = core.Session
 // Solutions iterates query answers.
 type Solutions = core.Solutions
 
+// Quota caps the resources one query may consume (Session.SetQuota):
+// live heap cells, trail entries, EDB pages touched and solutions
+// delivered. An exhausted query dies with a catchable
+// error(resource_error(Kind), educe) ball; its session stays reusable.
+type Quota = core.Quota
+
 // Stats aggregates engine counters.
 type Stats = core.Stats
 

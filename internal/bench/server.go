@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench/mvv"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// ServerBenchRow summarises one served-MVV run: concurrent clients
+// driving the line protocol against a query server over a shared MVV
+// knowledge base.
+type ServerBenchRow struct {
+	Clients   int
+	Sessions  int
+	Queries   int // completed queries
+	Solutions int
+	Sheds     int // overloaded replies absorbed by retries
+	Elapsed   time.Duration
+	QPS       float64
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+}
+
+// ServerBench starts a query server over the MVV knowledge base (facts
+// in the EDB, route rules resident in every pool session, as in §5.1)
+// and drives it with concurrent wire clients running the mixed Class 1 /
+// Class 2 query load. Overloaded replies are retried after the server's
+// hint and counted, so the row also shows how often admission control
+// engaged at this client count.
+func ServerBench(clients, queriesPerClient, sessions int) (*ServerBenchRow, error) {
+	data := mvv.Generate()
+	kb, err := SetupMVVKB(data)
+	if err != nil {
+		return nil, err
+	}
+	defer kb.Close()
+	srv, err := server.New(kb, server.Config{
+		MaxSessions:  sessions,
+		QueueDepth:   2 * clients,
+		QueueWait:    5 * time.Second,
+		QueryTimeout: 30 * time.Second,
+		SessionInit:  func(s *core.Session) error { return s.Consult(mvv.Rules) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	mixed := append(append([]string{}, data.Class1...), data.Class2...)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		solutions int
+		sheds     int
+		firstErr  error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := server.DialTimeout(addr.String(), 30*time.Second)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("client %d: %w", c, err)
+				}
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			for q := 0; q < queriesPerClient; q++ {
+				goal := mixed[(c+q)%len(mixed)]
+				t0 := time.Now()
+				for {
+					res, err := cl.Query(goal)
+					if err == nil {
+						mu.Lock()
+						latencies = append(latencies, time.Since(t0))
+						solutions += res.N
+						mu.Unlock()
+						break
+					}
+					var oe *server.OverloadedError
+					if errors.As(err, &oe) {
+						mu.Lock()
+						sheds++
+						mu.Unlock()
+						time.Sleep(oe.RetryAfter)
+						continue
+					}
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d %q: %w", c, goal, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p int) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := len(latencies) * p / 100
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	return &ServerBenchRow{
+		Clients:   clients,
+		Sessions:  sessions,
+		Queries:   len(latencies),
+		Solutions: solutions,
+		Sheds:     sheds,
+		Elapsed:   elapsed,
+		QPS:       float64(len(latencies)) / elapsed.Seconds(),
+		P50:       pct(50),
+		P95:       pct(95),
+		P99:       pct(99),
+	}, nil
+}

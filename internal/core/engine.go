@@ -168,6 +168,11 @@ type Session struct {
 	// reconciled against (see syncWithKB).
 	synced uint64
 
+	// quota caps each query's resource consumption (see SetQuota); the
+	// machine enforces the heap/trail/solution limits and calls back
+	// into quotaHook for the EDB pages-touched limit.
+	quota Quota
+
 	// tally attributes buffer-pool traffic to this session while it is
 	// inside a storage access.
 	tally *store.Tally
@@ -265,6 +270,7 @@ func (kb *KnowledgeBase) NewSessionWithOptions(opts Options) (*Session, error) {
 	// The machine charges GC pauses to the current query's phase vector;
 	// &s.q.Phases is stable for the session's lifetime.
 	m.SetPhaseSink(&s.q.Phases)
+	m.SetCheckHook(s.quotaHook)
 	m.OnUndefined = s.onUndefined
 	s.registerEngineBuiltins()
 	if err := s.loadBootstrap(); err != nil {
@@ -379,6 +385,54 @@ func (s *Session) SetTimeout(d time.Duration) {
 // from any goroutine; a pending interrupt is discarded when the next
 // query starts.
 func (s *Session) Interrupt() { s.m.Interrupt() }
+
+// Quota caps the resources one query may consume. Zero fields are
+// unlimited. Every cap surfaces inside the query as a catchable
+// error(resource_error(Kind), educe) ball with Kind one of heap, trail,
+// pages or solutions, alongside the timeout/interrupt machinery; an
+// exhausted query dies but its session stays reusable. Enforcement is
+// amortized in the WAM dispatch loop, so a query may overshoot a cap
+// slightly before it is killed. Compiled-mode queries only (like
+// SetDeadline, the baseline interpreter is not covered).
+type Quota struct {
+	// HeapCells bounds the WAM heap in cells, measured after garbage
+	// collection: only live data counts against the cap.
+	HeapCells int
+	// TrailEntries bounds the WAM trail length.
+	TrailEntries int
+	// PagesTouched bounds the buffer-pool accesses one query's EDB
+	// retrievals may make (the paper's unit of I/O cost).
+	PagesTouched int
+	// Solutions bounds the number of solutions a query may deliver.
+	Solutions int
+}
+
+// SetQuota installs per-query resource caps on this session. Unlike
+// SetTimeout and Interrupt, SetQuota must be called from the session's
+// own goroutine between queries — it is not safe to change a quota while
+// a query is in flight. The quota persists until changed; the zero Quota
+// removes all caps.
+func (s *Session) SetQuota(q Quota) {
+	s.quota = q
+	s.m.SetQuota(wam.Quota{
+		HeapCells:    q.HeapCells,
+		TrailEntries: q.TrailEntries,
+		Solutions:    q.Solutions,
+	})
+}
+
+// Quota returns the session's installed per-query resource caps.
+func (s *Session) Quota() Quota { return s.quota }
+
+// quotaHook enforces the caps the machine cannot see itself. It is
+// polled from the WAM dispatch loop (same cadence as deadlines), reading
+// only session-local state.
+func (s *Session) quotaHook() error {
+	if p := s.quota.PagesTouched; p > 0 && s.q.PagesTouched > uint64(p) {
+		return wam.ResourceBall("pages")
+	}
+	return nil
+}
 
 // SetTracer directs the session's per-query trace events to t (nil
 // disables tracing). One tracer may be shared by many sessions; its

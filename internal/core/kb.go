@@ -95,13 +95,13 @@ func OpenKB(opts Options) (*KnowledgeBase, error) {
 	}
 	reg := st.Obs()
 	kb := &KnowledgeBase{
-		opts:         opts,
-		st:           st,
-		db:           db,
-		cat:          cat,
-		codeCache:    map[string][]compiler.ClauseCode{},
-		procVers:     map[string]uint64{},
-		reg:          reg,
+		opts:            opts,
+		st:              st,
+		db:              db,
+		cat:             cat,
+		codeCache:       map[string][]compiler.ClauseCode{},
+		procVers:        map[string]uint64{},
+		reg:             reg,
 		cacheHits:       reg.Counter("core.codecache.hits"),
 		cacheMisses:     reg.Counter("core.codecache.misses"),
 		cacheInvals:     reg.Counter("core.codecache.invalidations"),

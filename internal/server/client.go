@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a line-protocol client (tests, benchtool, command-line
+// tooling). One Client drives one connection; it is not safe for
+// concurrent use — open one per goroutine.
+type Client struct {
+	c       net.Conn
+	r       *bufio.Scanner
+	timeout time.Duration
+}
+
+// OverloadedError reports a shed — at connect or at query admission —
+// with the server's retry hint.
+type OverloadedError struct{ RetryAfter time.Duration }
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("server overloaded, retry after %v", e.RetryAfter)
+}
+
+// QueryError is a query-level failure reported by the server (parse
+// error, timeout, resource_error, interrupted, ...). The connection
+// remains usable.
+type QueryError struct{ Msg string }
+
+func (e *QueryError) Error() string { return e.Msg }
+
+// Result is one query's outcome: the rendered solutions, in order.
+type Result struct {
+	// Solutions holds each solution's bindings as the server rendered
+	// them ("X = 1, Y = f(a)", or "true" for a variable-free goal).
+	Solutions []string
+	// N is the server's solution count from the end line.
+	N int
+}
+
+// Dial connects with a 30-second I/O timeout.
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 30*time.Second) }
+
+// DialTimeout connects to a server and consumes the greeting; timeout
+// bounds the connect and every subsequent read or write. A shed at
+// accept surfaces as *OverloadedError.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{c: c, r: bufio.NewScanner(c), timeout: timeout}
+	cl.r.Buffer(make([]byte, 0, 1024), maxLineBytes)
+	line, err := cl.readLine()
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("server: reading greeting: %w", err)
+	}
+	if ra, ok := parseRetryAfter(line); ok {
+		c.Close()
+		return nil, &OverloadedError{RetryAfter: ra}
+	}
+	if line != protoGreeting {
+		c.Close()
+		return nil, fmt.Errorf("server: unexpected greeting %q", line)
+	}
+	return cl, nil
+}
+
+// Query runs one goal and collects every solution. A shed at admission
+// surfaces as *OverloadedError (the connection stays usable); a query
+// failure as *QueryError.
+func (cl *Client) Query(goal string) (*Result, error) {
+	if strings.ContainsAny(goal, "\r\n") {
+		return nil, fmt.Errorf("server: goal must be a single line")
+	}
+	if err := cl.writeLine("q " + goal); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for {
+		line, err := cl.readLine()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(line, "sol "):
+			res.Solutions = append(res.Solutions, line[len("sol "):])
+		case strings.HasPrefix(line, "end "):
+			n, err := strconv.Atoi(line[len("end "):])
+			if err != nil {
+				return nil, fmt.Errorf("server: malformed end line %q", line)
+			}
+			res.N = n
+			return res, nil
+		case strings.HasPrefix(line, "err "):
+			return nil, &QueryError{Msg: line[len("err "):]}
+		default:
+			if ra, ok := parseRetryAfter(line); ok {
+				return nil, &OverloadedError{RetryAfter: ra}
+			}
+			return nil, fmt.Errorf("server: unexpected reply %q", line)
+		}
+	}
+}
+
+// Ping checks liveness.
+func (cl *Client) Ping() error {
+	if err := cl.writeLine("ping"); err != nil {
+		return err
+	}
+	line, err := cl.readLine()
+	if err != nil {
+		return err
+	}
+	if line != protoPong {
+		return fmt.Errorf("server: unexpected ping reply %q", line)
+	}
+	return nil
+}
+
+// Close sends a best-effort quit and closes the connection.
+func (cl *Client) Close() error {
+	cl.writeLine("quit")
+	return cl.c.Close()
+}
+
+func (cl *Client) readLine() (string, error) {
+	cl.c.SetReadDeadline(time.Now().Add(cl.timeout))
+	if !cl.r.Scan() {
+		if err := cl.r.Err(); err != nil {
+			return "", err
+		}
+		return "", io.EOF
+	}
+	return cl.r.Text(), nil
+}
+
+func (cl *Client) writeLine(line string) error {
+	cl.c.SetWriteDeadline(time.Now().Add(cl.timeout))
+	_, err := io.WriteString(cl.c, line+"\n")
+	return err
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Faults injects deterministic failures into the serving path, so tests
+// can drive every degradation branch without relying on timing or load.
+// Counters are atomic: the decisions depend only on connection arrival
+// order, not on scheduling.
+type Faults struct {
+	// DropEveryN silently closes every Nth accepted connection before
+	// the greeting (1 drops every connection). The client sees an EOF —
+	// the same failure shape as a crashed peer or a dropped link.
+	DropEveryN int
+	// StallEveryN stalls every Nth accepted connection for Stall before
+	// the greeting, simulating a saturated accept path. Drop wins over
+	// stall when both match the same connection.
+	StallEveryN int
+	// Stall is the stall duration for StallEveryN.
+	Stall time.Duration
+	// ForceQuota overrides every query's quota with an already-exhausted
+	// solution budget, so each query deterministically dies with a
+	// catchable resource_error(solutions) on its first solution attempt —
+	// the real in-WAM kill path, not a shortcut in the server.
+	ForceQuota bool
+
+	conns atomic.Uint64
+}
+
+// onConn makes the per-connection fault decision.
+func (f *Faults) onConn() (drop bool, stall time.Duration) {
+	if f == nil {
+		return false, 0
+	}
+	n := f.conns.Add(1)
+	if f.DropEveryN > 0 && n%uint64(f.DropEveryN) == 0 {
+		return true, 0
+	}
+	if f.StallEveryN > 0 && n%uint64(f.StallEveryN) == 0 {
+		return false, f.Stall
+	}
+	return false, 0
+}

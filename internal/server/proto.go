@@ -1,0 +1,89 @@
+// Package server is the Educe* serving layer: a TCP query server that
+// owns a fixed pool of core.Sessions over one shared KnowledgeBase and
+// is robust by construction. Robustness here means the failure modes a
+// hostile or unlucky client can provoke are all bounded:
+//
+//   - admission control: a connection cap, a session pool, and a bounded
+//     admission queue; past those limits clients are shed with an
+//     explicit "overloaded retry-after=<ms>" reply instead of queueing
+//     without bound or spawning unbounded goroutines;
+//   - per-query resource quotas (core.Quota) enforced inside the WAM, so
+//     a runaway query dies with a catchable resource_error ball while
+//     its session stays reusable;
+//   - per-connection read and write deadlines, so an idle or slow-reading
+//     client is reaped instead of pinning a session forever;
+//   - graceful drain: Shutdown stops accepting, lets in-flight queries
+//     finish until the context expires, then interrupts stragglers and
+//     force-closes what remains;
+//   - deterministic fault injection (Faults) for testing every one of
+//     those degradation paths.
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The wire format is a line protocol: one UTF-8 line per message,
+// '\n'-terminated, no line longer than maxLineBytes.
+//
+//	server greeting:  "ok educe/1"                  connection accepted
+//	                  "overloaded retry-after=<ms>" shed at accept; the
+//	                                                connection closes
+//	client commands:  "q <goal>"   run a Prolog goal, stream solutions
+//	                  "ping"       liveness probe, answered with "pong"
+//	                  "quit"       close the connection ("bye")
+//	query replies:    "sol <bindings>"  one per solution; bindings are
+//	                                    "X = t1, Y = t2" in variable-name
+//	                                    order, or "true" for a goal with
+//	                                    no variables
+//	                  "end <n>"         enumeration done, n solutions sent
+//	                  "err <message>"   the query died: parse error,
+//	                                    timeout, resource_error(Kind),
+//	                                    interrupted, ...
+//	                  "overloaded retry-after=<ms>"  shed at admission;
+//	                                    the connection stays open and may
+//	                                    retry after the given delay
+//	                  "err draining"    the server is shutting down; the
+//	                                    connection closes
+const (
+	protoGreeting = "ok educe/1"
+	protoPong     = "pong"
+	protoBye      = "bye"
+	protoDraining = "err draining"
+
+	// maxLineBytes bounds one protocol line in either direction; a
+	// client sending an unbounded line is disconnected, not buffered.
+	maxLineBytes = 64 * 1024
+)
+
+const overloadedPrefix = "overloaded retry-after="
+
+// overloadedLine renders the shed reply carrying the retry hint.
+func overloadedLine(retryAfter time.Duration) string {
+	return fmt.Sprintf("%s%d", overloadedPrefix, retryAfter.Milliseconds())
+}
+
+// parseRetryAfter recognises an overloaded reply and extracts the hint.
+func parseRetryAfter(line string) (time.Duration, bool) {
+	rest, ok := strings.CutPrefix(line, overloadedPrefix)
+	if !ok {
+		return 0, false
+	}
+	var ms int64
+	if _, err := fmt.Sscanf(rest, "%d", &ms); err != nil {
+		return 0, true
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
+// sanitizeLine keeps server replies single-line: any embedded newline in
+// an error message or a rendered term would desynchronise the protocol.
+func sanitizeLine(s string) string {
+	if !strings.ContainsAny(s, "\r\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, "\r", " ")
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,541 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wam"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config tunes the server's admission, deadline and quota policy. The
+// zero value gets sensible defaults (see withDefaults).
+type Config struct {
+	// MaxSessions is the size of the core.Session pool — the number of
+	// queries that may execute concurrently. Sessions are created
+	// eagerly at New, so a misconfigured knowledge base fails fast.
+	MaxSessions int
+	// QueueDepth bounds how many admitted queries may wait for a free
+	// session; past it, queries are shed immediately with an overloaded
+	// reply instead of queueing without bound.
+	QueueDepth int
+	// QueueWait bounds how long one query may wait in the admission
+	// queue before being shed.
+	QueueWait time.Duration
+	// MaxConns caps concurrently open connections; connections past the
+	// cap are shed at accept. 0 derives a cap from MaxSessions and
+	// QueueDepth.
+	MaxConns int
+
+	// ReadTimeout is the per-command read deadline: an idle connection
+	// is closed after this long without a complete line.
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-reply write deadline: a client that stops
+	// reading while solutions stream at it is disconnected once the
+	// socket buffers fill and a write blocks this long.
+	WriteTimeout time.Duration
+
+	// QueryTimeout bounds each query's wall-clock execution (0 = no
+	// bound). Delivered inside the query as a catchable timeout ball.
+	QueryTimeout time.Duration
+	// Quota caps each query's resource consumption (heap, trail, EDB
+	// pages, solutions); see core.Quota. The zero quota is unlimited.
+	Quota core.Quota
+
+	// RetryAfter is the hint attached to overloaded replies.
+	RetryAfter time.Duration
+	// DrainGrace is how long Shutdown waits after interrupting in-flight
+	// queries (and again after force-closing connections) for handlers
+	// to finish.
+	DrainGrace time.Duration
+
+	// SockWriteBuffer, when positive, shrinks each TCP connection's
+	// kernel send buffer so write deadlines engage after a bounded
+	// amount of unread output (used by tests to reap slow readers
+	// deterministically).
+	SockWriteBuffer int
+
+	// SessionInit, when set, runs on every pool session at New — e.g. to
+	// consult resident rules each session needs.
+	SessionInit func(*core.Session) error
+
+	// Faults, when set, injects deterministic failures (tests only).
+	Faults *Faults
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxSessions
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 4*c.MaxSessions + 2*c.QueueDepth + 8
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+	return c
+}
+
+// Server serves the line protocol over a pool of sessions. Create with
+// New, run with Serve (or Start), stop with Shutdown.
+type Server struct {
+	kb  *core.KnowledgeBase
+	cfg Config
+
+	// sessions is the pool; a session is owned exclusively by whoever
+	// received it from the channel, and the channel's synchronisation
+	// orders each owner's SetQuota/Query calls after the previous
+	// owner's.
+	sessions chan *core.Session
+	queued   atomic.Int64
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	inflight map[*core.Session]struct{}
+	closed   bool
+
+	draining chan struct{}
+	wg       sync.WaitGroup
+
+	// shedSem bounds the goroutines writing overloaded replies to
+	// connections shed at accept; when it is full the connection is
+	// closed without the courtesy reply.
+	shedSem chan struct{}
+
+	mAccepted       *obs.Counter
+	mAcceptSheds    *obs.Counter
+	mAdmissionSheds *obs.Counter
+	mQueries        *obs.Counter
+	mSolutions      *obs.Counter
+	mQueryErrors    *obs.Counter
+	mQuotaKills     *obs.Counter
+	gConns          *obs.Gauge
+	gQueue          *obs.Gauge
+	gInflight       *obs.Gauge
+	gDrainNS        *obs.Gauge
+	hLatency        *obs.Histogram
+}
+
+// New builds a server over kb, creating the session pool eagerly.
+func New(kb *core.KnowledgeBase, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		kb:       kb,
+		cfg:      cfg,
+		sessions: make(chan *core.Session, cfg.MaxSessions),
+		conns:    map[net.Conn]struct{}{},
+		inflight: map[*core.Session]struct{}{},
+		draining: make(chan struct{}),
+		shedSem:  make(chan struct{}, 32),
+	}
+	reg := kb.Obs()
+	s.mAccepted = reg.Counter("server.conns_accepted")
+	s.mAcceptSheds = reg.Counter("server.accept_sheds")
+	s.mAdmissionSheds = reg.Counter("server.admission_sheds")
+	s.mQueries = reg.Counter("server.queries")
+	s.mSolutions = reg.Counter("server.solutions")
+	s.mQueryErrors = reg.Counter("server.query_errors")
+	s.mQuotaKills = reg.Counter("server.quota_kills")
+	s.gConns = reg.Gauge("server.active_conns")
+	s.gQueue = reg.Gauge("server.queue_depth")
+	s.gInflight = reg.Gauge("server.inflight")
+	s.gDrainNS = reg.Gauge("server.drain_ns")
+	s.hLatency = reg.Histogram("server.query_latency")
+
+	for i := 0; i < cfg.MaxSessions; i++ {
+		sess, err := kb.NewSession()
+		if err == nil && cfg.SessionInit != nil {
+			if ierr := cfg.SessionInit(sess); ierr != nil {
+				sess.Close()
+				err = ierr
+			}
+		}
+		if err != nil {
+			close(s.sessions)
+			for prev := range s.sessions {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("server: session %d: %w", i, err)
+		}
+		s.sessions <- sess
+	}
+	return s, nil
+}
+
+// Start listens on addr and serves in a background goroutine, returning
+// the bound address (convenient with addr ":0").
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (returning
+// ErrServerClosed) or a non-temporary accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.draining:
+				return ErrServerClosed
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.mAccepted.Inc()
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.shedConn(c)
+			continue
+		}
+		s.conns[c] = struct{}{}
+		n := len(s.conns)
+		s.mu.Unlock()
+		s.gConns.Set(int64(n))
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// shedConn rejects a connection at accept with a best-effort overloaded
+// reply, written from a bounded pool of writers so a connect flood
+// cannot stall the accept loop or spawn unbounded goroutines.
+func (s *Server) shedConn(c net.Conn) {
+	s.mAcceptSheds.Inc()
+	select {
+	case s.shedSem <- struct{}{}:
+		go func() {
+			defer func() { <-s.shedSem }()
+			c.SetWriteDeadline(time.Now().Add(time.Second))
+			io.WriteString(c, overloadedLine(s.cfg.RetryAfter)+"\n")
+			c.Close()
+		}()
+	default:
+		c.Close()
+	}
+}
+
+// handleConn runs one connection's command loop.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		n := len(s.conns)
+		s.mu.Unlock()
+		s.gConns.Set(int64(n))
+		c.Close()
+	}()
+
+	if drop, stall := s.cfg.Faults.onConn(); drop {
+		return
+	} else if stall > 0 {
+		select {
+		case <-time.After(stall):
+		case <-s.draining:
+			return
+		}
+	}
+	if s.cfg.SockWriteBuffer > 0 {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetWriteBuffer(s.cfg.SockWriteBuffer)
+		}
+	}
+	if !s.writeLine(c, protoGreeting) {
+		return
+	}
+
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 1024), maxLineBytes)
+	for {
+		// Deadline first, then the drain check: Shutdown closes draining
+		// before nudging read deadlines, so every interleaving either
+		// sees the closed channel here or scans with an already-expired
+		// deadline — an idle connection can never sleep through a drain.
+		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		select {
+		case <-s.draining:
+			s.writeLine(c, protoDraining)
+			return
+		default:
+		}
+		if !sc.Scan() {
+			return // EOF, oversized line, read timeout, or drain nudge
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch cmd {
+		case "ping":
+			if !s.writeLine(c, protoPong) {
+				return
+			}
+		case "quit":
+			s.writeLine(c, protoBye)
+			return
+		case "q":
+			if !s.runQuery(c, strings.TrimSpace(rest)) {
+				return
+			}
+		default:
+			if !s.writeLine(c, "err unknown command "+sanitizeLine(cmd)) {
+				return
+			}
+		}
+	}
+}
+
+// acquire admits a query: fast path when a session is free, else a
+// bounded wait in the admission queue. A nil session means shed (or
+// draining); the returned line is the reply to send.
+func (s *Server) acquire() (*core.Session, string) {
+	select {
+	case <-s.draining:
+		return nil, protoDraining
+	default:
+	}
+	select {
+	case sess := <-s.sessions:
+		return sess, ""
+	default:
+	}
+	q := s.queued.Add(1)
+	s.gQueue.Set(q)
+	defer func() { s.gQueue.Set(s.queued.Add(-1)) }()
+	if q > int64(s.cfg.QueueDepth) {
+		s.mAdmissionSheds.Inc()
+		return nil, overloadedLine(s.cfg.RetryAfter)
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case sess := <-s.sessions:
+		return sess, ""
+	case <-t.C:
+		s.mAdmissionSheds.Inc()
+		return nil, overloadedLine(s.cfg.RetryAfter)
+	case <-s.draining:
+		return nil, protoDraining
+	}
+}
+
+// runQuery executes one goal on a pooled session, streaming solutions.
+// It returns false when the connection is dead and must be closed.
+func (s *Server) runQuery(c net.Conn, goal string) bool {
+	if goal == "" {
+		return s.writeLine(c, "err empty goal")
+	}
+	sess, shed := s.acquire()
+	if sess == nil {
+		return s.writeLine(c, shed)
+	}
+	s.gInflight.Add(1)
+	s.mu.Lock()
+	s.inflight[sess] = struct{}{}
+	s.mu.Unlock()
+	s.mQueries.Inc()
+	start := time.Now()
+
+	quota := s.cfg.Quota
+	if s.cfg.Faults != nil && s.cfg.Faults.ForceQuota {
+		// An already-exhausted solution budget: the query dies inside
+		// the WAM with resource_error(solutions) on its first Next.
+		quota = core.Quota{Solutions: -1}
+	}
+	sess.SetQuota(quota)
+	if s.cfg.QueryTimeout > 0 {
+		sess.SetTimeout(s.cfg.QueryTimeout)
+	}
+
+	n := 0
+	wok := true
+	sols, err := sess.Query(goal)
+	if err == nil {
+		for sols.Next() {
+			n++
+			if wok = s.writeLine(c, "sol "+renderSolution(sols)); !wok {
+				break
+			}
+		}
+		sols.Close()
+		err = sols.Err()
+	}
+
+	sess.SetTimeout(0)
+	s.mu.Lock()
+	delete(s.inflight, sess)
+	s.mu.Unlock()
+	s.gInflight.Add(-1)
+	s.sessions <- sess // buffered to pool size; never blocks
+	s.hLatency.Observe(time.Since(start))
+	s.mSolutions.Add(uint64(n))
+
+	if !wok {
+		return false // write failed or timed out; reap the connection
+	}
+	if err != nil {
+		s.mQueryErrors.Inc()
+		if wam.ResourceKind(err) != "" {
+			s.mQuotaKills.Inc()
+		}
+		return s.writeLine(c, "err "+sanitizeLine(err.Error()))
+	}
+	return s.writeLine(c, fmt.Sprintf("end %d", n))
+}
+
+// renderSolution formats the current solution's bindings as one line.
+func renderSolution(sols *core.Solutions) string {
+	names := sols.Vars()
+	if len(names) == 0 {
+		return "true"
+	}
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(name)
+		b.WriteString(" = ")
+		if t := sols.Binding(name); t != nil {
+			b.WriteString(t.String())
+		} else {
+			b.WriteString("_")
+		}
+	}
+	return sanitizeLine(b.String())
+}
+
+// writeLine sends one reply line under the write deadline.
+func (s *Server) writeLine(c net.Conn, line string) bool {
+	c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_, err := io.WriteString(c, line+"\n")
+	return err == nil
+}
+
+// Shutdown drains the server: stop accepting, tell idle connections and
+// queued queries the server is draining, wait for in-flight work until
+// ctx expires, then interrupt the in-flight queries (they die with a
+// catchable interrupted ball), and finally force-close any connection
+// still open. All pool sessions are closed before returning. Safe to
+// call more than once; later calls return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	close(s.draining)
+	if ln != nil {
+		ln.Close()
+	}
+	// Nudge idle readers: an expired read deadline unblocks their Scan.
+	// Ordered after close(draining) — see the handleConn loop comment.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.inflight {
+			sess.Interrupt()
+		}
+		s.mu.Unlock()
+		select {
+		case <-done:
+		case <-time.After(s.cfg.DrainGrace):
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			select {
+			case <-done:
+			case <-time.After(s.cfg.DrainGrace):
+				return errors.New("server: connections survived drain")
+			}
+		}
+	}
+
+	// Every handler has exited, so every session is back in the pool.
+	close(s.sessions)
+	for sess := range s.sessions {
+		sess.Close()
+	}
+	s.gDrainNS.Set(time.Since(start).Nanoseconds())
+	return nil
+}

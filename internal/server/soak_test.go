@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestMain wraps the package's tests with a goroutine-leak check: every
+// test in this package starts servers, floods them with hostile clients
+// and drains them, and none of that may leave a goroutine behind.
+func TestMain(m *testing.M) {
+	base := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		// Give exiting handlers a moment to unwind, then insist the
+		// goroutine count returned to (about) the pre-test level.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base+2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				fmt.Fprintf(os.Stderr,
+					"goroutine leak: %d goroutines alive, started with %d\n%s\n",
+					runtime.NumGoroutine(), base, buf)
+				code = 1
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}
+
+// TestServerSoak is the acceptance scenario end to end: a population of
+// well-behaved clients shares the server with hostile ones — infinite
+// enumerations, heap-busting queries, slow readers, garbage senders and
+// mid-query disconnectors — and the good clients' queries all complete
+// with bounded latency. Run under -race by the CI soak job.
+func TestServerSoak(t *testing.T) {
+	kb := newTestKB(t)
+	srv, addr := newTestServer(t, kb, Config{
+		MaxSessions:     4,
+		QueueDepth:      8,
+		QueueWait:       500 * time.Millisecond,
+		ReadTimeout:     10 * time.Second,
+		WriteTimeout:    300 * time.Millisecond,
+		QueryTimeout:    time.Second,
+		Quota:           core.Quota{HeapCells: 1 << 21, Solutions: 500},
+		RetryAfter:      25 * time.Millisecond,
+		SockWriteBuffer: 4096,
+	})
+
+	const (
+		goodClients   = 8
+		goodQueries   = 15
+		hostileRounds = 6
+	)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	// Good clients: each query must eventually succeed; overloads are
+	// retried after the server's hint.
+	for g := 0; g < goodClients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; q < goodQueries; q++ {
+				start := time.Now()
+				deadline := start.Add(15 * time.Second)
+				for {
+					cl, err := DialTimeout(addr, 5*time.Second)
+					if err == nil {
+						var res *Result
+						res, err = cl.Query("f(X)")
+						cl.Close()
+						if err == nil {
+							if res.N != 100 {
+								fail("good client %d: %d solutions, want 100", g, res.N)
+							}
+							mu.Lock()
+							latencies = append(latencies, time.Since(start))
+							mu.Unlock()
+							break
+						}
+					}
+					var oe *OverloadedError
+					if errors.As(err, &oe) {
+						time.Sleep(oe.RetryAfter)
+					} else {
+						time.Sleep(25 * time.Millisecond)
+					}
+					if time.Now().After(deadline) {
+						fail("good client %d query %d starved: %v", g, q, err)
+						break
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Hostile clients. Whatever they do, the server may shed, kill or
+	// disconnect them — but must never crash or starve the good ones.
+	hostile := []func(){
+		func() { // infinite enumeration, never reads: slow reader
+			rc := dialRaw(t, addr)
+			defer rc.close()
+			if line, err := rc.recv(); err != nil || line != protoGreeting {
+				return
+			}
+			rc.send("q nat(X)")
+			time.Sleep(400 * time.Millisecond)
+		},
+		func() { // heap-busting query: dies on the quota
+			cl, err := DialTimeout(addr, 5*time.Second)
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			cl.Query("grow(50000000)")
+		},
+		func() { // long-running query: dies on the timeout
+			cl, err := DialTimeout(addr, 5*time.Second)
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			cl.Query(fmt.Sprintf("loop(%d)", int64(1)<<40))
+		},
+		func() { // protocol garbage
+			rc := dialRaw(t, addr)
+			defer rc.close()
+			if line, err := rc.recv(); err != nil || line != protoGreeting {
+				return
+			}
+			rc.send("%%% not a command \x00")
+			rc.recv()
+		},
+		func() { // disconnect mid-query
+			rc := dialRaw(t, addr)
+			defer rc.close()
+			if line, err := rc.recv(); err != nil || line != protoGreeting {
+				return
+			}
+			rc.send("q f(X)")
+			rc.recv()
+		},
+	}
+	for i, h := range hostile {
+		wg.Add(1)
+		go func(i int, h func()) {
+			defer wg.Done()
+			for r := 0; r < hostileRounds; r++ {
+				h()
+			}
+		}(i, h)
+	}
+
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if len(latencies) != goodClients*goodQueries {
+		t.Fatalf("%d good queries completed, want %d", len(latencies), goodClients*goodQueries)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	// Generous: the point is boundedness under hostility, not speed.
+	if p99 > 10*time.Second {
+		t.Fatalf("good-client p99 = %v: hostile clients starved the server", p99)
+	}
+	t.Logf("good queries: %d, p50=%v p99=%v; sheds=%d quota_kills=%d query_errors=%d",
+		len(latencies),
+		latencies[len(latencies)/2], p99,
+		srv.mAdmissionSheds.Value(), srv.mQuotaKills.Value(), srv.mQueryErrors.Value())
+
+	// Drain under load aftermath: clean shutdown, no stragglers.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("post-soak shutdown: %v", err)
+	}
+}

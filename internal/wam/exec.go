@@ -25,7 +25,23 @@ func (m *Machine) backtrack() bool {
 
 // runLoop executes instructions until a solution (OpHalt) or exhaustion.
 // It returns true when the query succeeded.
+//
+// Cancellation and quotas are checked once on entry — so every Next sees
+// an expired deadline or an exhausted solution quota promptly, however
+// few instructions separate two solutions — and then amortized every
+// 256 instructions inside the loop.
 func (m *Machine) runLoop() (bool, error) {
+	if err := m.checkCancel(); err != nil {
+		switch act, perr := m.handleBuiltinError(err); act {
+		case errJump:
+		case errFail:
+			if !m.backtrack() {
+				return false, nil
+			}
+		default:
+			return false, perr
+		}
+	}
 	for {
 		if m.p.blk == nil {
 			return false, ErrNoCode

@@ -22,7 +22,11 @@ import (
 // point, and every trailed address (a trailed cell must survive so that
 // unwinding can reset it).
 
-// maybeGC runs a collection when the growth threshold is exceeded.
+// maybeGC runs a collection when the growth threshold is exceeded, or —
+// under a heap quota — whenever the heap is over the cap, giving a query
+// whose live set fits the quota the chance to continue before the
+// cancellation poll kills it (call ports are the only safe collection
+// points, so quota pressure must be applied here).
 func (m *Machine) maybeGC(nargs int) {
 	if !m.gcEnabled {
 		return
@@ -31,7 +35,9 @@ func (m *Machine) maybeGC(nargs int) {
 		m.gcLastHeap = len(m.heap)
 	}
 	if len(m.heap)-m.gcLastHeap < m.gcThreshold {
-		return
+		if q := m.quota.HeapCells; q <= 0 || len(m.heap) <= q {
+			return
+		}
 	}
 	m.Collect(nargs)
 }

@@ -145,6 +145,17 @@ type Machine struct {
 	deadline    atomic.Int64
 	interrupted atomic.Bool
 
+	// Resource quotas (per-query caps, polled alongside cancellation).
+	// Unlike deadline/interrupted these are plain fields: they must be
+	// set by the goroutine that runs the query, between queries.
+	quota     Quota
+	solutions int
+	// checkHook, when set, is consulted at every cancellation poll; a
+	// non-nil error (normally an *ErrBall) aborts the query catchably.
+	// The owning session uses it to enforce quotas the machine cannot
+	// see itself, such as EDB pages touched.
+	checkHook func() error
+
 	stats Stats
 	// phaseSink receives per-query phase attributions the machine makes
 	// itself (currently gc pauses). Nil records nothing; the owning
@@ -230,8 +241,73 @@ func (m *Machine) Interrupt() { m.interrupted.Store(true) }
 // should not die for its predecessor's abort).
 func (m *Machine) ClearInterrupt() { m.interrupted.Store(false) }
 
-// checkCancel reports a pending interrupt or an expired deadline as an
-// error ball, or nil to continue.
+// Quota caps one query's resource consumption inside the machine. Zero
+// fields are unlimited. Limits are enforced at the dispatch loop's
+// amortized cancellation poll (and at every solution boundary), so a
+// query may overshoot a cap by the allocations of at most a few hundred
+// instructions before it dies with a catchable
+// error(resource_error(Kind), educe) ball.
+type Quota struct {
+	// HeapCells bounds the heap (global stack) size in cells. The bound
+	// applies to the post-GC heap: a collection that reclaims below the
+	// cap lets the query continue.
+	HeapCells int
+	// TrailEntries bounds the trail length.
+	TrailEntries int
+	// Solutions bounds the number of solutions a query may deliver;
+	// asking for one more aborts the query. A negative cap means
+	// already exhausted: every query dies on its first Next (the
+	// deterministic kill used by fault injection).
+	Solutions int
+}
+
+// SetQuota installs per-query resource caps. Unlike SetDeadline and
+// Interrupt it is NOT safe to call concurrently with a running query:
+// call it from the query's own goroutine, between queries. The quota
+// persists across queries until changed; the solution counter resets at
+// every Call.
+func (m *Machine) SetQuota(q Quota) { m.quota = q }
+
+// GetQuota returns the installed quota.
+func (m *Machine) GetQuota() Quota { return m.quota }
+
+// SetCheckHook installs an extra per-poll check (session-level quotas).
+// Same concurrency contract as SetQuota.
+func (m *Machine) SetCheckHook(f func() error) { m.checkHook = f }
+
+// ResourceBall is the catchable exhaustion error for one resource kind
+// ("heap", "trail", "pages", "solutions"): error(resource_error(Kind),
+// educe).
+func ResourceBall(kind string) *ErrBall {
+	return &ErrBall{Term: term.Comp("error",
+		term.Comp("resource_error", term.Atom(kind)),
+		term.Atom("educe"))}
+}
+
+// ResourceKind returns the resource kind of an uncaught resource_error
+// ball, or "" when err is not one. Servers use it to count quota kills.
+func ResourceKind(err error) string {
+	ball, ok := err.(*ErrBall)
+	if !ok {
+		return ""
+	}
+	e, ok := ball.Term.(*term.Compound)
+	if !ok || e.Functor != "error" || len(e.Args) != 2 {
+		return ""
+	}
+	re, ok := e.Args[0].(*term.Compound)
+	if !ok || re.Functor != "resource_error" || len(re.Args) != 1 {
+		return ""
+	}
+	kind, ok := re.Args[0].(term.Atom)
+	if !ok {
+		return ""
+	}
+	return string(kind)
+}
+
+// checkCancel reports a pending interrupt, an expired deadline or an
+// exhausted resource quota as an error ball, or nil to continue.
 func (m *Machine) checkCancel() error {
 	if m.interrupted.Load() {
 		m.interrupted.Store(false)
@@ -239,6 +315,28 @@ func (m *Machine) checkCancel() error {
 	}
 	if d := m.deadline.Load(); d != 0 && time.Now().UnixNano() > d {
 		return &ErrBall{Term: term.Comp("error", term.Atom("timeout"), term.Atom("educe"))}
+	}
+	if q := &m.quota; q.HeapCells != 0 || q.TrailEntries != 0 || q.Solutions != 0 {
+		// Heap: with GC enabled, kill only when the collector could not
+		// bring the heap back under the cap (gcLastHeap is the post-GC
+		// size; maybeGC applies quota pressure at every call port), so a
+		// query whose garbage is reclaimable never dies spuriously
+		// between call ports.
+		if q.HeapCells > 0 && len(m.heap) > q.HeapCells &&
+			(!m.gcEnabled || m.gcLastHeap > q.HeapCells) {
+			return ResourceBall("heap")
+		}
+		if q.TrailEntries > 0 && len(m.trail) > q.TrailEntries {
+			return ResourceBall("trail")
+		}
+		if q.Solutions != 0 && m.solutions >= q.Solutions {
+			return ResourceBall("solutions")
+		}
+	}
+	if m.checkHook != nil {
+		if err := m.checkHook(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ func (m *Machine) Call(fn dict.ID, args []Cell) *Run {
 	m.numArgs = len(args)
 	m.cp = codePtr{blk: m.haltBlock}
 	m.b0 = m.b
+	m.solutions = 0 // the solution quota is per query
 	return &Run{m: m, fn: fn, arity: len(args)}
 }
 
@@ -59,6 +60,9 @@ func (r *Run) Next() (bool, error) {
 	ok, err := m.runLoop()
 	if err != nil || !ok {
 		r.done = true
+	}
+	if ok && err == nil {
+		m.solutions++
 	}
 	return ok, err
 }
