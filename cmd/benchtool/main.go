@@ -11,13 +11,23 @@
 //	benchtool -table phases     # §3.1 compile-phase split
 //	benchtool -table ruleuse    # §2 per-use rule cost
 //	benchtool -table server     # served MVV: concurrent wire clients
-//	benchtool -table all
+//	benchtool -table scaling    # R3: sessions-vs-throughput (JSON)
+//	benchtool -table all        # every table except scaling
+//
+// -table scaling emits JSON rows (workload, sessions, qps, speedup) for
+// concurrent sessions over a shared file-backed knowledge base; with
+// -check-scaling it exits nonzero if the highest session count's
+// throughput falls below the 1-session baseline, which is how CI guards
+// the sharded buffer pool against lock-contention regressions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -25,11 +35,14 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: mvv, wisconsin, icheck, cpuscale, phases, ruleuse, server, all")
+	table := flag.String("table", "all", "table to regenerate: mvv, wisconsin, icheck, cpuscale, phases, ruleuse, server, scaling, all")
 	wiscN := flag.Int("wisconsin-n", 10000, "Wisconsin relation cardinality")
 	clients := flag.Int("clients", 8, "with -table server: concurrent wire clients")
 	queries := flag.Int("queries", 20, "with -table server: queries per client")
 	sessions := flag.Int("server-sessions", 4, "with -table server: session pool size")
+	scalingSessions := flag.String("scaling-sessions", "1,2,4,8", "with -table scaling: comma-separated session counts")
+	scalingRounds := flag.Int("scaling-rounds", 3, "with -table scaling: work units per session")
+	checkScaling := flag.Bool("check-scaling", false, "with -table scaling: exit nonzero if max-session throughput < baseline")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -48,6 +61,45 @@ func main() {
 	run("phases", printPhases)
 	run("ruleuse", printRuleUse)
 	run("server", func() error { return printServer(*clients, *queries, *sessions) })
+	// Scaling runs only when asked for by name: it builds file-backed
+	// stores and takes multiples of the other tables' time.
+	if *table == "scaling" {
+		run("scaling", func() error {
+			return printScaling(*scalingSessions, *wiscN, *scalingRounds, *checkScaling)
+		})
+	}
+}
+
+func printScaling(spec string, wiscN, rounds int, check bool) error {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -scaling-sessions %q", spec)
+		}
+		counts = append(counts, n)
+	}
+	dir, err := os.MkdirTemp("", "educe-scaling-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rows, err := bench.ScalingTable(dir, counts, wiscN, rounds)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		return err
+	}
+	if check {
+		if err := bench.CheckScaling(rows); err != nil {
+			return fmt.Errorf("scaling check failed: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "scaling check passed: max-session throughput >= baseline")
+	}
+	return nil
 }
 
 func printServer(clients, queries, sessions int) error {

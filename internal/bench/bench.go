@@ -95,7 +95,13 @@ func SetupMVVAt(sys System, data *mvv.Data, path string) (*core.Engine, error) {
 // for concurrent multi-session benchmarks and tests. Create per-worker
 // query contexts with NewMVVSession.
 func SetupMVVKB(data *mvv.Data) (*core.KnowledgeBase, error) {
-	kb, err := core.OpenKB(core.Options{})
+	return SetupMVVKBAt(data, "")
+}
+
+// SetupMVVKBAt is SetupMVVKB over a store at path (empty = in-memory),
+// so multi-session scaling runs can exercise the durable stack.
+func SetupMVVKBAt(data *mvv.Data, path string) (*core.KnowledgeBase, error) {
+	kb, err := core.OpenKB(core.Options{StorePath: path})
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +267,13 @@ func (w *WisconsinEnv) Close() { w.Engine.Close() }
 // base for concurrent multi-session benchmarks; bind them per worker
 // with NewWisconsinSession.
 func SetupWisconsinKB(n int) (*core.KnowledgeBase, error) {
-	kb, err := core.OpenKB(core.Options{})
+	return SetupWisconsinKBAt(n, "")
+}
+
+// SetupWisconsinKBAt is SetupWisconsinKB over a store at path (empty =
+// in-memory).
+func SetupWisconsinKBAt(n int, path string) (*core.KnowledgeBase, error) {
+	kb, err := core.OpenKB(core.Options{StorePath: path})
 	if err != nil {
 		return nil, err
 	}

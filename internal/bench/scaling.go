@@ -1,0 +1,248 @@
+package bench
+
+// The session-scaling experiment (EXPERIMENTS.md R3): N concurrent
+// sessions over one shared file-backed knowledge base, each running the
+// same read workload. Before the buffer pool was sharded with per-frame
+// latches, every page access funnelled through one mutex and throughput
+// was flat (or worse) in N; the table quantifies what the sharded pool
+// buys. CI runs it as a smoke gate: the max-session throughput must not
+// regress below the 1-session baseline.
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench/mvv"
+	"repro/internal/bench/wisconsin"
+	"repro/internal/core"
+)
+
+// ScalingSessions is the standard ladder of concurrent session counts.
+var ScalingSessions = []int{1, 2, 4, 8}
+
+// ScalingRow is one cell of the scaling table: n sessions ran the
+// workload concurrently and jointly sustained QPS queries per second.
+// Speedup is relative to the same workload's 1-session row.
+type ScalingRow struct {
+	Workload string  `json:"workload"`
+	Sessions int     `json:"sessions"`
+	Queries  int     `json:"queries"`
+	ElapsedM float64 `json:"elapsed_ms"`
+	QPS      float64 `json:"qps"`
+	Speedup  float64 `json:"speedup"`
+	CPUs     int     `json:"cpus"` // GOMAXPROCS: the parallelism ceiling
+}
+
+// scalingWorkload binds a knowledge-base builder to a per-session unit
+// of read work. work returns the number of queries it ran.
+type scalingWorkload struct {
+	name    string
+	open    func(path string) (*core.KnowledgeBase, error)
+	session func(kb *core.KnowledgeBase) (*core.Session, error)
+	work    func(s *core.Session) (int, error)
+}
+
+func scalingWorkloads(wiscN int) []scalingWorkload {
+	data := mvv.Generate()
+	wq := wisconsin.TermQueries("wisc_a", "wisc_b", "wisc_c", wiscN)
+	// A map's iteration order is random; fix it so every session (and
+	// every run) issues the identical query sequence.
+	names := make([]string, 0, len(wq))
+	for name := range wq {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return []scalingWorkload{
+		{
+			name: "mvv",
+			open: func(path string) (*core.KnowledgeBase, error) {
+				return SetupMVVKBAt(data, path)
+			},
+			session: NewMVVSession,
+			work: func(s *core.Session) (int, error) {
+				n := 0
+				for _, class := range [][]string{data.Class1, data.Class2} {
+					for _, q := range class {
+						if _, err := s.QueryCount(q); err != nil {
+							return 0, err
+						}
+						n++
+					}
+				}
+				return n, nil
+			},
+		},
+		{
+			name: "wisconsin",
+			open: func(path string) (*core.KnowledgeBase, error) {
+				return SetupWisconsinKBAt(wiscN, path)
+			},
+			session: NewWisconsinSession,
+			work: func(s *core.Session) (int, error) {
+				for _, name := range names {
+					if _, err := s.QueryCount(wq[name]); err != nil {
+						return 0, fmt.Errorf("%s: %w", name, err)
+					}
+				}
+				return len(names), nil
+			},
+		},
+	}
+}
+
+// ScalingTable builds each workload's knowledge base file-backed under
+// dir and measures it at every session count in counts. Each session
+// performs rounds units of work, so total work grows with the session
+// count and QPS is the honest concurrency measure. The pool is warmed
+// before each measurement so the first row does not pay the cold reads
+// the later rows skip.
+func ScalingTable(dir string, counts []int, wiscN, rounds int) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, w := range scalingWorkloads(wiscN) {
+		kb, err := w.open(filepath.Join(dir, w.name+".educe"))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.name, err)
+		}
+		var base float64
+		for _, n := range counts {
+			elapsed, queries, err := runScaling(kb, w, n, rounds)
+			if err != nil {
+				kb.Close()
+				return nil, fmt.Errorf("%s at %d sessions: %w", w.name, n, err)
+			}
+			qps := float64(queries) / elapsed.Seconds()
+			if base == 0 {
+				// Baseline: the first (lowest) session count measured,
+				// normally 1. Speedup is relative throughput against it.
+				base = qps
+			}
+			rows = append(rows, ScalingRow{
+				Workload: w.name,
+				Sessions: n,
+				Queries:  queries,
+				ElapsedM: float64(elapsed.Microseconds()) / 1000,
+				QPS:      qps,
+				Speedup:  qps / base,
+				CPUs:     runtime.GOMAXPROCS(0),
+			})
+		}
+		if err := kb.Close(); err != nil {
+			return nil, fmt.Errorf("%s: close: %w", w.name, err)
+		}
+	}
+	return rows, nil
+}
+
+// runScaling measures one (workload, session count) cell: n sessions
+// are created and warmed, then released together and timed until the
+// last finishes its rounds.
+func runScaling(kb *core.KnowledgeBase, w scalingWorkload, n, rounds int) (time.Duration, int, error) {
+	sessions := make([]*core.Session, n)
+	for i := range sessions {
+		s, err := w.session(kb)
+		if err != nil {
+			for _, prev := range sessions[:i] {
+				prev.Close()
+			}
+			return 0, 0, err
+		}
+		sessions[i] = s
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+
+	// Warm-up: fills the buffer pool and every session's linked code, so
+	// the measurement sees steady-state read traffic only.
+	for _, s := range sessions {
+		if _, err := w.work(s); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Collect the garbage the setup and warm-up left behind (8 sessions
+	// compile 8 copies of the rules) so the GC does not fire mid-window
+	// and charge one cell for another cell's allocations.
+	runtime.GC()
+
+	var (
+		wg      sync.WaitGroup
+		start   = make(chan struct{})
+		errs    = make([]error, n)
+		queries = make([]int, n)
+	)
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *core.Session) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				q, err := w.work(s)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				queries[i] += q
+			}
+		}(i, s)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	total := 0
+	for i := range sessions {
+		if errs[i] != nil {
+			return 0, 0, errs[i]
+		}
+		total += queries[i]
+	}
+	return elapsed, total, nil
+}
+
+// singleCPUFloor is the CheckScaling bound on a GOMAXPROCS=1 machine.
+// With one CPU there is no parallelism to win, so concurrent sessions
+// pay pure scheduling overhead; the gate then only guards against
+// contention collapse (the lock-convoy failure mode of a global pool
+// mutex, which costs far more than scheduler overhead ever does).
+const singleCPUFloor = 0.75
+
+// CheckScaling enforces the CI gate on a scaling table: for every
+// workload, the highest-session-count row's throughput must be at least
+// the 1-session baseline — concurrent readers must never be slower than
+// one reader. On a single-CPU machine the bound relaxes to
+// singleCPUFloor, because without a second core concurrency cannot pay
+// for its own scheduling.
+func CheckScaling(rows []ScalingRow) error {
+	first := map[string]ScalingRow{}
+	last := map[string]ScalingRow{}
+	for _, r := range rows {
+		if f, ok := first[r.Workload]; !ok || r.Sessions < f.Sessions {
+			first[r.Workload] = r
+		}
+		if l, ok := last[r.Workload]; !ok || r.Sessions > l.Sessions {
+			last[r.Workload] = r
+		}
+	}
+	for w, f := range first {
+		l := last[w]
+		if l.Sessions == f.Sessions {
+			continue
+		}
+		bound := f.QPS
+		if l.CPUs == 1 {
+			bound *= singleCPUFloor
+		}
+		if l.QPS < bound {
+			return fmt.Errorf("%s: %d-session throughput %.0f qps regressed below the %d-session baseline %.0f qps (bound %.0f, %d cpus)",
+				w, l.Sessions, l.QPS, f.Sessions, f.QPS, bound, l.CPUs)
+		}
+	}
+	return nil
+}

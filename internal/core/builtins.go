@@ -30,8 +30,9 @@ func (s *Session) registerEngineBuiltins() {
 // biStatistics exposes engine counters to Prolog:
 // educe_statistics(Key, Value) with keys instructions, calls,
 // choice_points, choice_points_elided, gc_runs, gc_pause_ns, heap_peak,
-// edb_retrievals, edb_candidates, io_accesses, io_reads, io_writes,
-// session_io_accesses, session_io_reads, session_io_writes,
+// edb_retrievals, edb_candidates, io_accesses, io_hits, io_reads,
+// io_writes, io_evictions, io_latch_waits, io_latch_wait_ns,
+// pool_shards, session_io_accesses, session_io_reads, session_io_writes,
 // dict_entries, dict_hits, dict_misses, code_cache_hits,
 // code_cache_misses, preunify_scanned, preunify_passed, pages_touched,
 // asserts, and the per-phase nanosecond totals parse_ns, compile_ns,
@@ -50,8 +51,13 @@ func (s *Session) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
 		"edb_retrievals":       int64(st.EDB.Retrievals),
 		"edb_candidates":       int64(st.EDB.CandidatesReturned),
 		"io_accesses":          int64(st.IO.Accesses),
+		"io_hits":              int64(st.IO.Hits),
 		"io_reads":             int64(st.IO.Reads),
 		"io_writes":            int64(st.IO.Writes),
+		"io_evictions":         int64(st.IO.Evictions),
+		"io_latch_waits":       int64(st.IO.LatchWaits),
+		"io_latch_wait_ns":     int64(st.IO.LatchWaitNS),
+		"pool_shards":          int64(s.kb.st.Pool().Shards()),
 		"session_io_accesses":  int64(st.SessionIO.Accesses),
 		"session_io_reads":     int64(st.SessionIO.Reads),
 		"session_io_writes":    int64(st.SessionIO.Writes),

@@ -693,10 +693,11 @@ func TestStatisticsBuiltin(t *testing.T) {
 	if len(got) != 1 || got[0] == "0" {
 		t.Fatalf("instructions stat = %v", got)
 	}
-	// Enumeration mode yields all keys: 24 counters plus the seven query
-	// phases and store_ns.
+	// Enumeration mode yields all keys: 29 counters (including the
+	// buffer-pool hit/eviction/latch and shard-count stats) plus the
+	// seven query phases and store_ns.
 	n, err := e.QueryCount("educe_statistics(_, _)")
-	if err != nil || n != 32 {
+	if err != nil || n != 37 {
 		t.Fatalf("stat keys = %d (%v)", n, err)
 	}
 	// The phase breakdown is exposed: the p(X) query above must have

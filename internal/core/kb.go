@@ -28,10 +28,16 @@ import (
 type KnowledgeBase struct {
 	opts Options // defaults for sessions created with NewSession
 
-	// mu orders EDB/catalog readers against writers. Sessions hold the
-	// read lock only across individual storage-layer accesses (one
-	// retrieval, one cursor step), never across query execution, so a
-	// session may freely interleave its own reads and writes.
+	// mu orders catalog/dictionary metadata access and multi-page
+	// structure mutations (grid splits, B-tree splits, heap chain
+	// growth) against readers. It does NOT serialize page access: since
+	// the buffer pool grew per-frame latches, page-byte safety lives in
+	// the pool (shared pins for reads, exclusive for writes), and
+	// concurrent readers stream pages in parallel under their shared
+	// RLock. Sessions hold the read lock only across individual
+	// storage-layer accesses (one retrieval, one cursor step), never
+	// across query execution, so a session may freely interleave its own
+	// reads and writes.
 	mu sync.RWMutex
 
 	st  *store.Store

@@ -81,9 +81,11 @@ func (s *Session) BindRelation(name string) error {
 				t, err := it.Next()
 				unlock()
 				if err != nil {
+					it.Close()
 					return false, err
 				}
 				if t == nil {
+					it.Close()
 					return false, nil
 				}
 				match := true

@@ -5,51 +5,54 @@ import (
 )
 
 // Iterator is the operator-tree interface (set-oriented evaluation,
-// paper §2.2). Next returns (nil, nil) at end of stream.
+// paper §2.2). Next returns (nil, nil) at end of stream. Close releases
+// the iterator's resources; it is idempotent, safe after exhaustion, and
+// must be called when a stream is abandoned early so scans stop touching
+// the buffer pool.
 type Iterator interface {
 	Next() (Tuple, error)
+	Close()
 }
 
 // --- sequential scan -----------------------------------------------------
 
 type seqScan struct {
-	r     *Relation
-	rids  []store.RID
-	datas [][]byte
-	pos   int
-	// loaded lazily page by page via heap.Scan into a channel-free
-	// buffer; for simplicity the scan materialises RIDs up front and
-	// reads tuples on demand.
-	prepared bool
+	r    *Relation
+	sc   *store.HeapScanner
+	done bool
 }
 
-// SeqScan returns an iterator over every tuple of r in storage order.
+// SeqScan returns an iterator over every tuple of r in storage order. It
+// streams one heap page at a time under a shared pin — nothing is
+// materialized up front, so a scan abandoned after a few tuples has only
+// touched a few pages.
 func SeqScan(r *Relation) Iterator { return &seqScan{r: r} }
 
-func (s *seqScan) prepare() error {
-	err := s.r.heap.Scan(func(rid store.RID, data []byte) (bool, error) {
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		s.rids = append(s.rids, rid)
-		s.datas = append(s.datas, cp)
-		return true, nil
-	})
-	s.prepared = true
-	return err
-}
-
 func (s *seqScan) Next() (Tuple, error) {
-	if !s.prepared {
-		if err := s.prepare(); err != nil {
-			return nil, err
-		}
-	}
-	if s.pos >= len(s.datas) {
+	if s.done {
 		return nil, nil
 	}
-	t, err := decodeTuple(s.datas[s.pos], &s.r.Schema)
-	s.pos++
-	return t, err
+	if s.sc == nil {
+		s.sc = s.r.heap.Scanner()
+	}
+	_, data, err := s.sc.Next()
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if data == nil {
+		s.Close()
+		return nil, nil
+	}
+	return decodeTuple(data, &s.r.Schema)
+}
+
+func (s *seqScan) Close() {
+	if s.sc != nil {
+		s.sc.Close()
+		s.sc = nil
+	}
+	s.done = true
 }
 
 // --- index scan ------------------------------------------------------------
@@ -63,7 +66,8 @@ type indexScan struct {
 // IndexScan returns tuples of r whose attribute lies in [lo, hi] (both
 // inclusive; pass the same value twice for equality) using the B-tree on
 // that attribute. It falls back to a filtered sequential scan when no
-// index exists.
+// index exists. The matching RIDs are collected up front (bounded by the
+// selectivity of the range); tuples are fetched on demand.
 func IndexScan(r *Relation, attrName string, lo, hi Value) Iterator {
 	attr := r.Schema.AttrIndex(attrName)
 	idx, ok := r.indexes[attr]
@@ -92,9 +96,12 @@ func (s *indexScan) Next() (Tuple, error) {
 	return s.r.Get(rid)
 }
 
+func (s *indexScan) Close() { s.rids = nil; s.pos = 0 }
+
 type errIter struct{ err error }
 
 func (e *errIter) Next() (Tuple, error) { return nil, e.err }
+func (e *errIter) Close()               {}
 
 // --- selection, projection ---------------------------------------------------
 
@@ -120,6 +127,8 @@ func (s *selectIter) Next() (Tuple, error) {
 	}
 }
 
+func (s *selectIter) Close() { s.in.Close() }
+
 type projectIter struct {
 	in   Iterator
 	cols []int
@@ -139,6 +148,8 @@ func (p *projectIter) Next() (Tuple, error) {
 	}
 	return out, nil
 }
+
+func (p *projectIter) Close() { p.in.Close() }
 
 // --- joins -------------------------------------------------------------------
 
@@ -172,6 +183,8 @@ func (j *nestedLoopJoin) Next() (Tuple, error) {
 				return nil, err
 			}
 			if it == nil {
+				j.inner.Close()
+				j.inner = nil
 				j.cur = nil
 				break
 			}
@@ -183,6 +196,15 @@ func (j *nestedLoopJoin) Next() (Tuple, error) {
 			}
 		}
 	}
+}
+
+func (j *nestedLoopJoin) Close() {
+	j.outer.Close()
+	if j.inner != nil {
+		j.inner.Close()
+		j.inner = nil
+	}
+	j.cur = nil
 }
 
 type indexJoin struct {
@@ -216,6 +238,8 @@ func (j *indexJoin) Next() (Tuple, error) {
 			return nil, err
 		}
 		if it == nil {
+			j.matches.Close()
+			j.matches = nil
 			j.cur = nil
 			continue
 		}
@@ -226,10 +250,20 @@ func (j *indexJoin) Next() (Tuple, error) {
 	}
 }
 
+func (j *indexJoin) Close() {
+	j.outer.Close()
+	if j.matches != nil {
+		j.matches.Close()
+		j.matches = nil
+	}
+	j.cur = nil
+}
+
 // --- helpers -------------------------------------------------------------------
 
-// Collect drains an iterator.
+// Collect drains an iterator and closes it.
 func Collect(it Iterator) ([]Tuple, error) {
+	defer it.Close()
 	var out []Tuple
 	for {
 		t, err := it.Next()
@@ -243,8 +277,9 @@ func Collect(it Iterator) ([]Tuple, error) {
 	}
 }
 
-// Count drains an iterator counting tuples.
+// Count drains an iterator counting tuples, and closes it.
 func Count(it Iterator) (int, error) {
+	defer it.Close()
 	n := 0
 	for {
 		t, err := it.Next()

@@ -70,7 +70,7 @@ func (t *BTree) rootID() (PageID, error) {
 }
 
 func (t *BTree) setRootID(id PageID) error {
-	f, err := t.pool.Get(t.anchor)
+	f, err := t.pool.GetX(t.anchor)
 	if err != nil {
 		return err
 	}
@@ -168,7 +168,7 @@ func (t *BTree) load(id PageID) (*bnode, error) {
 }
 
 func (t *BTree) save(id PageID, n *bnode) error {
-	f, err := t.pool.Get(id)
+	f, err := t.pool.GetX(id)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,9 +16,9 @@ import (
 // (Table 2b); these counters regenerate that data. IOStats is a view: the
 // authoritative counters live in the store's obs.Registry.
 type IOStats struct {
-	// Accesses counts every Get (buffer accesses).
+	// Accesses counts every pin (buffer accesses).
 	Accesses uint64
-	// Hits counts Gets served from the pool.
+	// Hits counts pins served from the pool.
 	Hits uint64
 	// Reads counts pages read from the pager.
 	Reads uint64
@@ -25,6 +26,11 @@ type IOStats struct {
 	Writes uint64
 	// Evictions counts frames recycled.
 	Evictions uint64
+	// LatchWaits counts pins that blocked on a frame latch (pool-wide;
+	// not attributed to tallies — contention has no single owner).
+	LatchWaits uint64
+	// LatchWaitNS is the total time spent blocked on frame latches.
+	LatchWaitNS uint64
 }
 
 // HitRatio returns Hits/Accesses (the paper's buffer warmth measure).
@@ -33,26 +39,30 @@ func (s IOStats) HitRatio() float64 { return obs.Ratio(s.Hits, s.Accesses) }
 // poolMetrics bundles the registry handles the pool updates. All handles
 // are resolved once at pool construction; updates are lock-free atomics.
 type poolMetrics struct {
-	accesses  *obs.Counter
-	hits      *obs.Counter
-	reads     *obs.Counter
-	writes    *obs.Counter
-	evictions *obs.Counter
-	readNS    *obs.Histogram // page read latency
-	writeNS   *obs.Histogram // page write latency
-	evictNS   *obs.Histogram // eviction latency (incl. dirty write-back)
+	accesses    *obs.Counter
+	hits        *obs.Counter
+	reads       *obs.Counter
+	writes      *obs.Counter
+	evictions   *obs.Counter
+	readNS      *obs.Histogram // page read latency
+	writeNS     *obs.Histogram // page write latency
+	evictNS     *obs.Histogram // eviction latency (incl. dirty write-back)
+	latchWaits  *obs.Counter   // pins that blocked on a frame latch
+	latchWaitNS *obs.Histogram // time blocked on frame latches
 }
 
 func newPoolMetrics(reg *obs.Registry) poolMetrics {
 	m := poolMetrics{
-		accesses:  reg.Counter("store.pool.accesses"),
-		hits:      reg.Counter("store.pool.hits"),
-		reads:     reg.Counter("store.pool.reads"),
-		writes:    reg.Counter("store.pool.writes"),
-		evictions: reg.Counter("store.pool.evictions"),
-		readNS:    reg.Histogram("store.page_read_ns"),
-		writeNS:   reg.Histogram("store.page_write_ns"),
-		evictNS:   reg.Histogram("store.evict_ns"),
+		accesses:    reg.Counter("store.pool.accesses"),
+		hits:        reg.Counter("store.pool.hits"),
+		reads:       reg.Counter("store.pool.reads"),
+		writes:      reg.Counter("store.pool.writes"),
+		evictions:   reg.Counter("store.pool.evictions"),
+		readNS:      reg.Histogram("store.page_read_ns"),
+		writeNS:     reg.Histogram("store.page_write_ns"),
+		evictNS:     reg.Histogram("store.evict_ns"),
+		latchWaits:  reg.Counter("buffer_pool.latch_waits"),
+		latchWaitNS: reg.Histogram("buffer_pool.latch_wait_ns"),
 	}
 	reg.RegisterFunc("store.pool.hit_ratio", func() any {
 		return obs.Ratio(m.hits.Value(), m.accesses.Value())
@@ -60,21 +70,55 @@ func newPoolMetrics(reg *obs.Registry) poolMetrics {
 	return m
 }
 
+// LatchMode selects the frame latch a Pin takes: shared for reads,
+// exclusive for mutation (and for write-back/eviction inside the pool).
+type LatchMode int
+
+const (
+	// LatchShared admits any number of concurrent readers of Frame.Data.
+	LatchShared LatchMode = iota
+	// LatchExclusive admits one writer; required to modify Frame.Data,
+	// call MarkDirty, or Unpin with dirty=true.
+	LatchExclusive
+)
+
 // Frame is a pinned page in the buffer pool. Callers must Unpin it.
+// While pinned the frame holds its latch in the mode requested at Pin
+// time: Data may be read under either mode but written only under
+// LatchExclusive.
 type Frame struct {
-	id    PageID
-	Data  []byte
-	pins  int
-	dirty bool
-	elem  *list.Element
+	id   PageID
+	Data []byte
+
+	// latch orders access to Data. It is acquired by Pin after the shard
+	// mutex is released and dropped by Unpin before it is re-taken —
+	// lock order is always shard map -> frame latch, never the reverse.
+	latch sync.RWMutex
+	// wlatched is true while the exclusive holder owns the latch. Only
+	// that goroutine writes it, and shared holders are excluded by the
+	// RWMutex while it is true, so access is race-free.
+	wlatched bool
+
+	// dirty is touched under the shard mutex (eviction), the exclusive
+	// latch (MarkDirty, dirty Unpin) and the shared latch (FlushAll
+	// clearing after write-back), so it is atomic.
+	dirty atomic.Bool
+
+	pins int           // guarded by the owning shard's mutex
+	elem *list.Element // guarded by the owning shard's mutex
 }
 
 // ID returns the page this frame holds.
 func (f *Frame) ID() PageID { return f.id }
 
 // MarkDirty records that Data was modified; the page is written back on
-// eviction or flush.
-func (f *Frame) MarkDirty() { f.dirty = true }
+// eviction or flush. The caller must hold the frame exclusively.
+func (f *Frame) MarkDirty() {
+	if !f.wlatched {
+		panic("store: MarkDirty without exclusive latch")
+	}
+	f.dirty.Store(true)
+}
 
 // Tally accumulates the share of pool traffic attributed to one client —
 // typically one session — while it is attached to the pool. Counts are
@@ -111,15 +155,97 @@ func (t *Tally) Reset() {
 	t.evictions.Store(0)
 }
 
-// Pool is an LRU buffer pool. It is safe for concurrent use.
-type Pool struct {
+// tallySet is the pool's set of attached tallies. Attach/Detach are rare
+// (once per session storage window), reads happen on every pin, so the
+// set keeps a copy-on-write snapshot read lock-free on the hot path.
+type tallySet struct {
+	mu   sync.Mutex
+	refs map[*Tally]int
+	snap atomic.Pointer[[]*Tally]
+}
+
+func (ts *tallySet) attach(t *Tally) {
+	ts.mu.Lock()
+	if ts.refs == nil {
+		ts.refs = map[*Tally]int{}
+	}
+	ts.refs[t]++
+	ts.rebuild()
+	ts.mu.Unlock()
+}
+
+func (ts *tallySet) detach(t *Tally) {
+	ts.mu.Lock()
+	if ts.refs[t] > 1 {
+		ts.refs[t]--
+	} else {
+		delete(ts.refs, t)
+	}
+	ts.rebuild()
+	ts.mu.Unlock()
+}
+
+func (ts *tallySet) rebuild() {
+	snap := make([]*Tally, 0, len(ts.refs))
+	for t := range ts.refs {
+		snap = append(snap, t)
+	}
+	ts.snap.Store(&snap)
+}
+
+func (ts *tallySet) list() []*Tally {
+	p := ts.snap.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// poolShard is one independently locked slice of the pool: its own page
+// map, LRU chain (unpinned frames, front = most recently used), capacity
+// share, and hit/eviction counters. Pages are assigned to shards by a
+// multiplicative hash of the page ID, so unrelated pages contend on
+// different mutexes and an eviction in one shard never blocks a hit in
+// another.
+type poolShard struct {
 	mu       sync.Mutex
-	pager    Pager
 	capacity int
 	frames   map[PageID]*Frame
-	lru      *list.List // front = most recently used; holds unpinned frames
-	met      poolMetrics
-	attached map[*Tally]int // attach counts per tally
+	lru      *list.List
+
+	accesses  *obs.Counter
+	hits      *obs.Counter
+	evictions *obs.Counter
+}
+
+// Pool is an LRU buffer pool, hash-sharded for concurrent use: pins on
+// different shards proceed in parallel, and concurrent readers of the
+// same page share its frame latch.
+type Pool struct {
+	pager      Pager
+	capacity   int
+	shards     []*poolShard
+	shardShift uint // top log2(len(shards)) bits of the hashed page ID
+	met        poolMetrics
+	tallies    tallySet
+}
+
+// minShardPages is the smallest per-shard capacity worth having: below
+// this, hash skew would cause spurious evictions, so small pools get
+// fewer shards (a capacity-8 pool is a single shard and behaves exactly
+// like the unsharded pool).
+const minShardPages = 8
+
+// maxPoolShards caps the shard count; past ~number-of-cores shards the
+// extra mutexes buy nothing.
+const maxPoolShards = 16
+
+func shardCountFor(capacity int) int {
+	n := 1
+	for n < maxPoolShards && capacity/(n*2) >= minShardPages {
+		n *= 2
+	}
+	return n
 }
 
 // NewPool returns a buffer pool of the given capacity (in pages) over the
@@ -130,20 +256,52 @@ func NewPool(pager Pager, capacity int) *Pool {
 }
 
 // NewPoolObs returns a buffer pool reporting into reg (one registry per
-// knowledge base; the pool contributes the store.* metrics).
+// knowledge base; the pool contributes the store.* and buffer_pool.*
+// metrics). Capacity is split evenly across the shards, rounding up, so
+// the effective capacity can exceed the request by up to shards-1 pages.
 func NewPoolObs(pager Pager, capacity int, reg *obs.Registry) *Pool {
 	if capacity < 8 {
 		capacity = 8
 	}
-	return &Pool{
-		pager:    pager,
-		capacity: capacity,
-		frames:   map[PageID]*Frame{},
-		lru:      list.New(),
-		met:      newPoolMetrics(reg),
-		attached: map[*Tally]int{},
+	n := shardCountFor(capacity)
+	p := &Pool{
+		pager:      pager,
+		capacity:   capacity,
+		shards:     make([]*poolShard, n),
+		shardShift: uint(32 - bits.TrailingZeros32(uint32(n))),
+		met:        newPoolMetrics(reg),
 	}
+	per := (capacity + n - 1) / n
+	for i := range p.shards {
+		sh := &poolShard{
+			capacity:  per,
+			frames:    map[PageID]*Frame{},
+			lru:       list.New(),
+			accesses:  reg.Counter(fmt.Sprintf("buffer_pool.shard%d.accesses", i)),
+			hits:      reg.Counter(fmt.Sprintf("buffer_pool.shard%d.hits", i)),
+			evictions: reg.Counter(fmt.Sprintf("buffer_pool.shard%d.evictions", i)),
+		}
+		reg.RegisterFunc(fmt.Sprintf("buffer_pool.shard%d.hit_ratio", i), func() any {
+			return obs.Ratio(sh.hits.Value(), sh.accesses.Value())
+		})
+		p.shards[i] = sh
+	}
+	reg.Gauge("buffer_pool.shards").Set(int64(n))
+	return p
 }
+
+// shardOf maps a page ID to its shard by multiplicative (Fibonacci)
+// hashing: sequential page IDs — the common allocation pattern — spread
+// across shards instead of clustering.
+func (p *Pool) shardOf(id PageID) *poolShard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	return p.shards[(uint32(id)*2654435761)>>p.shardShift]
+}
+
+// Shards returns the number of shards (diagnostics).
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // Attach starts charging pool traffic to t until the matching Detach.
 // Attach/Detach pairs nest.
@@ -151,9 +309,7 @@ func (p *Pool) Attach(t *Tally) {
 	if t == nil {
 		return
 	}
-	p.mu.Lock()
-	p.attached[t]++
-	p.mu.Unlock()
+	p.tallies.attach(t)
 }
 
 // Detach stops charging pool traffic to t (one nesting level).
@@ -161,13 +317,7 @@ func (p *Pool) Detach(t *Tally) {
 	if t == nil {
 		return
 	}
-	p.mu.Lock()
-	if p.attached[t] > 1 {
-		p.attached[t]--
-	} else {
-		delete(p.attached, t)
-	}
-	p.mu.Unlock()
+	p.tallies.detach(t)
 }
 
 // Pager exposes the underlying pager.
@@ -177,11 +327,13 @@ func (p *Pool) Pager() Pager { return p.pager }
 // registry-backed metrics, which are the single source of truth.
 func (p *Pool) Stats() IOStats {
 	return IOStats{
-		Accesses:  p.met.accesses.Value(),
-		Hits:      p.met.hits.Value(),
-		Reads:     p.met.reads.Value(),
-		Writes:    p.met.writes.Value(),
-		Evictions: p.met.evictions.Value(),
+		Accesses:    p.met.accesses.Value(),
+		Hits:        p.met.hits.Value(),
+		Reads:       p.met.reads.Value(),
+		Writes:      p.met.writes.Value(),
+		Evictions:   p.met.evictions.Value(),
+		LatchWaits:  p.met.latchWaits.Value(),
+		LatchWaitNS: p.met.latchWaitNS.Snapshot().SumNS,
 	}
 }
 
@@ -197,81 +349,146 @@ func (p *Pool) ResetStats() {
 	p.met.readNS.Reset()
 	p.met.writeNS.Reset()
 	p.met.evictNS.Reset()
+	p.met.latchWaits.Reset()
+	p.met.latchWaitNS.Reset()
+	for _, sh := range p.shards {
+		sh.accesses.Reset()
+		sh.hits.Reset()
+		sh.evictions.Reset()
+	}
 }
 
-// Get pins page id and returns its frame, reading it if absent.
-func (p *Pool) Get(id PageID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// latchFrame acquires the frame latch in the requested mode, recording
+// blocked time. The fast path is a single try-lock; only contended pins
+// pay for a clock read.
+func (p *Pool) latchFrame(f *Frame, mode LatchMode) {
+	if mode == LatchExclusive {
+		if !f.latch.TryLock() {
+			t0 := time.Now()
+			f.latch.Lock()
+			p.met.latchWaits.Inc()
+			p.met.latchWaitNS.Observe(time.Since(t0))
+		}
+		f.wlatched = true
+		return
+	}
+	if !f.latch.TryRLock() {
+		t0 := time.Now()
+		f.latch.RLock()
+		p.met.latchWaits.Inc()
+		p.met.latchWaitNS.Observe(time.Since(t0))
+	}
+}
+
+// Pin fixes page id in the pool, reading it from the pager if absent,
+// and returns its frame latched in the requested mode. Every Pin must be
+// matched by an Unpin. Lock order: the shard mutex is released before
+// the frame latch is taken, so a pin never blocks its whole shard while
+// waiting for a writer to finish with one page.
+func (p *Pool) Pin(id PageID, mode LatchMode) (*Frame, error) {
+	sh := p.shardOf(id)
+	tallies := p.tallies.list()
+	sh.mu.Lock()
 	p.met.accesses.Inc()
-	for t := range p.attached {
+	sh.accesses.Inc()
+	for _, t := range tallies {
 		t.accesses.Add(1)
 	}
-	if f, ok := p.frames[id]; ok {
+	if f, ok := sh.frames[id]; ok {
 		p.met.hits.Inc()
-		for t := range p.attached {
+		sh.hits.Inc()
+		for _, t := range tallies {
 			t.hits.Add(1)
 		}
 		if f.elem != nil {
-			p.lru.Remove(f.elem)
+			sh.lru.Remove(f.elem)
 			f.elem = nil
 		}
 		f.pins++
+		sh.mu.Unlock()
+		p.latchFrame(f, mode)
 		return f, nil
 	}
-	f, err := p.newFrame(id)
-	if err != nil {
+	// Miss: make room, then read the page before publishing the frame so
+	// no other pin can observe a partially loaded page. Misses serialize
+	// per shard — unrelated shards keep streaming hits meanwhile.
+	if err := p.makeRoom(sh, tallies); err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
+	f := &Frame{id: id, Data: make([]byte, PageSize)}
 	p.met.reads.Inc()
-	for t := range p.attached {
+	for _, t := range tallies {
 		t.reads.Add(1)
 	}
 	t0 := time.Now()
 	if err := p.pager.ReadPage(id, f.Data); err != nil {
-		delete(p.frames, id)
+		sh.mu.Unlock()
 		return nil, err
 	}
 	p.met.readNS.Observe(time.Since(t0))
 	f.pins = 1
+	sh.frames[id] = f
+	sh.mu.Unlock()
+	p.latchFrame(f, mode)
 	return f, nil
 }
 
-// Alloc allocates a fresh page and returns it pinned (zeroed, dirty).
+// Get pins page id for reading (shared latch). Kept as the common-case
+// entry point; mutators use GetX.
+func (p *Pool) Get(id PageID) (*Frame, error) { return p.Pin(id, LatchShared) }
+
+// GetX pins page id for writing (exclusive latch).
+func (p *Pool) GetX(id PageID) (*Frame, error) { return p.Pin(id, LatchExclusive) }
+
+// Alloc allocates a fresh page and returns it pinned exclusively
+// (zeroed, dirty).
 func (p *Pool) Alloc() (*Frame, error) {
 	id, err := p.pager.Allocate()
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shardOf(id)
+	tallies := p.tallies.list()
+	sh.mu.Lock()
 	p.met.accesses.Inc()
-	for t := range p.attached {
+	sh.accesses.Inc()
+	for _, t := range tallies {
 		t.accesses.Add(1)
 	}
-	f, err := p.newFrame(id)
-	if err != nil {
+	if err := p.makeRoom(sh, tallies); err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
+	f := &Frame{id: id, Data: make([]byte, PageSize)}
 	f.pins = 1
-	f.dirty = true
+	f.dirty.Store(true)
+	sh.frames[id] = f
+	sh.mu.Unlock()
+	p.latchFrame(f, LatchExclusive)
 	return f, nil
 }
 
-// newFrame makes room and registers an empty frame for id (lock held).
-func (p *Pool) newFrame(id PageID) (*Frame, error) {
-	for len(p.frames) >= p.capacity {
-		back := p.lru.Back()
+// makeRoom evicts until the shard has a free slot (shard mutex held).
+// The victim is unpinned and new pins on this shard are excluded by the
+// mutex, so its exclusive latch is free by construction; taking it
+// anyway orders the write-back after any reader that raced Unpin and
+// keeps the WAL/checksum invariant: pages reach the pager only through
+// an exclusively latched frame with stable bytes.
+func (p *Pool) makeRoom(sh *poolShard, tallies []*Tally) error {
+	for len(sh.frames) >= sh.capacity {
+		back := sh.lru.Back()
 		if back == nil {
-			return nil, fmt.Errorf("store: buffer pool exhausted (%d pages, all pinned)", p.capacity)
+			return fmt.Errorf("store: buffer pool exhausted (%d pages, all pinned)", p.capacity)
 		}
 		t0 := time.Now()
 		victim := back.Value.(*Frame)
-		p.lru.Remove(back)
+		sh.lru.Remove(back)
 		victim.elem = nil
-		if victim.dirty {
+		victim.latch.Lock()
+		if victim.dirty.Load() {
 			p.met.writes.Inc()
-			for t := range p.attached {
+			for _, t := range tallies {
 				t.writes.Add(1)
 			}
 			tw := time.Now()
@@ -279,73 +496,125 @@ func (p *Pool) newFrame(id PageID) (*Frame, error) {
 				// Put the victim back on the LRU still dirty: the pool stays
 				// consistent, the page's data is preserved, and a later
 				// eviction or FlushAll retries the write.
-				victim.elem = p.lru.PushBack(victim)
-				return nil, err
+				victim.latch.Unlock()
+				victim.elem = sh.lru.PushBack(victim)
+				return err
 			}
 			p.met.writeNS.Observe(time.Since(tw))
+			victim.dirty.Store(false)
 		}
-		delete(p.frames, victim.id)
+		victim.latch.Unlock()
+		delete(sh.frames, victim.id)
 		p.met.evictions.Inc()
+		sh.evictions.Inc()
 		p.met.evictNS.Observe(time.Since(t0))
-		for t := range p.attached {
+		for _, t := range tallies {
 			t.evictions.Add(1)
 		}
 	}
-	f := &Frame{id: id, Data: make([]byte, PageSize)}
-	p.frames[id] = f
-	return f, nil
+	return nil
 }
 
-// Unpin releases a pin; dirty marks the page modified.
+// Unpin releases a pin and its latch; dirty marks the page modified and
+// requires the frame to be held exclusively. The latch is dropped before
+// the shard mutex is taken, preserving the shard map -> frame latch lock
+// order everywhere.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if dirty {
-		f.dirty = true
+		if !f.wlatched {
+			panic("store: dirty unpin without exclusive latch")
+		}
+		f.dirty.Store(true)
 	}
+	if f.wlatched {
+		f.wlatched = false
+		f.latch.Unlock()
+	} else {
+		f.latch.RUnlock()
+	}
+	sh := p.shardOf(f.id)
+	sh.mu.Lock()
 	f.pins--
 	if f.pins < 0 {
+		sh.mu.Unlock()
 		panic("store: unpin without pin")
 	}
 	if f.pins == 0 {
-		f.elem = p.lru.PushFront(f)
+		f.elem = sh.lru.PushFront(f)
 	}
+	sh.mu.Unlock()
 }
 
 // Free drops the page from the pool and returns it to the pager free list.
 // The page must be unpinned.
 func (p *Pool) Free(id PageID) error {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
 		if f.pins > 0 {
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			return fmt.Errorf("store: freeing pinned page %d", id)
 		}
 		if f.elem != nil {
-			p.lru.Remove(f.elem)
+			sh.lru.Remove(f.elem)
 		}
-		delete(p.frames, id)
+		delete(sh.frames, id)
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	return p.pager.Free(id)
 }
 
-// FlushAll writes every dirty frame back to the pager.
+// FlushAll writes every dirty frame back to the pager. Frames are pinned
+// under the shard mutex, then written under their shared latch with the
+// mutex released — FlushAll never holds a shard mutex while waiting for
+// a frame latch, so it cannot deadlock against writers that hold a latch
+// while allocating (heap overflow chains do exactly that).
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty {
-			p.met.writes.Inc()
-			for t := range p.attached {
-				t.writes.Add(1)
+	tallies := p.tallies.list()
+	var firstErr error
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		var pinned []*Frame
+		for _, f := range sh.frames {
+			if f.dirty.Load() {
+				if f.elem != nil {
+					sh.lru.Remove(f.elem)
+					f.elem = nil
+				}
+				f.pins++
+				pinned = append(pinned, f)
 			}
-			tw := time.Now()
-			if err := p.pager.WritePage(f.id, f.Data); err != nil {
-				return err
+		}
+		sh.mu.Unlock()
+		for _, f := range pinned {
+			if firstErr == nil {
+				// Shared latch: write-back needs stable bytes, not
+				// exclusivity; concurrent readers may keep streaming.
+				f.latch.RLock()
+				if f.dirty.Load() {
+					p.met.writes.Inc()
+					for _, t := range tallies {
+						t.writes.Add(1)
+					}
+					tw := time.Now()
+					if err := p.pager.WritePage(f.id, f.Data); err != nil {
+						firstErr = err
+					} else {
+						p.met.writeNS.Observe(time.Since(tw))
+						f.dirty.Store(false)
+					}
+				}
+				f.latch.RUnlock()
 			}
-			p.met.writeNS.Observe(time.Since(tw))
-			f.dirty = false
+			sh.mu.Lock()
+			f.pins--
+			if f.pins == 0 {
+				f.elem = sh.lru.PushFront(f)
+			}
+			sh.mu.Unlock()
+		}
+		if firstErr != nil {
+			return firstErr
 		}
 	}
 	return p.pager.Sync()

@@ -75,7 +75,7 @@ func (g *Grid) Arity() int { return g.k }
 func (g *Grid) Depth() int { return g.depth }
 
 func (g *Grid) writeMeta() error {
-	f, err := g.pool.Get(g.header)
+	f, err := g.pool.GetX(g.header)
 	if err != nil {
 		return err
 	}
@@ -104,7 +104,7 @@ func (g *Grid) writeMeta() error {
 				g.pool.Unpin(pageFrame, true)
 				pageFrame = nf
 			} else {
-				nf, err := g.pool.Get(next)
+				nf, err := g.pool.GetX(next)
 				if err != nil {
 					g.pool.Unpin(pageFrame, true)
 					return err
@@ -266,7 +266,7 @@ func (g *Grid) storeChain(id PageID, localDepth int, entries []gridEntry, oldOve
 				g.pool.Unpin(nf, true)
 			}
 		}
-		f, err := g.pool.Get(cur)
+		f, err := g.pool.GetX(cur)
 		if err != nil {
 			return err
 		}

@@ -107,10 +107,12 @@ func (h *Heap) Insert(data []byte) (RID, error) {
 }
 
 func (h *Heap) insertRec(rec []byte) (RID, error) {
-	// Try the append-hint page first, then extend the chain.
+	// Try the append-hint page first, then extend the chain. Pages are
+	// pinned exclusively: even pages only traversed may get their next
+	// pointer rewritten when the chain is extended.
 	pid := h.last
 	for {
-		f, err := h.pool.Get(pid)
+		f, err := h.pool.GetX(pid)
 		if err != nil {
 			return RID{}, err
 		}
@@ -237,7 +239,7 @@ func (h *Heap) readOverflow(head PageID, total int) ([]byte, error) {
 
 // Delete removes the record at rid (overflow pages are freed).
 func (h *Heap) Delete(rid RID) error {
-	f, err := h.pool.Get(rid.Page)
+	f, err := h.pool.GetX(rid.Page)
 	if err != nil {
 		return err
 	}
@@ -281,62 +283,125 @@ func (h *Heap) Update(rid RID, data []byte) (RID, error) {
 	return h.Insert(data)
 }
 
-// Scan visits every record in storage order. The callback returns false to
-// stop early.
-func (h *Heap) Scan(fn func(RID, []byte) (bool, error)) error {
-	for pid := h.root; pid != invalidPage; {
-		f, err := h.pool.Get(pid)
-		if err != nil {
-			return err
-		}
-		n := pageNSlots(f.Data)
-		next := pageNext(f.Data)
-		// Copy out candidate slots, then release the page before
-		// resolving overflow chains to avoid pin buildup.
-		type item struct {
-			slot int
-			data []byte
-			ovf  PageID
-			tot  int
-		}
-		var items []item
-		for i := 0; i < n; i++ {
-			off, ln := slotAt(f.Data, i)
-			if off == 0 {
-				continue
-			}
-			rec := f.Data[off : off+ln]
-			if rec[0] == 0 {
-				d := make([]byte, ln-1)
-				copy(d, rec[1:])
-				items = append(items, item{slot: i, data: d})
-			} else {
-				items = append(items, item{
-					slot: i,
-					ovf:  PageID(binary.LittleEndian.Uint32(rec[1:5])),
-					tot:  int(binary.LittleEndian.Uint32(rec[5:9])),
-				})
-			}
-		}
-		h.pool.Unpin(f, false)
-		for _, it := range items {
+// scanItem is one live slot copied out of a heap page: inline records
+// carry their bytes, overflow records carry the chain head to resolve
+// after the page is unpinned.
+type scanItem struct {
+	slot int
+	data []byte
+	ovf  PageID
+	tot  int
+}
+
+// HeapScanner streams a heap's records one page at a time: each page is
+// pinned (shared latch) only while its live slots are copied out, then
+// released before any record is yielded, so a long-running scan never
+// holds more than one pin and never blocks eviction of the pages it has
+// passed. This replaces the materialize-everything-up-front pattern and
+// is the storage engine behind rel.SeqScan.
+type HeapScanner struct {
+	h     *Heap
+	next  PageID
+	page  PageID
+	items []scanItem
+	pos   int
+	done  bool
+}
+
+// Scanner returns a streaming scanner positioned before the first record.
+func (h *Heap) Scanner() *HeapScanner {
+	return &HeapScanner{h: h, next: h.root}
+}
+
+// Next returns the next record in storage order, or (RID{}, nil, nil) at
+// the end of the heap. The returned bytes are a private copy.
+func (sc *HeapScanner) Next() (RID, []byte, error) {
+	for {
+		if sc.pos < len(sc.items) {
+			it := sc.items[sc.pos]
+			sc.pos++
 			data := it.data
 			if data == nil {
 				var err error
-				data, err = h.readOverflow(it.ovf, it.tot)
+				data, err = sc.h.readOverflow(it.ovf, it.tot)
 				if err != nil {
-					return err
+					return RID{}, nil, err
 				}
 			}
-			ok, err := fn(RID{Page: pid, Slot: uint16(it.slot)}, data)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
+			return RID{Page: sc.page, Slot: uint16(it.slot)}, data, nil
 		}
-		pid = next
+		if sc.done || sc.next == invalidPage {
+			sc.done = true
+			return RID{}, nil, nil
+		}
+		if err := sc.loadPage(); err != nil {
+			sc.done = true
+			return RID{}, nil, err
+		}
 	}
+}
+
+// loadPage pins the next chain page, copies its live slots out, and
+// unpins it before returning.
+func (sc *HeapScanner) loadPage() error {
+	f, err := sc.h.pool.Get(sc.next)
+	if err != nil {
+		return err
+	}
+	sc.page = sc.next
+	sc.next = pageNext(f.Data)
+	sc.items = sc.items[:0]
+	sc.pos = 0
+	n := pageNSlots(f.Data)
+	for i := 0; i < n; i++ {
+		off, ln := slotAt(f.Data, i)
+		if off == 0 {
+			continue
+		}
+		rec := f.Data[off : off+ln]
+		if rec[0] == 0 {
+			d := make([]byte, ln-1)
+			copy(d, rec[1:])
+			sc.items = append(sc.items, scanItem{slot: i, data: d})
+		} else {
+			sc.items = append(sc.items, scanItem{
+				slot: i,
+				ovf:  PageID(binary.LittleEndian.Uint32(rec[1:5])),
+				tot:  int(binary.LittleEndian.Uint32(rec[5:9])),
+			})
+		}
+	}
+	sc.h.pool.Unpin(f, false)
 	return nil
+}
+
+// Close releases the scanner. The scanner holds no pins between Next
+// calls, so Close only ends the stream; it exists so higher layers can
+// abandon a scan early through a uniform interface.
+func (sc *HeapScanner) Close() {
+	sc.done = true
+	sc.items = nil
+}
+
+// Scan visits every record in storage order. The callback returns false to
+// stop early.
+func (h *Heap) Scan(fn func(RID, []byte) (bool, error)) error {
+	sc := h.Scanner()
+	defer sc.Close()
+	for {
+		rid, data, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if data == nil {
+			return nil
+		}
+		ok, err := fn(rid, data)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
 }

@@ -3,6 +3,7 @@ package repro
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -182,6 +183,28 @@ func TestSessionAttributionSumsToKBTotals(t *testing.T) {
 	}
 	if sum.ClausesPassed > sum.ClausesScanned {
 		t.Errorf("passed %d > scanned %d", sum.ClausesPassed, sum.ClausesScanned)
+	}
+
+	// Sharded buffer-pool schema: the shards gauge matches the pool, the
+	// latch metrics exist, and per-shard accesses sum to the pool-wide
+	// aggregate (the two views must never drift).
+	shards, ok := snap["buffer_pool.shards"].(int64)
+	if !ok || shards != int64(kb.Store().Pool().Shards()) {
+		t.Errorf("buffer_pool.shards = %v, pool has %d", snap["buffer_pool.shards"], kb.Store().Pool().Shards())
+	}
+	if _, ok := snap["buffer_pool.latch_waits"].(uint64); !ok {
+		t.Errorf("buffer_pool.latch_waits missing (have %v)", kb.Obs().Names())
+	}
+	var shardAccesses, shardHits uint64
+	for i := int64(0); i < shards; i++ {
+		shardAccesses += total(fmt.Sprintf("buffer_pool.shard%d.accesses", i))
+		shardHits += total(fmt.Sprintf("buffer_pool.shard%d.hits", i))
+	}
+	if got := total("store.pool.accesses"); shardAccesses != got {
+		t.Errorf("per-shard accesses sum to %d, pool-wide counter has %d", shardAccesses, got)
+	}
+	if got := total("store.pool.hits"); shardHits != got {
+		t.Errorf("per-shard hits sum to %d, pool-wide counter has %d", shardHits, got)
 	}
 }
 
