@@ -6,7 +6,8 @@ package bench
 // latches, every page access funnelled through one mutex and throughput
 // was flat (or worse) in N; the table quantifies what the sharded pool
 // buys. CI runs it as a smoke gate: the max-session throughput must not
-// regress below the 1-session baseline.
+// regress below the 1-session baseline (modulo a small noise tolerance;
+// see CheckScaling).
 
 import (
 	"fmt"
@@ -213,12 +214,20 @@ func runScaling(kb *core.KnowledgeBase, w scalingWorkload, n, rounds int) (time.
 // mutex, which costs far more than scheduler overhead ever does).
 const singleCPUFloor = 0.75
 
+// multiCPUFloor is the CheckScaling bound with parallelism available.
+// A healthy sharded pool beats the baseline comfortably, but CI runners
+// are shared and noisy; a small tolerance keeps an ordinary scheduling
+// hiccup from flaking the gate while still catching the collapse the
+// gate exists for (a global-mutex convoy costs far more than 10%).
+const multiCPUFloor = 0.9
+
 // CheckScaling enforces the CI gate on a scaling table: for every
-// workload, the highest-session-count row's throughput must be at least
-// the 1-session baseline — concurrent readers must never be slower than
-// one reader. On a single-CPU machine the bound relaxes to
-// singleCPUFloor, because without a second core concurrency cannot pay
-// for its own scheduling.
+// workload, the highest-session-count row's throughput must stay at or
+// above the 1-session baseline — concurrent readers must never be
+// meaningfully slower than one reader. The bound is multiCPUFloor times
+// the baseline to absorb noisy-neighbour jitter on shared runners, and
+// relaxes further to singleCPUFloor on a single-CPU machine, where
+// concurrency cannot pay for its own scheduling.
 func CheckScaling(rows []ScalingRow) error {
 	first := map[string]ScalingRow{}
 	last := map[string]ScalingRow{}
@@ -235,9 +244,9 @@ func CheckScaling(rows []ScalingRow) error {
 		if l.Sessions == f.Sessions {
 			continue
 		}
-		bound := f.QPS
+		bound := f.QPS * multiCPUFloor
 		if l.CPUs == 1 {
-			bound *= singleCPUFloor
+			bound = f.QPS * singleCPUFloor
 		}
 		if l.QPS < bound {
 			return fmt.Errorf("%s: %d-session throughput %.0f qps regressed below the %d-session baseline %.0f qps (bound %.0f, %d cpus)",

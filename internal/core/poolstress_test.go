@@ -4,14 +4,20 @@ package core_test
 // -race): 8 reader sessions stream queries over a file-backed KB whose
 // pool is deliberately tiny, so every scan forces evictions and dirty
 // write-backs to race against concurrent pins; meanwhile one writer
-// churns a stored procedure with asserts and retracts. Afterwards the
-// structural checkers re-verify every page (checksums are validated by
-// the pager on each read) and the store is reopened from disk to prove
-// the WAL/checkpoint state recovers to the exact logical contents.
+// churns a stored procedure with asserts and retracts. The churned
+// clauses embed an atom far larger than the heap's inline threshold, so
+// every retract frees an overflow-page chain and every assert
+// reallocates those pages — racing the readers' clause scans exactly
+// where a scanner that resolved overflow chains outside its page-pin
+// window would read freed or recycled pages. Afterwards the structural
+// checkers re-verify every page (checksums are validated by the pager on
+// each read) and the store is reopened from disk to prove the
+// WAL/checkpoint state recovers to the exact logical contents.
 
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -32,9 +38,14 @@ func TestPoolStressReadersWithChurningWriter(t *testing.T) {
 	const (
 		nReaders   = 8
 		nHot       = 200 // stable facts, count checked exactly on every read
+		nBlob      = 24  // stable overflow-sized facts, count checked too
 		nChurn     = 60  // writer assert iterations (every other one retracted)
 		readRounds = 25
 	)
+	// An atom well past the heap's 2 KiB inline threshold: clauses built
+	// from it are stored as multi-page overflow chains, so churning them
+	// frees and reallocates overflow pages under the readers.
+	bigAtom := strings.Repeat("b", 4000)
 	path := filepath.Join(t.TempDir(), "stress.educe")
 	// 16 pool pages against a KB of hundreds of pages: nearly every scan
 	// evicts, so dirty write-backs and faults race with concurrent pins.
@@ -51,6 +62,9 @@ func TestPoolStressReadersWithChurningWriter(t *testing.T) {
 	var src string
 	for i := 0; i < nHot; i++ {
 		src += fmt.Sprintf("hot(%d, %s_%d).\n", i, pad, i%7)
+	}
+	for i := 0; i < nBlob; i++ {
+		src += fmt.Sprintf("blob(%d, %s_%d).\n", i, bigAtom, i)
 	}
 	src += "churn(seed, 0).\n"
 	if err := setup.ConsultExternal(src); err != nil {
@@ -71,7 +85,10 @@ func TestPoolStressReadersWithChurningWriter(t *testing.T) {
 		}
 		defer w.Close()
 		for i := 0; i < nChurn; i++ {
-			tm, err := parseTerm(fmt.Sprintf("churn(c%d, %d).", i, i))
+			// Overflow-sized clause: the second argument's atom forces a
+			// multi-page chain, so the retract below frees real overflow
+			// pages while readers scan.
+			tm, err := parseTerm(fmt.Sprintf("churn(c%d, %s_%d).", i, bigAtom, i))
 			if err != nil {
 				errs <- err
 				return
@@ -81,7 +98,7 @@ func TestPoolStressReadersWithChurningWriter(t *testing.T) {
 				return
 			}
 			if i%2 == 1 {
-				prev, err := parseTerm(fmt.Sprintf("churn(c%d, %d)", i-1, i-1))
+				prev, err := parseTerm(fmt.Sprintf("churn(c%d, %s_%d)", i-1, bigAtom, i-1))
 				if err != nil {
 					errs <- err
 					return
@@ -117,6 +134,15 @@ func TestPoolStressReadersWithChurningWriter(t *testing.T) {
 				}
 				if n != nHot {
 					errs <- fmt.Errorf("reader %d round %d: hot count %d, want %d", r, i, n, nHot)
+					return
+				}
+				b, err := s.QueryCount("blob(X, Y)")
+				if err != nil {
+					errs <- fmt.Errorf("reader %d round %d blob: %v", r, i, err)
+					return
+				}
+				if b != nBlob {
+					errs <- fmt.Errorf("reader %d round %d: blob count %d, want %d", r, i, b, nBlob)
 					return
 				}
 				// churn/2 varies under the writer; any snapshot the KB
@@ -176,6 +202,13 @@ func TestPoolStressReadersWithChurningWriter(t *testing.T) {
 	}
 	if n != nHot {
 		t.Errorf("hot count after reopen: %d, want %d", n, nHot)
+	}
+	b, err := s2.QueryCount("blob(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != nBlob {
+		t.Errorf("blob count after reopen: %d, want %d", b, nBlob)
 	}
 	c, err := s2.QueryCount("churn(X, Y)")
 	if err != nil {

@@ -91,8 +91,10 @@ type Frame struct {
 	Data []byte
 
 	// latch orders access to Data. It is acquired by Pin after the shard
-	// mutex is released and dropped by Unpin before it is re-taken —
-	// lock order is always shard map -> frame latch, never the reverse.
+	// mutex is released. Unpin drops the pin under the shard mutex while
+	// still holding the latch (so misuse panics instead of corrupting the
+	// latch) — safe against makeRoom's shard mutex -> victim latch order
+	// because a frame with a live pin is off the LRU and never a victim.
 	latch sync.RWMutex
 	// wlatched is true while the exclusive holder owns the latch. Only
 	// that goroutine writes it, and shared holders are excluded by the
@@ -126,7 +128,11 @@ func (f *Frame) MarkDirty() {
 // when several sessions overlap in time, each access is charged to every
 // tally attached at that moment (an honest over-approximation: the pool
 // has no way to tell whose retrieval faulted a page both were about to
-// touch). A Tally may be read and reset concurrently with pool traffic.
+// touch). Attribution is best-effort at the edges too: Pin snapshots the
+// attached set once at entry and charges it for everything the pin
+// causes (including eviction write-backs), so a pin in flight when
+// Detach returns may still add to the detached tally. A Tally may be
+// read and reset concurrently with pool traffic.
 type Tally struct {
 	accesses  atomic.Uint64
 	hits      atomic.Uint64
@@ -312,7 +318,9 @@ func (p *Pool) Attach(t *Tally) {
 	p.tallies.attach(t)
 }
 
-// Detach stops charging pool traffic to t (one nesting level).
+// Detach stops charging pool traffic to t (one nesting level). Pins
+// already in flight when Detach returns may still be charged to t — see
+// the Tally doc on best-effort attribution.
 func (p *Pool) Detach(t *Tally) {
 	if t == nil {
 		return
@@ -471,10 +479,12 @@ func (p *Pool) Alloc() (*Frame, error) {
 
 // makeRoom evicts until the shard has a free slot (shard mutex held).
 // The victim is unpinned and new pins on this shard are excluded by the
-// mutex, so its exclusive latch is free by construction; taking it
-// anyway orders the write-back after any reader that raced Unpin and
-// keeps the WAL/checksum invariant: pages reach the pager only through
-// an exclusively latched frame with stable bytes.
+// mutex, so its exclusive latch is either free or held only by an Unpin
+// in its final latch-release step (Unpin drops the pin before the
+// latch); the acquisition here waits at most that instant and cannot
+// deadlock — the latch holder needs no locks to finish. Taking the
+// exclusive latch keeps the WAL/checksum invariant: pages reach the
+// pager only through an exclusively latched frame with stable bytes.
 func (p *Pool) makeRoom(sh *poolShard, tallies []*Tally) error {
 	for len(sh.frames) >= sh.capacity {
 		back := sh.lru.Back()
@@ -516,9 +526,14 @@ func (p *Pool) makeRoom(sh *poolShard, tallies []*Tally) error {
 }
 
 // Unpin releases a pin and its latch; dirty marks the page modified and
-// requires the frame to be held exclusively. The latch is dropped before
-// the shard mutex is taken, preserving the shard map -> frame latch lock
-// order everywhere.
+// requires the frame to be held exclusively. The pin count is checked
+// and dropped under the shard mutex BEFORE the latch is released, so a
+// double Unpin dies on the deliberate "unpin without pin" panic instead
+// of the runtime's unrecoverable unlock-of-unlocked-RWMutex throw.
+// Taking the shard mutex while holding the latch cannot deadlock against
+// makeRoom's reverse order (shard mutex -> victim latch): a frame being
+// unpinned still has pins > 0, is therefore off the LRU, and can never
+// be makeRoom's victim.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
 	if dirty {
 		if !f.wlatched {
@@ -526,23 +541,23 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 		}
 		f.dirty.Store(true)
 	}
+	sh := p.shardOf(f.id)
+	sh.mu.Lock()
+	if f.pins <= 0 {
+		sh.mu.Unlock()
+		panic("store: unpin without pin")
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = sh.lru.PushFront(f)
+	}
+	sh.mu.Unlock()
 	if f.wlatched {
 		f.wlatched = false
 		f.latch.Unlock()
 	} else {
 		f.latch.RUnlock()
 	}
-	sh := p.shardOf(f.id)
-	sh.mu.Lock()
-	f.pins--
-	if f.pins < 0 {
-		sh.mu.Unlock()
-		panic("store: unpin without pin")
-	}
-	if f.pins == 0 {
-		f.elem = sh.lru.PushFront(f)
-	}
-	sh.mu.Unlock()
 }
 
 // Free drops the page from the pool and returns it to the pager free list.

@@ -283,22 +283,24 @@ func (h *Heap) Update(rid RID, data []byte) (RID, error) {
 	return h.Insert(data)
 }
 
-// scanItem is one live slot copied out of a heap page: inline records
-// carry their bytes, overflow records carry the chain head to resolve
-// after the page is unpinned.
+// scanItem is one live slot copied out of a heap page, its bytes fully
+// resolved (overflow chains included) while the page was pinned.
 type scanItem struct {
 	slot int
 	data []byte
-	ovf  PageID
-	tot  int
 }
 
 // HeapScanner streams a heap's records one page at a time: each page is
 // pinned (shared latch) only while its live slots are copied out, then
 // released before any record is yielded, so a long-running scan never
-// holds more than one pin and never blocks eviction of the pages it has
-// passed. This replaces the materialize-everything-up-front pattern and
-// is the storage engine behind rel.SeqScan.
+// holds more than one pin on the heap chain and never blocks eviction of
+// the pages it has passed. Overflow chains are resolved inside that same
+// pin window: the shared latch on the heap page blocks a concurrent
+// Delete (which needs the exclusive latch to clear the slot) from
+// freeing — and an Insert from reallocating — the chain pages while the
+// scanner follows them. Resolving lazily after the unpin would read
+// freed or recycled pages. This replaces the materialize-everything-
+// up-front pattern and is the storage engine behind rel.SeqScan.
 type HeapScanner struct {
 	h     *Heap
 	next  PageID
@@ -320,15 +322,7 @@ func (sc *HeapScanner) Next() (RID, []byte, error) {
 		if sc.pos < len(sc.items) {
 			it := sc.items[sc.pos]
 			sc.pos++
-			data := it.data
-			if data == nil {
-				var err error
-				data, err = sc.h.readOverflow(it.ovf, it.tot)
-				if err != nil {
-					return RID{}, nil, err
-				}
-			}
-			return RID{Page: sc.page, Slot: uint16(it.slot)}, data, nil
+			return RID{Page: sc.page, Slot: uint16(it.slot)}, it.data, nil
 		}
 		if sc.done || sc.next == invalidPage {
 			sc.done = true
@@ -341,8 +335,12 @@ func (sc *HeapScanner) Next() (RID, []byte, error) {
 	}
 }
 
-// loadPage pins the next chain page, copies its live slots out, and
-// unpins it before returning.
+// loadPage pins the next chain page, copies its live slots out —
+// following overflow chains while the page is still pinned, so no writer
+// can free or recycle chain pages between reading a slot and reading its
+// chain — and unpins it before returning. The scanner briefly holds two
+// pins here (the heap page plus one overflow page at a time), which any
+// pool of the minimum capacity accommodates.
 func (sc *HeapScanner) loadPage() error {
 	f, err := sc.h.pool.Get(sc.next)
 	if err != nil {
@@ -364,11 +362,14 @@ func (sc *HeapScanner) loadPage() error {
 			copy(d, rec[1:])
 			sc.items = append(sc.items, scanItem{slot: i, data: d})
 		} else {
-			sc.items = append(sc.items, scanItem{
-				slot: i,
-				ovf:  PageID(binary.LittleEndian.Uint32(rec[1:5])),
-				tot:  int(binary.LittleEndian.Uint32(rec[5:9])),
-			})
+			head := PageID(binary.LittleEndian.Uint32(rec[1:5]))
+			tot := int(binary.LittleEndian.Uint32(rec[5:9]))
+			d, err := sc.h.readOverflow(head, tot)
+			if err != nil {
+				sc.h.pool.Unpin(f, false)
+				return err
+			}
+			sc.items = append(sc.items, scanItem{slot: i, data: d})
 		}
 	}
 	sc.h.pool.Unpin(f, false)

@@ -200,6 +200,28 @@ func TestDirtyUnpinRequiresExclusive(t *testing.T) {
 	}()
 }
 
+// TestUnpinWithoutPinPanics pins a page once and unpins it twice: the
+// second Unpin must die on the deliberate misuse panic, not on the
+// runtime's unrecoverable unlock-of-unlocked-RWMutex throw (the pin
+// count is checked under the shard mutex before the latch is touched).
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	pool := NewPool(NewMemPager(), 8)
+	f, err := pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f, true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Error("double Unpin did not panic")
+		} else if s, ok := r.(string); !ok || s != "store: unpin without pin" {
+			t.Errorf("double Unpin panicked with %v, want the deliberate unpin-without-pin panic", r)
+		}
+	}()
+	pool.Unpin(f, false)
+}
+
 func TestMarkDirtyRequiresExclusive(t *testing.T) {
 	pool := NewPool(NewMemPager(), 8)
 	f, err := pool.Alloc()
