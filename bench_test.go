@@ -115,6 +115,27 @@ func BenchmarkMVVClass2EduceStar(b *testing.B) { benchMVV(b, bench.EduceStar, 2)
 func BenchmarkMVVClass1Educe(b *testing.B)     { benchMVV(b, bench.Educe, 1) }
 func BenchmarkMVVClass2Educe(b *testing.B)     { benchMVV(b, bench.Educe, 2) }
 
+// Profiled variant: same class-1 workload with the 4-port profiler on.
+// Diffing this against BenchmarkMVVClass1EduceStar measures the enabled
+// profiler's overhead; BenchmarkMVVClass1EduceStar itself (profiler off,
+// one nil check per port site) must stay within 5% of the recorded
+// pre-profiler baseline in EXPERIMENTS.md.
+func BenchmarkMVVClass1Profiled(b *testing.B) {
+	kb, data := mvvKBSetup(b)
+	s, err := bench.NewMVVSession(kb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.EnableProfiling(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.RunMVVClassSession(s, data.Class1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // File-backed variants: same workload through the durable store —
 // checksummed frames, write-ahead log, recovery metadata — to measure
 // the cost of crash safety against the in-memory baselines above.

@@ -12,13 +12,23 @@
 //	benchtool -table ruleuse    # §2 per-use rule cost
 //	benchtool -table server     # served MVV: concurrent wire clients
 //	benchtool -table scaling    # R3: sessions-vs-throughput (JSON)
-//	benchtool -table all        # every table except scaling
+//	benchtool -table profile    # R4: profiled MVV (trace + profile JSON)
+//	benchtool -table all        # every table except scaling and profile
 //
 // -table scaling emits JSON rows (workload, sessions, qps, speedup) for
 // concurrent sessions over a shared file-backed knowledge base; with
 // -check-scaling it exits nonzero if the highest session count's
 // throughput falls below the 1-session baseline, which is how CI guards
 // the sharded buffer pool against lock-contention regressions.
+//
+// -table profile runs both MVV query classes on a profiled session with
+// the slow-query log armed at -slow-query (default 1ns: every query
+// qualifies), streaming the JSON trace records — including one
+// slow_query record per query — to stdout, followed by one JSON document
+// holding the per-predicate profile and a metrics snapshot. With
+// -metrics-out FILE the document is written to FILE instead, leaving
+// stdout purely trace records; CI's bench smoke greps a slow_query
+// record out of the stream and validates its schema.
 package main
 
 import (
@@ -43,6 +53,8 @@ func main() {
 	scalingSessions := flag.String("scaling-sessions", "1,2,4,8", "with -table scaling: comma-separated session counts")
 	scalingRounds := flag.Int("scaling-rounds", 3, "with -table scaling: work units per session")
 	checkScaling := flag.Bool("check-scaling", false, "with -table scaling: exit nonzero if max-session throughput < baseline")
+	slowQuery := flag.Duration("slow-query", time.Nanosecond, "with -table profile: slow-query threshold")
+	metricsOut := flag.String("metrics-out", "", "with -table profile: write the profile+metrics JSON document to this file instead of stdout")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -61,13 +73,40 @@ func main() {
 	run("phases", printPhases)
 	run("ruleuse", printRuleUse)
 	run("server", func() error { return printServer(*clients, *queries, *sessions) })
-	// Scaling runs only when asked for by name: it builds file-backed
-	// stores and takes multiples of the other tables' time.
+	// Scaling and profile run only when asked for by name: scaling builds
+	// file-backed stores; profile interleaves trace records with tables.
 	if *table == "scaling" {
 		run("scaling", func() error {
 			return printScaling(*scalingSessions, *wiscN, *scalingRounds, *checkScaling)
 		})
 	}
+	if *table == "profile" {
+		run("profile", func() error {
+			return printProfile(*slowQuery, *metricsOut)
+		})
+	}
+}
+
+// printProfile runs the profiled MVV workload: slow-query trace records
+// stream to stdout, the profile+metrics document follows (or goes to
+// outPath when set, keeping stdout pure JSON-lines trace).
+func printProfile(slow time.Duration, outPath string) error {
+	res, err := bench.ProfiledMVV(os.Stdout, slow)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
 }
 
 func printScaling(spec string, wiscN, rounds int, check bool) error {

@@ -27,7 +27,13 @@
 //	-trace FILE   append one JSON trace event per query phase span plus a
 //	              per-query summary to FILE ("-" = stderr)
 //	-metrics ADDR serve a live JSON snapshot of the knowledge-base metrics
-//	              registry on http://ADDR/metrics (expvar at /debug/vars)
+//	              registry on http://ADDR/metrics (expvar at /debug/vars;
+//	              per-predicate profile at /debug/profile)
+//	-profile      enable the per-predicate 4-port profiler
+//	              (call/exit/redo/fail counts, self-time, attributed EDB
+//	              I/O); inspect via /debug/profile or educe_profile/2
+//	-slow-query D log a slow_query diagnostic record (through -trace) for
+//	              every goal taking at least D, e.g. -slow-query 250ms
 //
 // Serving:
 //
@@ -81,6 +87,8 @@ func main() {
 	sessions := flag.Int("sessions", 1, "with -goal: run the goal concurrently on N sessions sharing one knowledge base (EDB-stored predicates only)")
 	tracePath := flag.String("trace", "", "write per-query JSON trace events to this file (\"-\" = stderr)")
 	metricsAddr := flag.String("metrics", "", "serve live metrics JSON on this address (http://ADDR/metrics)")
+	profile := flag.Bool("profile", false, "enable the per-predicate 4-port profiler (see /debug/profile, educe_profile/2)")
+	slowQuery := flag.Duration("slow-query", 0, "emit a slow_query trace record for goals taking at least this long (0 = off)")
 	check := flag.Bool("check", false, "verify the knowledge base's integrity and exit (nonzero on corruption)")
 	repair := flag.Bool("repair", false, "verify, rebuild derived indexes on failure, re-verify, and exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound per goal; runaway goals abort with a timeout error (0 = none)")
@@ -131,9 +139,20 @@ func main() {
 		tracer = educe.NewTracer(w)
 		eng.SetTracer(tracer)
 	}
+	if *profile {
+		eng.EnableProfiling(true)
+	}
+	if *slowQuery > 0 {
+		if tracer == nil {
+			// Slow-query records need a tracer; default to stderr.
+			tracer = educe.NewTracer(os.Stderr)
+			eng.SetTracer(tracer)
+		}
+		eng.SetSlowThreshold(*slowQuery)
+	}
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
-		metricsSrv, err = startMetrics(*metricsAddr, eng.KB().Obs())
+		metricsSrv, err = startMetrics(*metricsAddr, eng.KB())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "educe:", err)
 			os.Exit(1)
@@ -163,9 +182,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "% note: files consulted without -external are private to this process's shell session and invisible to served queries")
 		}
 		cfg := server.Config{
-			MaxSessions:  *maxSessions,
-			QueueDepth:   *queueDepth,
-			QueryTimeout: *timeout,
+			MaxSessions:   *maxSessions,
+			QueueDepth:    *queueDepth,
+			QueryTimeout:  *timeout,
+			Profile:       *profile,
+			SlowThreshold: *slowQuery,
+			Tracer:        tracer,
 			Quota: core.Quota{
 				HeapCells:    *quotaHeap,
 				TrailEntries: *quotaTrail,
@@ -183,7 +205,7 @@ func main() {
 	if *goal != "" {
 		g := strings.TrimSuffix(*goal, ".")
 		if *sessions > 1 {
-			if err := runConcurrent(eng, g, *sessions, tracer, *timeout); err != nil {
+			if err := runConcurrent(eng, g, *sessions, tracer, *timeout, *profile, *slowQuery); err != nil {
 				fmt.Fprintln(os.Stderr, "educe:", err)
 				os.Exit(1)
 			}
@@ -283,12 +305,14 @@ func printStats(st core.Stats) {
 }
 
 // startMetrics exposes the KB metrics registry: a flat JSON snapshot at
-// /metrics and the standard expvar page at /debug/vars (the registry is
-// published as the expvar "educe" map). Bind errors are returned
-// synchronously; later serve errors are reported on stderr. The returned
-// handle lets the drain path shut the listener down with the rest of the
-// process instead of leaking it until exit.
-func startMetrics(addr string, reg *educe.Registry) (*http.Server, error) {
+// /metrics, the per-predicate profile at /debug/profile, and the
+// standard expvar page at /debug/vars (the registry is published as the
+// expvar "educe" map). Bind errors are returned synchronously; later
+// serve errors are reported on stderr. The returned handle lets the
+// drain path shut the listener down with the rest of the process instead
+// of leaking it until exit.
+func startMetrics(addr string, kb *educe.KnowledgeBase) (*http.Server, error) {
+	reg := kb.Obs()
 	expvar.Publish("educe", expvar.Func(func() any { return reg.Snapshot() }))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -297,12 +321,18 @@ func startMetrics(addr string, reg *educe.Registry) (*http.Server, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot())
 	})
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(profileSnapshot(kb))
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "educe: metrics:", err)
@@ -310,6 +340,16 @@ func startMetrics(addr string, reg *educe.Registry) (*http.Server, error) {
 	}()
 	fmt.Fprintf(os.Stderr, "%% metrics on http://%s/metrics\n", ln.Addr())
 	return srv, nil
+}
+
+// profileSnapshot is the /debug/profile document: the KB-wide
+// per-predicate profile rows plus their totals.
+func profileSnapshot(kb *educe.KnowledgeBase) map[string]any {
+	t := kb.Profile()
+	return map[string]any{
+		"preds":  t.Snapshot(),
+		"totals": t.Totals(),
+	}
 }
 
 // runServe serves the query protocol until SIGINT/SIGTERM, then drains:
@@ -415,7 +455,7 @@ func runBatch(eng *educe.Engine, goal string, timeout time.Duration) error {
 // knowledge base, printing per-session solution counts and times. Only
 // EDB-stored predicates are visible to the extra sessions; main-memory
 // consults are private to the primary session.
-func runConcurrent(eng *educe.Engine, goal string, n int, tracer *educe.Tracer, timeout time.Duration) error {
+func runConcurrent(eng *educe.Engine, goal string, n int, tracer *educe.Tracer, timeout time.Duration, profile bool, slowQuery time.Duration) error {
 	kb := eng.KB()
 	type result struct {
 		count   int
@@ -438,6 +478,10 @@ func runConcurrent(eng *educe.Engine, goal string, n int, tracer *educe.Tracer, 
 			if tracer != nil {
 				s.SetTracer(tracer)
 			}
+			if profile {
+				s.EnableProfiling(true)
+			}
+			s.SetSlowThreshold(slowQuery)
 			s.SetTimeout(timeout)
 			t0 := time.Now()
 			cnt, err := s.QueryCount(goal)

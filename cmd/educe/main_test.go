@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/educe"
+)
+
+// TestMetricsEndpoints pins the /metrics contract consumers scrape —
+// JSON Content-Type and derived p50/p95/p99 quantile gauges on every
+// histogram — and the /debug/profile snapshot shape. One test covers
+// both endpoints because expvar.Publish inside startMetrics can only
+// run once per process.
+func TestMetricsEndpoints(t *testing.T) {
+	kb, err := educe.OpenKB("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+	s, err := kb.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.EnableProfiling(true)
+	if err := s.ConsultExternal("p(1). p(2)."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryCount("p(X)"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := startMetrics("127.0.0.1:0", kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	base := "http://" + srv.Addr
+
+	get := func(path string) (string, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), body
+	}
+
+	ct, body := get("/metrics")
+	if ct != "application/json" {
+		t.Errorf("/metrics Content-Type = %q, want application/json", ct)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v", err)
+	}
+	// Histograms in the snapshot carry the derived quantile gauges.
+	hist, ok := snap["edb.pages_per_retrieval"].(map[string]any)
+	if !ok {
+		t.Fatalf("edb.pages_per_retrieval missing from /metrics: %v", keys(snap))
+	}
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if _, ok := hist[q]; !ok {
+			t.Errorf("edb.pages_per_retrieval missing %s: %v", q, hist)
+		}
+	}
+	// The selectivity counters are part of the scrape surface too.
+	if _, ok := snap["edb.path.attr_index.scanned"]; !ok {
+		t.Errorf("edb.path.attr_index.scanned missing from /metrics: %v", keys(snap))
+	}
+
+	ct, body = get("/debug/profile")
+	if ct != "application/json" {
+		t.Errorf("/debug/profile Content-Type = %q, want application/json", ct)
+	}
+	var prof struct {
+		Preds  []educe.PredProfile `json:"preds"`
+		Totals educe.PredCounters  `json:"totals"`
+	}
+	if err := json.Unmarshal(body, &prof); err != nil {
+		t.Fatalf("/debug/profile is not valid JSON: %v", err)
+	}
+	if prof.Totals.Calls == 0 || len(prof.Preds) == 0 {
+		t.Fatalf("/debug/profile empty after a profiled query: %s", body)
+	}
+	// The endpoint serves the same table educe_profile/2 reads.
+	if got := kb.Profile().Totals(); got != prof.Totals {
+		t.Errorf("/debug/profile totals %+v != kb.Profile().Totals() %+v", prof.Totals, got)
+	}
+}
+
+func keys(m map[string]any) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

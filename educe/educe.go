@@ -89,8 +89,25 @@ type Tracer = obs.Tracer
 // Registry is the KB-wide metrics registry (KnowledgeBase.Obs).
 type Registry = obs.Registry
 
+// PredCounters is one predicate's 4-port profile vector: box-model
+// call/exit/redo/fail counts, cumulative self-time and attributed EDB
+// I/O (Session.EnableProfiling).
+type PredCounters = obs.PredCounters
+
+// PredProfile is one named row of a profile snapshot
+// (Session.Profile, KnowledgeBase.Profile).
+type PredProfile = obs.PredProfile
+
+// ProfileTable is the KB-wide per-predicate profile accumulator
+// (KnowledgeBase.Profile).
+type ProfileTable = obs.ProfileTable
+
 // NewTracer returns a tracer writing one JSON trace event per line to w.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewDeterministicTracer is NewTracer without record timestamps, for
+// golden-file tests of the trace/slow-query schema.
+func NewDeterministicTracer(w io.Writer) *Tracer { return obs.NewDeterministicTracer(w) }
 
 // Options configures an Engine; the zero value is a usable in-memory
 // compiled-mode engine.

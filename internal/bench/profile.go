@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/bench/mvv"
+	"repro/internal/obs"
+)
+
+// ProfileResult is the output of one profiled MVV run: the per-predicate
+// profile accumulated in the knowledge base, its totals, and a snapshot
+// of the KB metrics registry (access-path selectivity counters, buffer
+// pool I/O, latency histograms) taken after the run.
+type ProfileResult struct {
+	Preds   []obs.PredProfile `json:"preds"`
+	Totals  obs.PredCounters  `json:"totals"`
+	Metrics map[string]any    `json:"metrics"`
+}
+
+// ProfiledMVV runs both MVV query classes once on a profiled session
+// with the slow-query log armed at threshold slow (trace records —
+// including one slow_query record per qualifying query — go to traceW),
+// then returns the accumulated profile and a metrics snapshot. With
+// slow = 1ns every query qualifies, which is how the CI smoke test
+// obtains a well-formed slow_query record to validate.
+func ProfiledMVV(traceW io.Writer, slow time.Duration) (*ProfileResult, error) {
+	data := mvv.Generate()
+	kb, err := SetupMVVKB(data)
+	if err != nil {
+		return nil, err
+	}
+	defer kb.Close()
+	s, err := NewMVVSession(kb)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	s.EnableProfiling(true)
+	if traceW != nil {
+		s.SetTracer(obs.NewTracer(traceW))
+	}
+	s.SetSlowThreshold(slow)
+	for _, queries := range [][]string{data.Class1, data.Class2} {
+		if _, _, err := RunMVVClassSession(s, queries); err != nil {
+			return nil, err
+		}
+	}
+	// Close drains the final query's profile into the KB table.
+	s.Close()
+	return &ProfileResult{
+		Preds:   kb.Profile().Snapshot(),
+		Totals:  kb.Profile().Totals(),
+		Metrics: kb.Obs().Snapshot(),
+	}, nil
+}

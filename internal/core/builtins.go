@@ -25,6 +25,7 @@ func (s *Session) registerEngineBuiltins() {
 	m.RegisterBuiltin(wam.Builtin{Name: "abolish", Arity: 1, Fn: s.biAbolish})
 	m.RegisterBuiltin(wam.Builtin{Name: "clause", Arity: 2, Fn: s.biClause})
 	m.RegisterBuiltin(wam.Builtin{Name: "educe_statistics", Arity: 2, Fn: s.biStatistics})
+	m.RegisterBuiltin(wam.Builtin{Name: "educe_profile", Arity: 2, Fn: s.biProfile})
 }
 
 // biStatistics exposes engine counters to Prolog:
@@ -84,6 +85,62 @@ func (s *Session) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
 		return m.Unify(args[1], wam.MakeInt(v)), nil
 	}
 	// Unbound key: enumerate.
+	names := make([]string, 0, len(stats))
+	for k := range stats {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	i := 0
+	redo := func(m *wam.Machine) (bool, error) {
+		for i < len(names) {
+			k := names[i]
+			i++
+			ok := m.TryUnify(func() bool {
+				return m.Unify(m.Reg(0), wam.MakeCon(m.Dict.Intern(k, 0))) &&
+					m.Unify(m.Reg(1), wam.MakeInt(stats[k]))
+			})
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	m.PushRedo(redo)
+	return redo(m)
+}
+
+// biProfile exposes the knowledge base's per-predicate profile to
+// Prolog: educe_profile(Key, Value) with one key per counter of each
+// profiled predicate — '<name>/<arity>.calls', '.exits', '.redos',
+// '.fails', '.self_ns', '.edb_fetches', '.pages' — plus the aggregate
+// 'total.*' keys. It reads the same KB-wide table as /debug/profile
+// (queries completed by any profiled session; the in-flight query's
+// counters are merged at its end), so the two views always agree.
+func (s *Session) biProfile(m *wam.Machine, args []wam.Cell) (bool, error) {
+	rows := s.kb.profile.Snapshot()
+	stats := make(map[string]int64, len(rows)*7+7)
+	add := func(prefix string, c *obs.PredCounters) {
+		stats[prefix+".calls"] = int64(c.Calls)
+		stats[prefix+".exits"] = int64(c.Exits)
+		stats[prefix+".redos"] = int64(c.Redos)
+		stats[prefix+".fails"] = int64(c.Fails)
+		stats[prefix+".self_ns"] = c.SelfNS
+		stats[prefix+".edb_fetches"] = int64(c.EDBFetches)
+		stats[prefix+".pages"] = int64(c.Pages)
+	}
+	for i := range rows {
+		add(rows[i].Pred, &rows[i].PredCounters)
+	}
+	totals := s.kb.profile.Totals()
+	add("total", &totals)
+	key := m.Deref(args[0])
+	if key.Tag() == wam.TagCon {
+		v, ok := stats[m.Dict.Name(key.AtomID())]
+		if !ok {
+			return false, nil
+		}
+		return m.Unify(args[1], wam.MakeInt(v)), nil
+	}
 	names := make([]string, 0, len(stats))
 	for k := range stats {
 		names = append(names, k)

@@ -30,6 +30,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/compiler"
@@ -187,6 +188,15 @@ type Session struct {
 	cum    obs.QueryStats
 	tracer *obs.Tracer
 
+	// Profiling: when enabled the machine carries a wam.Profiler whose
+	// per-query counters are drained at query end into qProf (this
+	// query's name-keyed profile, feeding the slow-query record), then
+	// merged into profile (the session cumulative) and the KB table.
+	// slowThresh > 0 arms the slow-query diagnostic log.
+	profile    map[string]*obs.PredCounters
+	qProf      map[string]*obs.PredCounters
+	slowThresh time.Duration
+
 	// current-query trace metadata.
 	qid       uint64
 	qGoal     string
@@ -308,6 +318,7 @@ func transparentFor(m *wam.Machine) func(string, int) bool {
 // Close releases the session's transient state. The shared knowledge
 // base stays open (close it separately); Engine.Close does both.
 func (s *Session) Close() error {
+	s.drainProfile()
 	s.endQuery()
 	for _, le := range s.loadedCache {
 		if le.proc != nil && le.proc.Block != nil {
@@ -442,6 +453,96 @@ func (s *Session) SetTracer(t *obs.Tracer) { s.tracer = t }
 // SetTraceWriter is SetTracer with a fresh JSON-lines tracer over w.
 func (s *Session) SetTraceWriter(w io.Writer) { s.tracer = obs.NewTracer(w) }
 
+// EnableProfiling turns the per-predicate 4-port profiler on or off for
+// this session. While enabled, the WAM records call/exit/redo/fail
+// counts and self-time per predicate; at each query end the per-query
+// profile is merged into the session's cumulative profile (see Profile)
+// and the knowledge base's shared table (KnowledgeBase.Profile). The
+// disabled path costs one nil check per port site in the dispatch loop.
+// Like SetQuota, call it between queries from the session's goroutine.
+func (s *Session) EnableProfiling(on bool) {
+	if on {
+		if s.m.Profiler() == nil {
+			s.m.SetProfiler(wam.NewProfiler())
+		}
+		if s.profile == nil {
+			s.profile = map[string]*obs.PredCounters{}
+		}
+		return
+	}
+	s.drainProfile()
+	s.m.SetProfiler(nil)
+}
+
+// ProfilingEnabled reports whether the per-predicate profiler is on.
+func (s *Session) ProfilingEnabled() bool { return s.m.Profiler() != nil }
+
+// SetSlowThreshold arms the slow-query diagnostic log: any query whose
+// wall time reaches d emits one slow_query trace record (through the
+// session's tracer) with its phase breakdown, hottest predicates and
+// access-path selectivity. d <= 0 disarms it. A threshold without a
+// tracer logs nothing; profiling enriches the record with per-predicate
+// rows but is not required.
+func (s *Session) SetSlowThreshold(d time.Duration) { s.slowThresh = d }
+
+// SlowThreshold returns the armed slow-query threshold (0 = disarmed).
+func (s *Session) SlowThreshold() time.Duration { return s.slowThresh }
+
+// Profile returns a snapshot of this session's cumulative per-predicate
+// profile (finished queries; the in-flight query's counters are drained
+// at its end), sorted by predicate indicator.
+func (s *Session) Profile() []obs.PredProfile {
+	s.drainProfile()
+	out := make([]obs.PredProfile, 0, len(s.profile))
+	for pred, c := range s.profile {
+		out = append(out, obs.PredProfile{Pred: pred, PredCounters: *c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pred < out[j].Pred })
+	return out
+}
+
+// drainProfile empties the machine profiler into the per-query profile
+// (for the slow-query record) and folds it into the session cumulative
+// and the KB-wide table. Draining is idempotent: a second drain at the
+// same point moves nothing.
+func (s *Session) drainProfile() {
+	raw := s.m.Profiler().Drain()
+	if len(raw) == 0 {
+		return
+	}
+	if s.qProf == nil {
+		s.qProf = map[string]*obs.PredCounters{}
+	}
+	if s.profile == nil {
+		s.profile = map[string]*obs.PredCounters{}
+	}
+	fresh := make(map[string]*obs.PredCounters, len(raw))
+	for fn, c := range raw {
+		pred := fmt.Sprintf("%s/%d", s.m.Dict.Name(fn), s.m.Dict.Arity(fn))
+		if f, ok := fresh[pred]; ok {
+			f.Add(c)
+		} else {
+			cp := *c
+			fresh[pred] = &cp
+		}
+	}
+	for pred, c := range fresh {
+		if qc, ok := s.qProf[pred]; ok {
+			qc.Add(c)
+		} else {
+			cp := *c
+			s.qProf[pred] = &cp
+		}
+		if sc, ok := s.profile[pred]; ok {
+			sc.Add(c)
+		} else {
+			cp := *c
+			s.profile[pred] = &cp
+		}
+	}
+	s.kb.profile.MergeAll(fresh)
+}
+
 // ResetStats zeroes this session's own counters: the WAM machine, the
 // interpreter, the session I/O tally and the accumulated phase/cost
 // stats. It deliberately does NOT touch the shared knowledge-base
@@ -456,6 +557,13 @@ func (s *Session) ResetStats() {
 	s.tally.Reset()
 	s.cum.Reset()
 	s.q.Reset()
+	// Drop the session profile without losing the KB attribution: drain
+	// first so in-flight counters still reach the shared table.
+	s.drainProfile()
+	if s.profile != nil {
+		s.profile = map[string]*obs.PredCounters{}
+	}
+	s.qProf = nil
 }
 
 // ResetStats zeroes the engine's session counters and its private

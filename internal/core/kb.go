@@ -74,6 +74,11 @@ type KnowledgeBase struct {
 	panicsRecovered *obs.Counter
 	sessionSeq      atomic.Uint64
 	querySeq        atomic.Uint64
+
+	// profile accumulates per-predicate 4-port counters and cost
+	// attribution across every profiled session (sessions merge their
+	// per-query profiles here at query end).
+	profile *obs.ProfileTable
 }
 
 // sharedCacheLimit caps the number of shared loaded-code variants before
@@ -113,6 +118,7 @@ func OpenKB(opts Options) (*KnowledgeBase, error) {
 		cacheInvals:     reg.Counter("core.codecache.invalidations"),
 		cacheEntries:    reg.Gauge("core.codecache.entries"),
 		panicsRecovered: reg.Counter("core.panics_recovered"),
+		profile:         obs.NewProfileTable(),
 	}
 	reg.RegisterFunc("core.codecache.hit_ratio", func() any {
 		h := kb.cacheHits.Value()
@@ -127,12 +133,19 @@ func (kb *KnowledgeBase) Obs() *obs.Registry { return kb.reg }
 
 // ResetStats zeroes the shared knowledge-base traffic counters — the
 // buffer-pool I/O, EDB retrieval and decoded-code cache metrics every
-// session contributes to. This is the explicit KB-level reset:
-// Session.ResetStats deliberately does not touch these, because under
-// concurrent sessions one session resetting them would corrupt the
-// others' view. Gauges (clauses stored, cache entries) are state, not
-// traffic, and keep their values.
-func (kb *KnowledgeBase) ResetStats() { kb.reg.ResetTraffic() }
+// session contributes to — and the KB-wide per-predicate profile. This
+// is the explicit KB-level reset: Session.ResetStats deliberately does
+// not touch these, because under concurrent sessions one session
+// resetting them would corrupt the others' view. Gauges (clauses stored,
+// cache entries) are state, not traffic, and keep their values.
+func (kb *KnowledgeBase) ResetStats() {
+	kb.reg.ResetTraffic()
+	kb.profile.Reset()
+}
+
+// Profile returns the KB-wide per-predicate profile table, accumulated
+// from every profiled session at query end (see Session.EnableProfiling).
+func (kb *KnowledgeBase) Profile() *obs.ProfileTable { return kb.profile }
 
 // nextSessionID allocates a session identifier for trace attribution.
 func (kb *KnowledgeBase) nextSessionID() uint64 { return kb.sessionSeq.Add(1) }

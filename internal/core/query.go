@@ -203,8 +203,12 @@ func (s *Session) containPanic(r any) error {
 
 // beginQuery rolls the previous query's (and any between-query consult
 // work's) cost stats into the session cumulative, then stamps the new
-// query's identity for tracing.
+// query's identity for tracing. Profiler counters left over from an
+// abandoned query are drained (attributed to that query) before the
+// per-query profile resets.
 func (s *Session) beginQuery(goal string) {
+	s.drainProfile()
+	s.qProf = nil
 	s.cum.AddQuery(&s.q)
 	s.q.Reset()
 	s.qid = s.kb.nextQueryID()
@@ -213,8 +217,15 @@ func (s *Session) beginQuery(goal string) {
 	s.qSolCount = 0
 }
 
-// traceQuery emits the completed query's span and summary events.
+// slowQueryTopN bounds the per-predicate rows in a slow-query record.
+const slowQueryTopN = 5
+
+// traceQuery drains the query's profile, emits the completed query's
+// span and summary events and, when the query's wall time reached the
+// armed slow threshold, one slow_query diagnostic record.
 func (s *Session) traceQuery() {
+	s.drainProfile()
+	elapsed := time.Since(s.qStart)
 	if !s.tracer.Enabled() {
 		return
 	}
@@ -222,15 +233,28 @@ func (s *Session) traceQuery() {
 	if s.opts.RuleStorage == RuleStorageSource {
 		mode = "source"
 	}
-	s.tracer.TraceQuery(obs.QueryEvent{
+	ev := obs.QueryEvent{
 		SessionID: s.id,
 		QueryID:   s.qid,
 		Goal:      s.qGoal,
 		Mode:      mode,
 		Solutions: s.qSolCount,
-		Elapsed:   time.Since(s.qStart),
+		Elapsed:   elapsed,
 		Stats:     s.q,
-	})
+	}
+	s.tracer.TraceQuery(ev)
+	if s.slowThresh > 0 && elapsed >= s.slowThresh {
+		rows := make([]obs.PredProfile, 0, len(s.qProf))
+		for pred, c := range s.qProf {
+			rows = append(rows, obs.PredProfile{Pred: pred, PredCounters: *c})
+		}
+		s.tracer.TraceSlowQuery(obs.SlowQueryEvent{
+			QueryEvent: ev,
+			Threshold:  s.slowThresh,
+			TopPreds:   obs.TopBySelfTime(rows, slowQueryTopN),
+			Paths:      obs.PathProfiles(&s.q),
+		})
+	}
 }
 
 // finish marks the iteration done and releases per-query state exactly

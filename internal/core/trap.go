@@ -80,11 +80,13 @@ func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 			s.q.CacheHits++
 		} else {
 			s.q.CacheMisses++
+			retr0, pages0 := s.q.Retrievals, s.q.PagesTouched
 			scs, err := s.kb.db.RetrieveObs(p, keys, &s.q)
 			if err != nil {
 				unlock()
 				return nil, err
 			}
+			s.m.Profiler().AttributeIO(fn, s.q.Retrievals-retr0, s.q.PagesTouched-pages0)
 			clauses, err = decodeClauses(scs)
 			if err != nil {
 				unlock()
@@ -93,11 +95,13 @@ func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 			s.kb.storeShared(cacheKey, clauses)
 		}
 	case edb.FormSource:
+		retr0, pages0 := s.q.Retrievals, s.q.PagesTouched
 		scs, err := s.kb.db.RetrieveObs(p, keys, &s.q)
 		if err != nil {
 			unlock()
 			return nil, err
 		}
+		s.m.Profiler().AttributeIO(fn, s.q.Retrievals-retr0, s.q.PagesTouched-pages0)
 		for _, sc := range scs {
 			blobs = append(blobs, sc.Blob)
 			clauseIDs = append(clauseIDs, sc.ClauseID)

@@ -222,7 +222,12 @@ func (db *DB) RetrieveObs(p *ProcInfo, query []ArgKey, qs *obs.QueryStats) ([]St
 			anyKnown = true
 		}
 	}
+	// primary is the access path chosen for the ground-indexed clauses:
+	// attribute index, grid partial match, or (with nothing bound) a full
+	// scan. Its selectivity is recorded per path.
+	primary := obs.PathGrid
 	if !anyKnown {
+		primary = obs.PathFullScan
 		db.fullScans.Add(1)
 	}
 
@@ -241,6 +246,7 @@ func (db *DB) RetrieveObs(p *ProcInfo, query []ArgKey, qs *obs.QueryStats) ([]St
 			}
 		}
 		if firstKnown >= 0 && firstKnown < len(p.attrAnchors) {
+			primary = obs.PathAttrIndex
 			vals, err := db.procAttrIdx(p, firstKnown).SearchEQ(hashKeyBytes(hashes[firstKnown]))
 			if err != nil {
 				return nil, err
@@ -285,6 +291,7 @@ func (db *DB) RetrieveObs(p *ProcInfo, query []ArgKey, qs *obs.QueryStats) ([]St
 			out = append(out, StoredClause{ClauseID: id, blobRID: blobRID, keys: keys, varRec: rid})
 		}
 	}
+	primaryScanned, primaryMatched := scanned, uint64(len(out))
 
 	// Variable-list candidates: filtered attribute by attribute.
 	err := db.procVarHeap(p).Scan(func(rid store.RID, data []byte) (bool, error) {
@@ -303,6 +310,12 @@ func (db *DB) RetrieveObs(p *ProcInfo, query []ArgKey, qs *obs.QueryStats) ([]St
 	})
 	if err != nil {
 		return nil, err
+	}
+	varScanned := scanned - primaryScanned
+	varMatched := uint64(len(out)) - primaryMatched
+	db.notePath(primary, 1, primaryScanned, primaryMatched, qs)
+	if varScanned > 0 {
+		db.notePath(obs.PathVarList, 1, varScanned, varMatched, qs)
 	}
 
 	sort.Slice(out, func(i, j int) bool { return out[i].ClauseID < out[j].ClauseID })
@@ -328,6 +341,20 @@ func (db *DB) RetrieveObs(p *ProcInfo, query []ArgKey, qs *obs.QueryStats) ([]St
 		qs.ClausesPassed += uint64(len(out))
 	}
 	return out, nil
+}
+
+// notePath records one retrieval's selectivity on an access path, both
+// KB-wide (registry) and per query (qs, when attribution is on).
+func (db *DB) notePath(path obs.IndexPath, choices, scanned, matched uint64, qs *obs.QueryStats) {
+	pc := &db.paths[path]
+	pc.choices.Add(choices)
+	pc.scanned.Add(scanned)
+	pc.matched.Add(matched)
+	if qs != nil {
+		qs.Paths[path].Choices += choices
+		qs.Paths[path].Scanned += scanned
+		qs.Paths[path].Matched += matched
+	}
 }
 
 // AllClauses returns every stored clause of p in source order.

@@ -98,6 +98,19 @@ type DB struct {
 	stored     *obs.Gauge   // clauses currently stored (state, not traffic)
 	fullScans  *obs.Counter
 	pagesPerRt *obs.Histogram // buffer accesses per retrieval
+
+	// Per-access-path selectivity counters (choices made, candidates
+	// scanned, candidates matched), indexed by obs.IndexPath. Only the
+	// EDB paths are populated here; the rel layer owns its own.
+	paths [obs.NumIndexPaths]pathCounters
+}
+
+// pathCounters is the registry-backed selectivity record of one access
+// path.
+type pathCounters struct {
+	choices *obs.Counter
+	scanned *obs.Counter
+	matched *obs.Counter
 }
 
 // Stats counts pre-unification effectiveness. It is a view over the
@@ -143,6 +156,15 @@ func Open(st *store.Store) (*DB, error) {
 	reg.RegisterFunc("edb.preunify_selectivity", func() any {
 		return obs.Ratio(db.candidates.Value(), db.scanned.Value())
 	})
+	for _, path := range []obs.IndexPath{
+		obs.PathAttrIndex, obs.PathGrid, obs.PathVarList, obs.PathFullScan,
+	} {
+		db.paths[path] = pathCounters{
+			choices: reg.Counter("edb.path." + path.String() + ".choices"),
+			scanned: reg.Counter("edb.path." + path.String() + ".scanned"),
+			matched: reg.Counter("edb.path." + path.String() + ".matched"),
+		}
+	}
 	if root, ok := st.GetMeta("edb.clauses"); ok {
 		db.clauses = store.OpenHeap(st.Pool(), store.PageID(root))
 	} else {

@@ -129,6 +129,43 @@ type HistogramSnapshot struct {
 	// observations with floor(log2(ns))+1 == i (index 0 is exactly 0ns).
 	// Trailing empty buckets are trimmed.
 	Buckets []uint64 `json:"buckets"`
+	// P50/P95/P99 are quantile estimates derived from the buckets by
+	// linear interpolation (see Quantile); they can be off by up to one
+	// bucket width but need no extra bookkeeping on the record path.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the power-of-two
+// buckets, interpolating linearly inside the bucket that holds the
+// requested rank. Bucket 0 holds exact zeros; bucket i>0 covers
+// [2^(i-1), 2^i).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << (i - 1))
+			frac := (rank - cum) / float64(c)
+			return lo + frac*lo // lo + frac*(hi-lo), hi = 2*lo
+		}
+		cum = next
+	}
+	if n := len(s.Buckets); n > 1 {
+		return float64(uint64(1) << (n - 1)) // upper edge of the last bucket
+	}
+	return 0
 }
 
 // Mean returns the average observation in nanoseconds (0 when empty).
@@ -155,6 +192,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 	}
 	s.Buckets = append([]uint64{}, bs[:last+1]...)
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 

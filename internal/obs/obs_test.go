@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -158,5 +160,79 @@ func TestPhaseNames(t *testing.T) {
 	}
 	if PhaseStore.String() != "store" {
 		t.Fatal("store phase name")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+
+	// All-zero observations: every quantile is exactly 0 (bucket 0).
+	for i := 0; i < 10; i++ {
+		h.ObserveN(0)
+	}
+	s := h.Snapshot()
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Fatalf("all-zero histogram: want 0 quantiles, got p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+
+	// 100 observations in bucket [4,8) and one outlier in [1024,2048):
+	// p50 falls in the low bucket, p99+ reaches toward the outlier's.
+	h.Reset()
+	for i := 0; i < 100; i++ {
+		h.ObserveN(5)
+	}
+	h.ObserveN(1500)
+	s = h.Snapshot()
+	if s.P50 < 4 || s.P50 >= 8 {
+		t.Errorf("p50 = %v, want within [4,8)", s.P50)
+	}
+	if s.P95 < 4 || s.P95 >= 8 {
+		t.Errorf("p95 = %v, want within [4,8)", s.P95)
+	}
+	if s.Quantile(1.0) < 1024 {
+		t.Errorf("max quantile = %v, want >= 1024 (outlier bucket)", s.Quantile(1.0))
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1.0} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < Quantile(prev) = %v", q, v, prev)
+		}
+		prev = v
+	}
+
+	// Empty histogram snapshot quantiles are 0.
+	var empty Histogram
+	if s := empty.Snapshot(); s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty histogram: want 0 quantiles, got %+v", s)
+	}
+}
+
+// TestSnapshotCarriesQuantiles pins that registry snapshots expose the
+// derived p50/p95/p99 gauges on every histogram (satellite of PR 7:
+// /metrics consumers read them without re-deriving from buckets).
+func TestSnapshotCarriesQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q.latency")
+	for i := 0; i < 8; i++ {
+		h.ObserveN(100)
+	}
+	snap := reg.Snapshot()
+	hs, ok := snap["q.latency"].(HistogramSnapshot)
+	if !ok {
+		t.Fatalf("snapshot histogram has type %T", snap["q.latency"])
+	}
+	if hs.P50 < 64 || hs.P50 >= 128 {
+		t.Errorf("p50 = %v, want within [64,128)", hs.P50)
+	}
+	b, err := json.Marshal(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{`"p50"`, `"p95"`, `"p99"`} {
+		if !strings.Contains(string(b), k) {
+			t.Errorf("histogram JSON missing %s: %s", k, b)
+		}
 	}
 }

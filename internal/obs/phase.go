@@ -85,11 +85,72 @@ func (t *PhaseTimes) Reset() {
 	*t = PhaseTimes{}
 }
 
+// IndexPath identifies one clause/tuple access path — which physical
+// index (or lack of one) a retrieval went through. The EDB paths cover
+// stored-procedure clause retrieval; the rel paths cover the relational
+// layer's scans.
+type IndexPath int
+
+// Access paths.
+const (
+	// PathAttrIndex: EDB secondary attribute index probe (hash index on
+	// the first bound argument).
+	PathAttrIndex IndexPath = iota
+	// PathGrid: EDB superimposed-codeword grid partial match.
+	PathGrid
+	// PathVarList: EDB variable-records list scan (clauses with an
+	// unindexable argument in the probed position, always checked).
+	PathVarList
+	// PathFullScan: EDB retrieval with no bound argument — every clause
+	// of the procedure is a candidate.
+	PathFullScan
+	// PathRelIndex: relational B-tree index range scan.
+	PathRelIndex
+	// PathRelSeq: relational sequential heap scan.
+	PathRelSeq
+	// NumIndexPaths counts the access paths.
+	NumIndexPaths = int(PathRelSeq) + 1
+)
+
+var pathNames = [NumIndexPaths]string{
+	"attr_index", "grid", "var_list", "full_scan", "rel_index", "rel_seq",
+}
+
+func (p IndexPath) String() string {
+	if p < 0 || int(p) >= NumIndexPaths {
+		return "unknown"
+	}
+	return pathNames[p]
+}
+
+// PathStats is the selectivity record of one access path: how often it
+// was chosen, how many candidates it scanned, and how many survived.
+type PathStats struct {
+	// Choices counts retrievals that picked this path.
+	Choices uint64 `json:"choices"`
+	// Scanned counts candidates the path examined.
+	Scanned uint64 `json:"scanned"`
+	// Matched counts candidates that passed the path's filters.
+	Matched uint64 `json:"matched"`
+}
+
+// Selectivity returns matched/scanned (1 when nothing was scanned).
+func (p *PathStats) Selectivity() float64 {
+	if p == nil || p.Scanned == 0 {
+		return 1
+	}
+	return float64(p.Matched) / float64(p.Scanned)
+}
+
 // QueryStats is the per-query (and, accumulated, per-session) view of the
 // cost model: phase spans plus the counters the paper's tables report.
 // It is single-goroutine state; KB-wide totals live in the Registry.
 type QueryStats struct {
 	Phases PhaseTimes
+
+	// Paths breaks retrieval work down by access path (EDB entries only;
+	// the relational layer reports into the registry, not per query).
+	Paths [NumIndexPaths]PathStats
 
 	// Retrievals counts EDB clause-set retrievals issued.
 	Retrievals uint64
@@ -114,6 +175,11 @@ func (s *QueryStats) AddQuery(o *QueryStats) {
 		return
 	}
 	s.Phases.AddTimes(&o.Phases)
+	for i := range s.Paths {
+		s.Paths[i].Choices += o.Paths[i].Choices
+		s.Paths[i].Scanned += o.Paths[i].Scanned
+		s.Paths[i].Matched += o.Paths[i].Matched
+	}
 	s.Retrievals += o.Retrievals
 	s.ClausesScanned += o.ClausesScanned
 	s.ClausesPassed += o.ClausesPassed

@@ -13,6 +13,9 @@ const (
 	EventSpan = "span"
 	// EventQuery is the per-query summary (counters + totals).
 	EventQuery = "query"
+	// EventSlowQuery is the diagnostic record of a query that exceeded
+	// the session's slow threshold.
+	EventSlowQuery = "slow_query"
 )
 
 // QueryEvent describes one completed query for the tracer: its identity,
@@ -111,4 +114,81 @@ func (t *Tracer) TraceQuery(ev QueryEvent) {
 		slog.Float64("preunify_selectivity", ev.Stats.Selectivity()),
 	)
 	t.log.Info(EventQuery, args...)
+}
+
+// PathProfile is one access path's selectivity row in a slow-query
+// record; only paths that were actually chosen are emitted.
+type PathProfile struct {
+	Path        string  `json:"path"`
+	Choices     uint64  `json:"choices"`
+	Scanned     uint64  `json:"scanned"`
+	Matched     uint64  `json:"matched"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// PathProfiles renders a query's non-zero access-path stats, flagging
+// low-selectivity outliers (a path that scanned much more than it
+// matched) in deterministic path order.
+func PathProfiles(s *QueryStats) []PathProfile {
+	if s == nil {
+		return nil
+	}
+	var out []PathProfile
+	for i := range s.Paths {
+		p := &s.Paths[i]
+		if p.Choices == 0 && p.Scanned == 0 {
+			continue
+		}
+		out = append(out, PathProfile{
+			Path:        IndexPath(i).String(),
+			Choices:     p.Choices,
+			Scanned:     p.Scanned,
+			Matched:     p.Matched,
+			Selectivity: p.Selectivity(),
+		})
+	}
+	return out
+}
+
+// SlowQueryEvent is the diagnostic record of one query that exceeded the
+// slow threshold: the query summary plus the attribution detail needed to
+// diagnose it after the fact — phase breakdown, the top predicates by
+// self-time, per-access-path selectivity, and the I/O totals.
+type SlowQueryEvent struct {
+	QueryEvent
+	Threshold time.Duration
+	// TopPreds is the query's hottest predicates by self-time (top-N).
+	TopPreds []PredProfile
+	// Paths is the query's access-path selectivity breakdown.
+	Paths []PathProfile
+}
+
+// TraceSlowQuery emits one slow_query record. The schema is documented
+// in DESIGN.md §11 and pinned by a golden-file test.
+func (t *Tracer) TraceSlowQuery(ev SlowQueryEvent) {
+	if t == nil {
+		return
+	}
+	phases := make([]any, 0, NumQueryPhases)
+	for _, p := range QueryPhases() {
+		phases = append(phases, slog.Int64(p.String(), ev.Stats.Phases[p]))
+	}
+	t.log.Warn(EventSlowQuery,
+		slog.Uint64("session_id", ev.SessionID),
+		slog.Uint64("query_id", ev.QueryID),
+		slog.String("goal", ev.Goal),
+		slog.String("mode", ev.Mode),
+		slog.Int("solutions", ev.Solutions),
+		slog.Int64("elapsed_ns", ev.Elapsed.Nanoseconds()),
+		slog.Int64("threshold_ns", ev.Threshold.Nanoseconds()),
+		slog.Group("phases", phases...),
+		slog.Any("top_preds", ev.TopPreds),
+		slog.Any("paths", ev.Paths),
+		slog.Group("io",
+			slog.Uint64("retrievals", ev.Stats.Retrievals),
+			slog.Uint64("clauses_scanned", ev.Stats.ClausesScanned),
+			slog.Uint64("clauses_passed", ev.Stats.ClausesPassed),
+			slog.Uint64("pages_touched", ev.Stats.PagesTouched),
+		),
+	)
 }

@@ -147,3 +147,91 @@ func TestTracerConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// fixedSlowEvent extends fixedEvent with the slow-query attribution
+// detail, fully deterministic for the schema golden.
+func fixedSlowEvent() SlowQueryEvent {
+	ev := SlowQueryEvent{
+		QueryEvent: fixedEvent(),
+		Threshold:  1000 * time.Nanosecond,
+		TopPreds: []PredProfile{
+			{Pred: "route/3", PredCounters: PredCounters{
+				Calls: 10, Exits: 7, Redos: 10, Fails: 5, SelfNS: 12000}},
+			{Pred: "schedule2/5", PredCounters: PredCounters{
+				Calls: 62, Exits: 55, Redos: 8, Fails: 15, SelfNS: 9000,
+				EDBFetches: 60, Pages: 553}},
+		},
+	}
+	ev.Stats.Paths[PathAttrIndex] = PathStats{Choices: 60, Scanned: 199, Matched: 54}
+	ev.Stats.Paths[PathVarList] = PathStats{Choices: 2, Scanned: 30, Matched: 1}
+	ev.Paths = PathProfiles(&ev.Stats)
+	return ev
+}
+
+// TestSlowQueryGolden pins the slow_query record schema (DESIGN.md §11):
+// identity and timing fields, the phases group, top_preds and paths
+// arrays, and the io group. Run with -update to regenerate.
+func TestSlowQueryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewDeterministicTracer(&buf)
+	tr.TraceSlowQuery(fixedSlowEvent())
+
+	golden := filepath.Join("testdata", "slow_query.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("slow_query record diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The record must decode with the documented shape.
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["msg"] != EventSlowQuery || rec["level"] != "WARN" {
+		t.Fatalf("bad record header: %v", rec)
+	}
+	for _, k := range []string{"session_id", "query_id", "goal", "mode", "solutions",
+		"elapsed_ns", "threshold_ns", "phases", "top_preds", "paths", "io"} {
+		if _, ok := rec[k]; !ok {
+			t.Fatalf("record missing %q: %v", k, rec)
+		}
+	}
+	phases, ok := rec["phases"].(map[string]any)
+	if !ok || len(phases) != NumQueryPhases {
+		t.Fatalf("phases group must name all %d query phases: %v", NumQueryPhases, rec["phases"])
+	}
+	preds := rec["top_preds"].([]any)
+	first := preds[0].(map[string]any)
+	for _, k := range []string{"pred", "calls", "exits", "redos", "fails", "self_ns", "edb_fetches", "pages"} {
+		if _, ok := first[k]; !ok {
+			t.Fatalf("top_preds row missing %q: %v", k, first)
+		}
+	}
+	paths := rec["paths"].([]any)
+	if len(paths) != 2 {
+		t.Fatalf("want 2 non-zero paths, got %v", rec["paths"])
+	}
+	p0 := paths[0].(map[string]any)
+	for _, k := range []string{"path", "choices", "scanned", "matched", "selectivity"} {
+		if _, ok := p0[k]; !ok {
+			t.Fatalf("paths row missing %q: %v", k, p0)
+		}
+	}
+	io, ok := rec["io"].(map[string]any)
+	if !ok {
+		t.Fatalf("io group missing: %v", rec)
+	}
+	for _, k := range []string{"retrievals", "clauses_scanned", "clauses_passed", "pages_touched"} {
+		if _, ok := io[k]; !ok {
+			t.Fatalf("io group missing %q: %v", k, io)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -17,11 +18,28 @@ type Catalog struct {
 	heap *store.Heap
 	rels map[string]*Relation
 	rids map[string]store.RID
+
+	// Access-path selectivity counters (KB-wide, in the store's metrics
+	// registry): how often each scan kind was chosen and how many tuples
+	// it examined vs. returned.
+	idxChoices *obs.Counter // rel.path.rel_index.choices
+	idxScanned *obs.Counter // RIDs collected by index range probes
+	idxMatched *obs.Counter // tuples returned by index scans
+	seqChoices *obs.Counter // rel.path.rel_seq.choices
+	seqScanned *obs.Counter // tuples examined by sequential scans
+	idxFallbck *obs.Counter // IndexScan calls degraded to filtered seq scan
 }
 
 // OpenCatalog attaches to (creating if necessary) the catalog in st.
 func OpenCatalog(st *store.Store) (*Catalog, error) {
 	c := &Catalog{st: st, rels: map[string]*Relation{}, rids: map[string]store.RID{}}
+	reg := st.Obs()
+	c.idxChoices = reg.Counter("rel.path.rel_index.choices")
+	c.idxScanned = reg.Counter("rel.path.rel_index.scanned")
+	c.idxMatched = reg.Counter("rel.path.rel_index.matched")
+	c.seqChoices = reg.Counter("rel.path.rel_seq.choices")
+	c.seqScanned = reg.Counter("rel.path.rel_seq.scanned")
+	c.idxFallbck = reg.Counter("rel.path.rel_index.fallbacks")
 	if root, ok := st.GetMeta("rel.catalog"); ok {
 		c.heap = store.OpenHeap(st.Pool(), store.PageID(root))
 	} else {

@@ -26,7 +26,10 @@ type seqScan struct {
 // streams one heap page at a time under a shared pin — nothing is
 // materialized up front, so a scan abandoned after a few tuples has only
 // touched a few pages.
-func SeqScan(r *Relation) Iterator { return &seqScan{r: r} }
+func SeqScan(r *Relation) Iterator {
+	r.cat.seqChoices.Inc()
+	return &seqScan{r: r}
+}
 
 func (s *seqScan) Next() (Tuple, error) {
 	if s.done {
@@ -44,6 +47,7 @@ func (s *seqScan) Next() (Tuple, error) {
 		s.Close()
 		return nil, nil
 	}
+	s.r.cat.seqScanned.Inc()
 	return decodeTuple(data, &s.r.Schema)
 }
 
@@ -72,10 +76,12 @@ func IndexScan(r *Relation, attrName string, lo, hi Value) Iterator {
 	attr := r.Schema.AttrIndex(attrName)
 	idx, ok := r.indexes[attr]
 	if !ok {
+		r.cat.idxFallbck.Inc()
 		return Select(SeqScan(r), func(t Tuple) bool {
 			return t[attr].Compare(lo) >= 0 && t[attr].Compare(hi) <= 0
 		})
 	}
+	r.cat.idxChoices.Inc()
 	s := &indexScan{r: r}
 	err := idx.Range(lo.Key(), hi.Key(), func(_ []byte, v uint64) bool {
 		s.rids = append(s.rids, v)
@@ -84,6 +90,7 @@ func IndexScan(r *Relation, attrName string, lo, hi Value) Iterator {
 	if err != nil {
 		return &errIter{err: err}
 	}
+	r.cat.idxScanned.Add(uint64(len(s.rids)))
 	return s
 }
 
@@ -93,6 +100,7 @@ func (s *indexScan) Next() (Tuple, error) {
 	}
 	rid := store.UnpackRID(s.rids[s.pos])
 	s.pos++
+	s.r.cat.idxMatched.Inc()
 	return s.r.Get(rid)
 }
 

@@ -54,6 +54,19 @@ type Config struct {
 	// pages, solutions); see core.Quota. The zero quota is unlimited.
 	Quota core.Quota
 
+	// Profile enables the per-predicate 4-port profiler on every pool
+	// session; profiles merge into the KB table at query end (see
+	// core.Session.EnableProfiling).
+	Profile bool
+	// SlowThreshold arms each pool session's slow-query diagnostic log:
+	// served queries at or above it emit one slow_query record through
+	// Tracer and bump the server.slow_queries counter (0 = disarmed).
+	SlowThreshold time.Duration
+	// Tracer receives the pool sessions' per-query trace events
+	// (including slow_query records). One tracer serialises records from
+	// all sessions; nil leaves tracing off.
+	Tracer *obs.Tracer
+
 	// RetryAfter is the hint attached to overloaded replies.
 	RetryAfter time.Duration
 	// DrainGrace is how long Shutdown waits after interrupting in-flight
@@ -137,6 +150,7 @@ type Server struct {
 	mSolutions      *obs.Counter
 	mQueryErrors    *obs.Counter
 	mQuotaKills     *obs.Counter
+	mSlowQueries    *obs.Counter
 	gConns          *obs.Gauge
 	gQueue          *obs.Gauge
 	gInflight       *obs.Gauge
@@ -164,6 +178,7 @@ func New(kb *core.KnowledgeBase, cfg Config) (*Server, error) {
 	s.mSolutions = reg.Counter("server.solutions")
 	s.mQueryErrors = reg.Counter("server.query_errors")
 	s.mQuotaKills = reg.Counter("server.quota_kills")
+	s.mSlowQueries = reg.Counter("server.slow_queries")
 	s.gConns = reg.Gauge("server.active_conns")
 	s.gQueue = reg.Gauge("server.queue_depth")
 	s.gInflight = reg.Gauge("server.inflight")
@@ -172,6 +187,15 @@ func New(kb *core.KnowledgeBase, cfg Config) (*Server, error) {
 
 	for i := 0; i < cfg.MaxSessions; i++ {
 		sess, err := kb.NewSession()
+		if err == nil {
+			if cfg.Profile {
+				sess.EnableProfiling(true)
+			}
+			sess.SetSlowThreshold(cfg.SlowThreshold)
+			if cfg.Tracer != nil {
+				sess.SetTracer(cfg.Tracer)
+			}
+		}
 		if err == nil && cfg.SessionInit != nil {
 			if ierr := cfg.SessionInit(sess); ierr != nil {
 				sess.Close()
@@ -428,8 +452,12 @@ func (s *Server) runQuery(c net.Conn, goal string) bool {
 	s.mu.Unlock()
 	s.gInflight.Add(-1)
 	s.sessions <- sess // buffered to pool size; never blocks
-	s.hLatency.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	s.hLatency.Observe(elapsed)
 	s.mSolutions.Add(uint64(n))
+	if s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold {
+		s.mSlowQueries.Inc()
+	}
 
 	if !wok {
 		return false // write failed or timed out; reap the connection

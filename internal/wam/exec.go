@@ -17,9 +17,16 @@ var ErrNoCode = errors.New("wam: no code to execute")
 func (m *Machine) backtrack() bool {
 	m.stats.Backtracks++
 	if m.b < 0 {
+		if m.prof != nil {
+			m.prof.portFinalFail(m.p.blk)
+		}
 		return false
 	}
+	from := m.p.blk
 	m.p = m.restoreFromChoicePoint()
+	if m.prof != nil {
+		m.prof.portBacktrack(from, m.p.blk)
+	}
 	return true
 }
 
@@ -392,6 +399,9 @@ func (m *Machine) runLoop() (bool, error) {
 			m.ensureRegs(m.numArgs)
 			m.cp = codePtr{blk: m.p.blk, off: m.p.off + 1}
 			m.b0 = m.b
+			if m.prof != nil {
+				m.prof.portCall(ins.Fn, proc.Block)
+			}
 			m.p = codePtr{blk: proc.Block}
 		case OpExecute:
 			m.stats.Calls++
@@ -419,8 +429,14 @@ func (m *Machine) runLoop() (bool, error) {
 			m.numArgs = int(ins.Ar)
 			m.ensureRegs(m.numArgs)
 			m.b0 = m.b
+			if m.prof != nil {
+				m.prof.portCall(ins.Fn, proc.Block)
+			}
 			m.p = codePtr{blk: proc.Block}
 		case OpProceed:
+			if m.prof != nil {
+				m.prof.portExit(m.p.blk, m.cp.blk)
+			}
 			m.p = m.cp
 		case OpHalt:
 			return true, nil

@@ -208,6 +208,11 @@ type CodeBlock struct {
 	Instrs []Instr
 	// Name is a diagnostic label (usually the predicate indicator).
 	Name string
+	// Owner is the functor of the predicate the block belongs to
+	// (stamped by DefineProc; HasOwner distinguishes the zero ID).
+	// The profiler uses it to attribute port events.
+	Owner    dict.ID
+	HasOwner bool
 }
 
 // Proc is an entry in the machine's procedures table (paper §4 item 1).

@@ -157,6 +157,10 @@ type Machine struct {
 	checkHook func() error
 
 	stats Stats
+	// prof, when non-nil, receives 4-port box-model events from the
+	// dispatch loop. Nil (the default) keeps the hot path at one nil
+	// check per port site.
+	prof *Profiler
 	// phaseSink receives per-query phase attributions the machine makes
 	// itself (currently gc pauses). Nil records nothing; the owning
 	// session points it at the current query's span set.
@@ -363,8 +367,15 @@ func (m *Machine) RemoveBlock(b *CodeBlock) {
 	}
 }
 
-// DefineProc installs (or replaces) a procedure.
-func (m *Machine) DefineProc(p *Proc) { m.procs[p.Fn] = p }
+// DefineProc installs (or replaces) a procedure. The procedure's code
+// block is stamped with its owner so the profiler can attribute
+// exits/fails to the predicate whose code is executing.
+func (m *Machine) DefineProc(p *Proc) {
+	if p.Block != nil {
+		p.Block.Owner, p.Block.HasOwner = p.Fn, true
+	}
+	m.procs[p.Fn] = p
+}
 
 // Proc returns the procedure for fn, or nil.
 func (m *Machine) Proc(fn dict.ID) *Proc { return m.procs[fn] }
@@ -765,6 +776,12 @@ func (m *Machine) lookupProc(fn dict.ID) (*Proc, error) {
 			return nil, err
 		}
 		if np != nil {
+			// Trap-loaded procedures may bypass DefineProc (per-call
+			// filtered candidate sets are returned, not installed), so
+			// stamp the profiler's block owner here too.
+			if np.Block != nil && !np.Block.HasOwner {
+				np.Block.Owner, np.Block.HasOwner = np.Fn, true
+			}
 			return np, nil
 		}
 	}

@@ -50,6 +50,9 @@ func (r *Run) Next() (bool, error) {
 			r.done = true
 			return false, nil
 		}
+		if m.prof != nil {
+			m.prof.portCall(r.fn, proc.Block)
+		}
 		m.p = codePtr{blk: proc.Block}
 	} else {
 		if !m.backtrack() {
