@@ -59,7 +59,10 @@ type KnowledgeBase = core.KnowledgeBase
 // Session is one lightweight query context over a KnowledgeBase: the WAM
 // machine, internal dictionary, dynamic predicates and per-query
 // transients. Sessions are cheap to create and single-goroutine; run one
-// per worker.
+// per worker. Session.Begin/Commit/Rollback group external writes into a
+// transaction that commits or vanishes as a unit (transaction/1 from
+// Prolog); any error that kills a query mid-transaction rolls it back
+// automatically. See DESIGN.md §12.
 type Session = core.Session
 
 // Solutions iterates query answers.

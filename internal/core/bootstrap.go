@@ -21,6 +21,18 @@ ignore(G) :- call(G), !.
 ignore(_).
 forall(C, A) :- \+ (C, \+ A).
 
+% --- transactions ----------------------------------------------------------
+% transaction(G) runs G once inside a KB transaction: commit on success,
+% rollback on failure or on any error (the error is rethrown). commit
+% itself may throw error(transaction_error(commit_failed), educe); the
+% handler's rollback is then a no-op (the engine already rolled back).
+transaction(G) :-
+	begin,
+	catch((call(G) -> commit ; ('$txn_abort', fail)),
+	      B,
+	      ('$txn_abort', throw(B))).
+'$txn_abort' :- catch(rollback, _, true).
+
 % --- all-solutions --------------------------------------------------------
 findall(T, G, L) :-
 	'$findall_start'(R),

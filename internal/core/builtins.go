@@ -26,6 +26,11 @@ func (s *Session) registerEngineBuiltins() {
 	m.RegisterBuiltin(wam.Builtin{Name: "clause", Arity: 2, Fn: s.biClause})
 	m.RegisterBuiltin(wam.Builtin{Name: "educe_statistics", Arity: 2, Fn: s.biStatistics})
 	m.RegisterBuiltin(wam.Builtin{Name: "educe_profile", Arity: 2, Fn: s.biProfile})
+	m.RegisterBuiltin(wam.Builtin{Name: "begin", Arity: 0, Fn: s.biBegin})
+	m.RegisterBuiltin(wam.Builtin{Name: "commit", Arity: 0, Fn: s.biCommit})
+	m.RegisterBuiltin(wam.Builtin{Name: "rollback", Arity: 0, Fn: s.biRollback})
+	m.RegisterBuiltin(wam.Builtin{Name: "assert_external", Arity: 1, Fn: s.biAssertExternal})
+	m.RegisterBuiltin(wam.Builtin{Name: "retract_external", Arity: 1, Fn: s.biRetractExternal})
 }
 
 // biStatistics exposes engine counters to Prolog:
@@ -36,7 +41,8 @@ func (s *Session) registerEngineBuiltins() {
 // pool_shards, session_io_accesses, session_io_reads, session_io_writes,
 // dict_entries, dict_hits, dict_misses, code_cache_hits,
 // code_cache_misses, preunify_scanned, preunify_passed, pages_touched,
-// asserts, and the per-phase nanosecond totals parse_ns, compile_ns,
+// asserts, txn_commits, txn_rollbacks, txn_auto_rollbacks,
+// store_read_only, and the per-phase nanosecond totals parse_ns, compile_ns,
 // edb_fetch_ns, preunify_ns, link_ns, exec_ns, gc_ns, store_ns — the
 // statistics/1-style view of the paper's §3.1/§5 cost breakdowns.
 func (s *Session) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
@@ -71,6 +77,13 @@ func (s *Session) biStatistics(m *wam.Machine, args []wam.Cell) (bool, error) {
 		"preunify_passed":      int64(st.Cost.ClausesPassed),
 		"pages_touched":        int64(st.Cost.PagesTouched),
 		"asserts":              int64(st.Cost.Asserts),
+		"txn_commits":          int64(s.kb.txnCommits.Value()),
+		"txn_rollbacks":        int64(s.kb.txnRollbacks.Value()),
+		"txn_auto_rollbacks":   int64(s.kb.txnAutoRollbacks.Value()),
+		"store_read_only":      0,
+	}
+	if s.kb.st.ReadOnly() {
+		stats["store_read_only"] = 1
 	}
 	for _, p := range obs.QueryPhases() {
 		stats[p.String()+"_ns"] = st.Cost.Phases[p]

@@ -169,6 +169,10 @@ type Session struct {
 	// reconciled against (see syncWithKB).
 	synced uint64
 
+	// txn is the open transaction's snapshot set (nil: none). While set,
+	// this session owns the KB write lock (see txn.go).
+	txn *sessionTxn
+
 	// quota caps each query's resource consumption (see SetQuota); the
 	// machine enforces the heap/trail/solution limits and calls back
 	// into quotaHook for the EDB pages-touched limit.
@@ -315,9 +319,11 @@ func transparentFor(m *wam.Machine) func(string, int) bool {
 	}
 }
 
-// Close releases the session's transient state. The shared knowledge
-// base stays open (close it separately); Engine.Close does both.
+// Close releases the session's transient state, rolling back any
+// transaction left open. The shared knowledge base stays open (close it
+// separately); Engine.Close does both.
 func (s *Session) Close() error {
+	s.autoRollback()
 	s.drainProfile()
 	s.endQuery()
 	for _, le := range s.loadedCache {
@@ -578,8 +584,14 @@ func (e *Engine) ResetStats() {
 
 // rlock takes the KB read lock and attaches the session's I/O tally,
 // returning the matching release. Hold it across one storage access
-// (a retrieval, a cursor step), never across WAM execution.
+// (a retrieval, a cursor step), never across WAM execution. A session
+// with an open transaction already owns the lock exclusively and only
+// attaches the tally.
 func (s *Session) rlock() func() {
+	if s.txn != nil {
+		s.kb.st.Pool().Attach(s.tally)
+		return func() { s.kb.st.Pool().Detach(s.tally) }
+	}
 	s.kb.mu.RLock()
 	s.kb.st.Pool().Attach(s.tally)
 	return func() {
@@ -589,8 +601,12 @@ func (s *Session) rlock() func() {
 }
 
 // wlock takes the KB write lock (and the tally) for a mutation of shared
-// state.
+// state. Inside a transaction the lock is already held.
 func (s *Session) wlock() func() {
+	if s.txn != nil {
+		s.kb.st.Pool().Attach(s.tally)
+		return func() { s.kb.st.Pool().Detach(s.tally) }
+	}
 	s.kb.mu.Lock()
 	s.kb.st.Pool().Attach(s.tally)
 	return func() {
@@ -941,6 +957,9 @@ func (s *Session) ConsultTerms(terms []term.Term) error {
 // ConsultExternalTerms stores pre-parsed clause terms in the EDB in the
 // session's current rule-storage form, under the KB write lock.
 func (s *Session) ConsultExternalTerms(terms []term.Term) error {
+	if s.kb.st.ReadOnly() {
+		return store.ErrReadOnly
+	}
 	unlock := s.wlock()
 	defer unlock()
 	if s.opts.RuleStorage == RuleStorageSource {
@@ -968,6 +987,9 @@ func (s *Session) AssertExternalTerm(t term.Term) error {
 // compile to uniquely named auxiliary predicates and cannot be matched
 // this way (an error is returned). Source-form matching unifies terms.
 func (s *Session) RetractExternal(t term.Term) (bool, error) {
+	if s.kb.st.ReadOnly() {
+		return false, store.ErrReadOnly
+	}
 	unlock := s.wlock()
 	defer unlock()
 	db := s.kb.db
@@ -1055,6 +1077,9 @@ func trimDot(s string) string {
 // DropExternal removes an entire externally stored procedure, under the
 // KB write lock.
 func (s *Session) DropExternal(name string, arity int) error {
+	if s.kb.st.ReadOnly() {
+		return store.ErrReadOnly
+	}
 	unlock := s.wlock()
 	defer unlock()
 	db := s.kb.db

@@ -693,11 +693,12 @@ func TestStatisticsBuiltin(t *testing.T) {
 	if len(got) != 1 || got[0] == "0" {
 		t.Fatalf("instructions stat = %v", got)
 	}
-	// Enumeration mode yields all keys: 29 counters (including the
-	// buffer-pool hit/eviction/latch and shard-count stats) plus the
-	// seven query phases and store_ns.
+	// Enumeration mode yields all keys: 33 counters (including the
+	// buffer-pool hit/eviction/latch and shard-count stats and the
+	// transaction/read-only robustness stats) plus the seven query
+	// phases and store_ns.
 	n, err := e.QueryCount("educe_statistics(_, _)")
-	if err != nil || n != 37 {
+	if err != nil || n != 41 {
 		t.Fatalf("stat keys = %d (%v)", n, err)
 	}
 	// The phase breakdown is exposed: the p(X) query above must have

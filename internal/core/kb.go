@@ -55,6 +55,12 @@ type KnowledgeBase struct {
 	procVers  map[string]uint64 // name/arity -> invalidation version
 	version   atomic.Uint64     // bumped on every invalidation
 
+	// txnTouched, while a transaction is open, records every procedure
+	// invalidated inside it so a rollback can invalidate them again:
+	// cache entries and session-resident code loaded during the
+	// transaction reflect rolled-back clauses. Guarded by cacheMu.
+	txnTouched map[string]term.Indicator // verKey -> procedure
+
 	// Compiled bootstrap library, shared so sessions only pay linking.
 	bootMu    sync.Mutex
 	bootUnits map[term.Indicator][]compiler.ClauseCode
@@ -72,8 +78,14 @@ type KnowledgeBase struct {
 	// panicsRecovered counts runtime panics contained at the query
 	// boundary and converted into Prolog system_error balls.
 	panicsRecovered *obs.Counter
-	sessionSeq      atomic.Uint64
-	querySeq        atomic.Uint64
+	// Transaction traffic: commits, rollbacks (explicit plus failed
+	// commits), and the subset of rollbacks the engine initiated itself
+	// (query error, timeout, interrupt, session close).
+	txnCommits       *obs.Counter
+	txnRollbacks     *obs.Counter
+	txnAutoRollbacks *obs.Counter
+	sessionSeq       atomic.Uint64
+	querySeq         atomic.Uint64
 
 	// profile accumulates per-predicate 4-port counters and cost
 	// attribution across every profiled session (sessions merge their
@@ -90,7 +102,13 @@ const sharedCacheLimit = 4096
 // opts.PoolPages configure the store; the remaining options become the
 // defaults for sessions created with NewSession.
 func OpenKB(opts Options) (*KnowledgeBase, error) {
-	st, err := store.Open(opts.StorePath, opts.PoolPages)
+	return OpenKBFS(store.OSFS{}, opts)
+}
+
+// OpenKBFS is OpenKB over an explicit filesystem, letting tests run a
+// full knowledge base on a deterministic fault-injecting store.
+func OpenKBFS(fsys store.FS, opts Options) (*KnowledgeBase, error) {
+	st, err := store.OpenFS(fsys, opts.StorePath, opts.PoolPages)
 	if err != nil {
 		return nil, err
 	}
@@ -106,19 +124,22 @@ func OpenKB(opts Options) (*KnowledgeBase, error) {
 	}
 	reg := st.Obs()
 	kb := &KnowledgeBase{
-		opts:            opts,
-		st:              st,
-		db:              db,
-		cat:             cat,
-		codeCache:       map[string][]compiler.ClauseCode{},
-		procVers:        map[string]uint64{},
-		reg:             reg,
-		cacheHits:       reg.Counter("core.codecache.hits"),
-		cacheMisses:     reg.Counter("core.codecache.misses"),
-		cacheInvals:     reg.Counter("core.codecache.invalidations"),
-		cacheEntries:    reg.Gauge("core.codecache.entries"),
-		panicsRecovered: reg.Counter("core.panics_recovered"),
-		profile:         obs.NewProfileTable(),
+		opts:             opts,
+		st:               st,
+		db:               db,
+		cat:              cat,
+		codeCache:        map[string][]compiler.ClauseCode{},
+		procVers:         map[string]uint64{},
+		reg:              reg,
+		cacheHits:        reg.Counter("core.codecache.hits"),
+		cacheMisses:      reg.Counter("core.codecache.misses"),
+		cacheInvals:      reg.Counter("core.codecache.invalidations"),
+		cacheEntries:     reg.Gauge("core.codecache.entries"),
+		panicsRecovered:  reg.Counter("core.panics_recovered"),
+		txnCommits:       reg.Counter("core.txn.commits"),
+		txnRollbacks:     reg.Counter("core.txn.rollbacks"),
+		txnAutoRollbacks: reg.Counter("core.txn.auto_rollbacks"),
+		profile:          obs.NewProfileTable(),
 	}
 	reg.RegisterFunc("core.codecache.hit_ratio", func() any {
 		h := kb.cacheHits.Value()
@@ -211,6 +232,9 @@ func (kb *KnowledgeBase) Catalog() *rel.Catalog { return kb.cat }
 // lock, making the set-oriented write path safe against concurrent
 // readers.
 func (kb *KnowledgeBase) InsertTuples(name string, ts []rel.Tuple) error {
+	if kb.st.ReadOnly() {
+		return store.ErrReadOnly
+	}
 	kb.mu.Lock()
 	defer kb.mu.Unlock()
 	r := kb.cat.Get(name)
@@ -282,6 +306,39 @@ func (kb *KnowledgeBase) invalidateProc(name string, arity int) {
 	kb.version.Add(1)
 	kb.cacheInvals.Inc()
 	kb.cacheEntries.Set(int64(len(kb.codeCache)))
+	if kb.txnTouched != nil {
+		kb.txnTouched[exact] = term.Indicator{Name: name, Arity: arity}
+	}
+}
+
+// beginTouched starts recording procedures invalidated inside the open
+// transaction (callers hold the KB write lock).
+func (kb *KnowledgeBase) beginTouched() {
+	kb.cacheMu.Lock()
+	kb.txnTouched = map[string]term.Indicator{}
+	kb.cacheMu.Unlock()
+}
+
+// endTouched stops recording (commit path).
+func (kb *KnowledgeBase) endTouched() {
+	kb.cacheMu.Lock()
+	kb.txnTouched = nil
+	kb.cacheMu.Unlock()
+}
+
+// reinvalidateTouched invalidates every procedure the rolled-back
+// transaction touched, once more: shared cache entries filled and
+// session copies linked *during* the transaction reflect clauses that
+// no longer exist, and the second version bump makes every session
+// (including the transaction's owner) reload from the restored EDB.
+func (kb *KnowledgeBase) reinvalidateTouched() {
+	kb.cacheMu.Lock()
+	touched := kb.txnTouched
+	kb.txnTouched = nil
+	kb.cacheMu.Unlock()
+	for _, pi := range touched {
+		kb.invalidateProc(pi.Name, pi.Arity)
+	}
 }
 
 // InvalidateLoaded drops shared cached code for one external procedure;

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateMetricsGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestKBMetricsSchemaGolden pins the knowledge-base registry's metric
+// names — the monitoring contract the -metrics dump and dashboards
+// parse — including the transaction and read-only robustness counters
+// (core.txn.commits/rollbacks/auto_rollbacks, store.read_only). Run
+// with -update to regenerate after an intentional schema change.
+func TestKBMetricsSchemaGolden(t *testing.T) {
+	kb, err := OpenKB(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kb.Close()
+
+	// The in-memory KB registers a stable name set (no WAL or per-shard
+	// file metrics vary with it); keep only the core.* and query-phase
+	// names so store-layer shape changes do not churn this golden too.
+	var names []string
+	for _, n := range kb.Obs().Names() {
+		if strings.HasPrefix(n, "core.") {
+			names = append(names, n)
+		}
+	}
+	got := strings.Join(names, "\n") + "\n"
+	golden := filepath.Join("testdata", "metrics_names.golden")
+	if *updateMetricsGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("core metric names diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	for _, must := range []string{"core.txn.commits", "core.txn.rollbacks", "core.txn.auto_rollbacks"} {
+		if !strings.Contains(got, must+"\n") {
+			t.Errorf("transaction counter %s missing from KB registry", must)
+		}
+	}
+}

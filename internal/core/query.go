@@ -46,6 +46,7 @@ func (s *Session) Query(q string) (sol *Solutions, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sol, err = nil, s.containPanic(r)
+			s.autoRollback()
 		}
 	}()
 	s.endQuery()
@@ -127,6 +128,7 @@ func (s *Solutions) Next() (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.err = s.e.containPanic(r)
+			s.e.autoRollback()
 			s.finish()
 			ok = false
 		}
@@ -140,6 +142,7 @@ func (s *Solutions) Next() (ok bool) {
 		s.e.q.Phases.Add(obs.PhaseExec, time.Since(t0))
 		if err != nil {
 			s.err = err
+			s.e.autoRollback()
 			s.finish()
 			return false
 		}
@@ -159,6 +162,7 @@ func (s *Solutions) Next() (ok bool) {
 	s.e.q.Phases.Add(obs.PhaseExec, time.Since(t0))
 	if err != nil {
 		s.err = err
+		s.e.autoRollback()
 		s.finish()
 		return false
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/rel"
+	"repro/internal/store"
 	"repro/internal/wam"
 )
 
@@ -13,6 +14,23 @@ func (s *Session) CreateRelation(schema rel.Schema) (*rel.Relation, error) {
 	unlock := s.wlock()
 	defer unlock()
 	return s.kb.cat.Create(schema)
+}
+
+// InsertTuples appends tuples to a stored relation under the session's
+// write lock, so the write participates in the session's open
+// transaction (KnowledgeBase.InsertTuples would deadlock against the
+// transaction's own lock).
+func (s *Session) InsertTuples(name string, ts []rel.Tuple) error {
+	if s.kb.st.ReadOnly() {
+		return store.ErrReadOnly
+	}
+	unlock := s.wlock()
+	defer unlock()
+	r := s.kb.cat.Get(name)
+	if r == nil {
+		return fmt.Errorf("core: no relation %s", name)
+	}
+	return r.InsertAll(ts)
 }
 
 // Relation fetches a relation by name.

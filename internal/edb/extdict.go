@@ -25,6 +25,7 @@ type ExtDict struct {
 	heap    *store.Heap
 	entries map[extKey]uint64 // (name, arity) -> hash; loaded on open
 	count   int
+	journal []extKey // entries interned since BeginJournal (nil: not recording)
 }
 
 type extKey struct {
@@ -112,6 +113,9 @@ func (d *ExtDict) Intern(name string, arity int) (uint64, error) {
 	d.mu.Lock()
 	d.entries[k] = h
 	d.count++
+	if d.journal != nil {
+		d.journal = append(d.journal, k)
+	}
 	d.mu.Unlock()
 	return h, nil
 }

@@ -2,8 +2,10 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
@@ -17,6 +19,15 @@ type Client struct {
 	c       net.Conn
 	r       *bufio.Scanner
 	timeout time.Duration
+
+	// MaxRetries, when positive, makes Query and Begin retry after an
+	// overloaded shed, sleeping a capped jittered backoff seeded by the
+	// server's retry-after hint between attempts. Read-only rejections
+	// and query errors are never retried — they are not transient.
+	MaxRetries int
+
+	// sleep is the backoff sleeper, replaceable in tests.
+	sleep func(time.Duration)
 }
 
 // OverloadedError reports a shed — at connect or at query admission —
@@ -26,6 +37,13 @@ type OverloadedError struct{ RetryAfter time.Duration }
 func (e *OverloadedError) Error() string {
 	return fmt.Sprintf("server overloaded, retry after %v", e.RetryAfter)
 }
+
+// ReadOnlyError reports a write refused because the knowledge base has
+// degraded to read-only after a failed commit. Not transient: the store
+// must be reopened by an operator, so clients should not retry.
+type ReadOnlyError struct{}
+
+func (e *ReadOnlyError) Error() string { return "server: knowledge base is read-only" }
 
 // QueryError is a query-level failure reported by the server (parse
 // error, timeout, resource_error, interrupted, ...). The connection
@@ -74,8 +92,22 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 
 // Query runs one goal and collects every solution. A shed at admission
 // surfaces as *OverloadedError (the connection stays usable); a query
-// failure as *QueryError.
+// failure as *QueryError. With MaxRetries set, overloaded sheds are
+// retried with capped jittered backoff before the error is returned.
 func (cl *Client) Query(goal string) (*Result, error) {
+	res, err := cl.queryOnce(goal)
+	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
+		var ov *OverloadedError
+		if !errors.As(err, &ov) {
+			break
+		}
+		cl.backoff(ov.RetryAfter, attempt)
+		res, err = cl.queryOnce(goal)
+	}
+	return res, err
+}
+
+func (cl *Client) queryOnce(goal string) (*Result, error) {
 	if strings.ContainsAny(goal, "\r\n") {
 		return nil, fmt.Errorf("server: goal must be a single line")
 	}
@@ -100,12 +132,84 @@ func (cl *Client) Query(goal string) (*Result, error) {
 			return res, nil
 		case strings.HasPrefix(line, "err "):
 			return nil, &QueryError{Msg: line[len("err "):]}
+		case line == protoReadOnly:
+			return nil, &ReadOnlyError{}
 		default:
 			if ra, ok := parseRetryAfter(line); ok {
 				return nil, &OverloadedError{RetryAfter: ra}
 			}
 			return nil, fmt.Errorf("server: unexpected reply %q", line)
 		}
+	}
+}
+
+// Begin opens a transaction on this connection; until Commit or
+// Rollback every Query runs inside it on one pinned server session.
+// A shed surfaces as *OverloadedError (retried under MaxRetries); a
+// read-only knowledge base as *ReadOnlyError.
+func (cl *Client) Begin() error {
+	err := cl.verb("TXN", protoTxn)
+	for attempt := 0; attempt < cl.MaxRetries; attempt++ {
+		var ov *OverloadedError
+		if !errors.As(err, &ov) {
+			break
+		}
+		cl.backoff(ov.RetryAfter, attempt)
+		err = cl.verb("TXN", protoTxn)
+	}
+	return err
+}
+
+// Commit makes the open transaction durable. A *ReadOnlyError means
+// the commit failed against the disk: the transaction has been rolled
+// back and the knowledge base now serves reads only. Never retried.
+func (cl *Client) Commit() error { return cl.verb("COMMIT", protoCommit) }
+
+// Rollback undoes the open transaction.
+func (cl *Client) Rollback() error { return cl.verb("ROLLBACK", protoRollback) }
+
+// verb sends a one-line command and decodes its one-line reply.
+func (cl *Client) verb(cmd, want string) error {
+	if err := cl.writeLine(cmd); err != nil {
+		return err
+	}
+	line, err := cl.readLine()
+	if err != nil {
+		return err
+	}
+	switch {
+	case line == want:
+		return nil
+	case line == protoReadOnly:
+		return &ReadOnlyError{}
+	case strings.HasPrefix(line, "err "):
+		return &QueryError{Msg: line[len("err "):]}
+	}
+	if ra, ok := parseRetryAfter(line); ok {
+		return &OverloadedError{RetryAfter: ra}
+	}
+	return fmt.Errorf("server: unexpected reply %q", line)
+}
+
+// backoff sleeps before retry attempt (0-based): the server's hint (or
+// 5ms) doubled per attempt, capped at one second, with ±50% jitter so
+// a burst of shed clients does not re-converge on the same instant.
+func (cl *Client) backoff(hint time.Duration, attempt int) {
+	d := hint
+	if d <= 0 {
+		d = 5 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < time.Second; i++ {
+		d *= 2
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if cl.sleep != nil {
+		cl.sleep(d)
+	} else {
+		time.Sleep(d)
 	}
 }
 

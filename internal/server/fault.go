@@ -25,8 +25,13 @@ type Faults struct {
 	// catchable resource_error(solutions) on its first solution attempt —
 	// the real in-WAM kill path, not a shortcut in the server.
 	ForceQuota bool
+	// ShedFirstN sheds the first N admission attempts with an overloaded
+	// reply regardless of pool state, so client retry logic can be
+	// tested against a deterministic burst of sheds.
+	ShedFirstN int
 
-	conns atomic.Uint64
+	conns   atomic.Uint64
+	queries atomic.Uint64
 }
 
 // onConn makes the per-connection fault decision.
@@ -42,4 +47,12 @@ func (f *Faults) onConn() (drop bool, stall time.Duration) {
 		return false, f.Stall
 	}
 	return false, 0
+}
+
+// shedQuery makes the per-admission fault decision for ShedFirstN.
+func (f *Faults) shedQuery() bool {
+	if f == nil || f.ShedFirstN <= 0 {
+		return false
+	}
+	return f.queries.Add(1) <= uint64(f.ShedFirstN)
 }

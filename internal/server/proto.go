@@ -34,6 +34,15 @@ import (
 //	client commands:  "q <goal>"   run a Prolog goal, stream solutions
 //	                  "ping"       liveness probe, answered with "pong"
 //	                  "quit"       close the connection ("bye")
+//	                  "TXN"        open a transaction: pins a pool session
+//	                               to this connection until COMMIT or
+//	                               ROLLBACK ("ok txn"); q commands in
+//	                               between run on the pinned session and
+//	                               see the transaction's own writes
+//	                  "COMMIT"     make the open transaction durable
+//	                               ("ok commit")
+//	                  "ROLLBACK"   undo the open transaction
+//	                               ("ok rollback")
 //	query replies:    "sol <bindings>"  one per solution; bindings are
 //	                                    "X = t1, Y = t2" in variable-name
 //	                                    order, or "true" for a goal with
@@ -47,11 +56,25 @@ import (
 //	                                    retry after the given delay
 //	                  "err draining"    the server is shutting down; the
 //	                                    connection closes
+//	txn replies:      "ok txn" / "ok commit" / "ok rollback" on success;
+//	                  "readonly"        the knowledge base has degraded to
+//	                                    read-only after a failed commit —
+//	                                    TXN and COMMIT are refused until
+//	                                    the store is reopened (reads and
+//	                                    read-only queries keep working);
+//	                  "err no_transaction" / "err nested_transaction" /
+//	                  "err <message>"   other transaction failures; a
+//	                                    failed COMMIT has already rolled
+//	                                    back and released the session
 const (
 	protoGreeting = "ok educe/1"
 	protoPong     = "pong"
 	protoBye      = "bye"
 	protoDraining = "err draining"
+	protoTxn      = "ok txn"
+	protoCommit   = "ok commit"
+	protoRollback = "ok rollback"
+	protoReadOnly = "readonly"
 
 	// maxLineBytes bounds one protocol line in either direction; a
 	// client sending an unbounded line is disconnected, not buffered.

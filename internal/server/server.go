@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/wam"
 )
 
@@ -328,6 +329,18 @@ func (s *Server) handleConn(c net.Conn) {
 		return
 	}
 
+	// pinned is the session held by this connection's open transaction,
+	// nil outside one. A connection that dies mid-transaction (EOF, read
+	// timeout, drain nudge, oversized line) rolls back here, so the
+	// session always returns to the pool with no transaction open.
+	var pinned *core.Session
+	defer func() {
+		if pinned != nil {
+			_ = pinned.Rollback()
+			s.releaseSession(pinned)
+		}
+	}()
+
 	sc := bufio.NewScanner(c)
 	sc.Buffer(make([]byte, 0, 1024), maxLineBytes)
 	for {
@@ -359,7 +372,19 @@ func (s *Server) handleConn(c net.Conn) {
 			s.writeLine(c, protoBye)
 			return
 		case "q":
-			if !s.runQuery(c, strings.TrimSpace(rest)) {
+			if !s.runQuery(c, strings.TrimSpace(rest), &pinned) {
+				return
+			}
+		case "TXN", "txn":
+			if !s.cmdTxn(c, &pinned) {
+				return
+			}
+		case "COMMIT", "commit":
+			if !s.cmdCommit(c, &pinned) {
+				return
+			}
+		case "ROLLBACK", "rollback":
+			if !s.cmdRollback(c, &pinned) {
 				return
 			}
 		default:
@@ -370,6 +395,73 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
+// cmdTxn opens a transaction: it admits like a query, then pins the
+// acquired session to the connection until COMMIT/ROLLBACK (or
+// disconnect, which rolls back). The transaction holds the KB write
+// lock, so it serializes against every other session; the connection's
+// read deadline bounds how long an idle transaction can do that.
+func (s *Server) cmdTxn(c net.Conn, pinned **core.Session) bool {
+	if *pinned != nil {
+		return s.writeLine(c, "err nested_transaction")
+	}
+	if s.kb.Store().ReadOnly() {
+		return s.writeLine(c, protoReadOnly)
+	}
+	sess, shed := s.acquire()
+	if sess == nil {
+		return s.writeLine(c, shed)
+	}
+	if err := sess.Begin(); err != nil {
+		s.releaseSession(sess)
+		if errors.Is(err, store.ErrReadOnly) {
+			return s.writeLine(c, protoReadOnly)
+		}
+		return s.writeLine(c, "err "+sanitizeLine(err.Error()))
+	}
+	*pinned = sess
+	return s.writeLine(c, protoTxn)
+}
+
+// cmdCommit commits the connection's open transaction and returns the
+// session to the pool. A failed commit has already rolled back and
+// degraded the store to read-only; the reply reflects that.
+func (s *Server) cmdCommit(c net.Conn, pinned **core.Session) bool {
+	if *pinned == nil {
+		return s.writeLine(c, "err no_transaction")
+	}
+	sess := *pinned
+	*pinned = nil
+	err := sess.Commit()
+	s.releaseSession(sess)
+	if err != nil {
+		if s.kb.Store().ReadOnly() {
+			return s.writeLine(c, protoReadOnly)
+		}
+		return s.writeLine(c, "err "+sanitizeLine(err.Error()))
+	}
+	return s.writeLine(c, protoCommit)
+}
+
+// cmdRollback rolls back the connection's open transaction.
+func (s *Server) cmdRollback(c net.Conn, pinned **core.Session) bool {
+	if *pinned == nil {
+		return s.writeLine(c, "err no_transaction")
+	}
+	sess := *pinned
+	*pinned = nil
+	err := sess.Rollback()
+	s.releaseSession(sess)
+	if err != nil {
+		return s.writeLine(c, "err "+sanitizeLine(err.Error()))
+	}
+	return s.writeLine(c, protoRollback)
+}
+
+// releaseSession returns a session to the pool.
+func (s *Server) releaseSession(sess *core.Session) {
+	s.sessions <- sess // buffered to pool size; never blocks
+}
+
 // acquire admits a query: fast path when a session is free, else a
 // bounded wait in the admission queue. A nil session means shed (or
 // draining); the returned line is the reply to send.
@@ -378,6 +470,10 @@ func (s *Server) acquire() (*core.Session, string) {
 	case <-s.draining:
 		return nil, protoDraining
 	default:
+	}
+	if s.cfg.Faults.shedQuery() {
+		s.mAdmissionSheds.Inc()
+		return nil, overloadedLine(s.cfg.RetryAfter)
 	}
 	select {
 	case sess := <-s.sessions:
@@ -405,14 +501,21 @@ func (s *Server) acquire() (*core.Session, string) {
 }
 
 // runQuery executes one goal on a pooled session, streaming solutions.
-// It returns false when the connection is dead and must be closed.
-func (s *Server) runQuery(c net.Conn, goal string) bool {
+// Inside a transaction the connection's pinned session runs the goal
+// (and keeps its pin, unless a query error auto-rolled the transaction
+// back); otherwise a session is acquired through admission control. It
+// returns false when the connection is dead and must be closed.
+func (s *Server) runQuery(c net.Conn, goal string, pinned **core.Session) bool {
 	if goal == "" {
 		return s.writeLine(c, "err empty goal")
 	}
-	sess, shed := s.acquire()
+	sess := *pinned
 	if sess == nil {
-		return s.writeLine(c, shed)
+		var shed string
+		sess, shed = s.acquire()
+		if sess == nil {
+			return s.writeLine(c, shed)
+		}
 	}
 	s.gInflight.Add(1)
 	s.mu.Lock()
@@ -451,7 +554,17 @@ func (s *Server) runQuery(c net.Conn, goal string) bool {
 	delete(s.inflight, sess)
 	s.mu.Unlock()
 	s.gInflight.Add(-1)
-	s.sessions <- sess // buffered to pool size; never blocks
+	if *pinned == sess {
+		// An error mid-query (timeout, quota, interrupt, disk fault)
+		// auto-rolls the transaction back inside the session; the pin
+		// then has nothing to protect, so release it.
+		if !sess.InTxn() {
+			*pinned = nil
+			s.releaseSession(sess)
+		}
+	} else {
+		s.releaseSession(sess)
+	}
 	elapsed := time.Since(start)
 	s.hLatency.Observe(elapsed)
 	s.mSolutions.Add(uint64(n))

@@ -560,6 +560,32 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	}
 }
 
+// Invalidate drops every frame from the pool without writing anything
+// back. It is the cache half of a transaction rollback: the pager has
+// restored its pre-transaction images, so any frame — clean or dirty —
+// may hold rolled-back bytes and must be re-read from the pager on next
+// use. The caller must guarantee no frame is pinned (the transaction
+// owner holds the knowledge base exclusively and storage structures
+// unpin before returning); a live pin panics like the pool's other
+// protocol violations.
+func (p *Pool) Invalidate() {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for id, f := range sh.frames {
+			if f.pins > 0 {
+				sh.mu.Unlock()
+				panic(fmt.Sprintf("store: invalidating pinned page %d", id))
+			}
+			if f.elem != nil {
+				sh.lru.Remove(f.elem)
+				f.elem = nil
+			}
+			delete(sh.frames, id)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Free drops the page from the pool and returns it to the pager free list.
 // The page must be unpinned.
 func (p *Pool) Free(id PageID) error {

@@ -1,224 +1,22 @@
 package store_test
 
-// Deterministic crash injection. A simulated filesystem counts every
-// durability-relevant operation (write, sync, truncate) and can kill
-// the "process" at any chosen operation index. After the crash the
-// harness materializes the possible on-disk states — unsynced writes
+// Deterministic crash injection over the simfs filesystem (see
+// internal/store/simfs): kill the "process" at every durability
+// operation, materialize each possible on-disk state — unsynced writes
 // dropped, kept, or kept with the in-flight write torn in half —
-// reopens the store from each image, and requires that recovery yields
+// reopen the store from each image, and require that recovery yields
 // exactly the committed state with every integrity check passing.
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"testing"
 
 	"repro/internal/edb"
 	"repro/internal/store"
+	"repro/internal/store/simfs"
 )
-
-var errCrashed = errors.New("crashsim: simulated crash")
-
-// crashCtl numbers durability operations across all files of a simFS
-// and fails everything from operation crashAt onward.
-type crashCtl struct {
-	ops     int
-	crashAt int // -1: never crash
-	dead    bool
-}
-
-func (c *crashCtl) tick() error {
-	if c == nil {
-		return nil
-	}
-	if c.dead {
-		return errCrashed
-	}
-	idx := c.ops
-	c.ops++
-	if c.crashAt >= 0 && idx >= c.crashAt {
-		c.dead = true
-		return errCrashed
-	}
-	return nil
-}
-
-func (c *crashCtl) alive() error {
-	if c != nil && c.dead {
-		return errCrashed
-	}
-	return nil
-}
-
-// fileOp is one applied-but-unsynced mutation. data == nil is a
-// truncate to size; otherwise a write of data at off.
-type fileOp struct {
-	seq  int // global operation index, for finding the in-flight write
-	off  int64
-	data []byte
-	size int64
-}
-
-// simFile models a file as the OS sees it (cur) and as the disk
-// guarantees it after a crash (stable = contents at the last sync,
-// pending = ops the disk may or may not have applied).
-type simFile struct {
-	ctl     *crashCtl
-	stable  []byte
-	cur     []byte
-	pending []fileOp
-	writes  int // WriteAt calls, for write-amplification accounting
-	syncs   int
-}
-
-func (f *simFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := f.ctl.alive(); err != nil {
-		return 0, err
-	}
-	if off >= int64(len(f.cur)) {
-		return 0, io.EOF
-	}
-	n := copy(p, f.cur[off:])
-	if n < len(p) {
-		return n, io.EOF
-	}
-	return n, nil
-}
-
-func (f *simFile) WriteAt(p []byte, off int64) (int, error) {
-	if err := f.ctl.tick(); err != nil {
-		return 0, err
-	}
-	f.writes++
-	seq := 0
-	if f.ctl != nil {
-		seq = f.ctl.ops - 1
-	}
-	end := off + int64(len(p))
-	if int64(len(f.cur)) < end {
-		f.cur = append(f.cur, make([]byte, end-int64(len(f.cur)))...)
-	}
-	copy(f.cur[off:end], p)
-	f.pending = append(f.pending, fileOp{seq: seq, off: off, data: append([]byte(nil), p...)})
-	return len(p), nil
-}
-
-func (f *simFile) Sync() error {
-	if err := f.ctl.tick(); err != nil {
-		return err
-	}
-	f.syncs++
-	f.stable = append([]byte(nil), f.cur...)
-	f.pending = nil
-	return nil
-}
-
-func (f *simFile) Truncate(size int64) error {
-	if err := f.ctl.tick(); err != nil {
-		return err
-	}
-	f.cur = resizeTo(f.cur, size)
-	f.pending = append(f.pending, fileOp{off: -1, size: size})
-	return nil
-}
-
-func (f *simFile) Close() error { return nil }
-
-func (f *simFile) Size() (int64, error) {
-	if err := f.ctl.alive(); err != nil {
-		return 0, err
-	}
-	return int64(len(f.cur)), nil
-}
-
-func resizeTo(b []byte, size int64) []byte {
-	if int64(len(b)) > size {
-		return b[:size]
-	}
-	return append(b, make([]byte, size-int64(len(b)))...)
-}
-
-// image reconstructs a possible post-crash content of the file.
-// tearSeq, when >= 0, names the globally last write issued before the
-// crash; the torn variant applies only its first half.
-func (f *simFile) image(variant crashVariant, tearSeq int) []byte {
-	switch variant {
-	case vDrop:
-		return append([]byte(nil), f.stable...)
-	case vKeep:
-		return append([]byte(nil), f.cur...)
-	}
-	img := append([]byte(nil), f.stable...)
-	for _, op := range f.pending {
-		if op.data == nil {
-			img = resizeTo(img, op.size)
-			continue
-		}
-		d := op.data
-		if op.seq == tearSeq {
-			d = d[:len(d)/2]
-		}
-		end := op.off + int64(len(d))
-		if int64(len(img)) < end {
-			img = append(img, make([]byte, end-int64(len(img)))...)
-		}
-		copy(img[op.off:end], d)
-	}
-	return img
-}
-
-type crashVariant int
-
-const (
-	vDrop crashVariant = iota // no unsynced op reached the disk
-	vKeep                     // every unsynced op reached the disk
-	vTorn                     // like vKeep, but the in-flight write is half-applied
-)
-
-func (v crashVariant) String() string { return [...]string{"drop", "keep", "torn"}[v] }
-
-// simFS hands out simFiles sharing one crash controller.
-type simFS struct {
-	ctl   *crashCtl
-	files map[string]*simFile
-}
-
-func newSimFS(ctl *crashCtl) *simFS { return &simFS{ctl: ctl, files: map[string]*simFile{}} }
-
-func (fs *simFS) OpenFile(name string) (store.File, error) {
-	if err := fs.ctl.alive(); err != nil {
-		return nil, err
-	}
-	f, ok := fs.files[name]
-	if !ok {
-		f = &simFile{ctl: fs.ctl}
-		fs.files[name] = f
-	}
-	return f, nil
-}
-
-// harvest freezes the crashed filesystem into the on-disk state a
-// reboot would find under the given variant.
-func (fs *simFS) harvest(variant crashVariant) *simFS {
-	tearSeq := -1
-	if variant == vTorn {
-		for _, f := range fs.files {
-			for _, op := range f.pending {
-				if op.data != nil && op.seq > tearSeq {
-					tearSeq = op.seq
-				}
-			}
-		}
-	}
-	out := newSimFS(nil)
-	for name, f := range fs.files {
-		img := f.image(variant, tearSeq)
-		out.files[name] = &simFile{stable: append([]byte(nil), img...), cur: img}
-	}
-	return out
-}
 
 // --- workload ---------------------------------------------------------------
 
@@ -363,25 +161,24 @@ func verifyRecovered(t *testing.T, fsys store.FS, label string) {
 // operation, under every torn/kept/dropped interpretation of the
 // unsynced tail, and requires clean recovery each time.
 func TestCrashRecoveryMatrix(t *testing.T) {
-	ctl := &crashCtl{crashAt: -1}
-	clean := newSimFS(ctl)
+	ctl := simfs.NewCtl(-1)
+	clean := simfs.New(ctl)
 	if err := runCrashWorkload(clean); err != nil {
 		t.Fatalf("clean run: %v", err)
 	}
-	total := ctl.ops
+	total := ctl.Ops()
 	if total < 20 {
 		t.Fatalf("clean run produced only %d durability ops; harness mis-wired", total)
 	}
-	verifyRecovered(t, clean.harvest(vKeep), "clean close")
+	verifyRecovered(t, clean.Harvest(simfs.Keep), "clean close")
 
 	for k := 0; k < total; k++ {
-		for _, variant := range []crashVariant{vDrop, vKeep, vTorn} {
-			ctl := &crashCtl{crashAt: k}
-			fsys := newSimFS(ctl)
+		for _, variant := range simfs.Variants {
+			fsys := simfs.New(simfs.NewCtl(k))
 			if err := runCrashWorkload(fsys); err == nil {
 				t.Fatalf("crash scheduled at op %d/%d never surfaced", k, total)
 			}
-			verifyRecovered(t, fsys.harvest(variant), fmt.Sprintf("crash at op %d/%d, %s", k, total, variant))
+			verifyRecovered(t, fsys.Harvest(variant), fmt.Sprintf("crash at op %d/%d, %s", k, total, variant))
 		}
 	}
 }
@@ -390,28 +187,23 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 // recovery itself: replaying the log is restartable, so the store must
 // still come up intact afterwards.
 func TestRecoveryIsIdempotent(t *testing.T) {
-	ctl := &crashCtl{crashAt: -1}
-	fsys := newSimFS(ctl)
-	if err := runCrashWorkload(fsys); err != nil {
-		t.Fatalf("clean run: %v", err)
-	}
 	// Crash just before the final commit's fsync so the reopened store
 	// has work to replay, then crash recovery at each of its own ops.
-	crashed := func() *simFS {
-		ctl := &crashCtl{crashAt: total(fsys) - 2}
-		fs2 := newSimFS(ctl)
+	crashed := func() *simfs.FS {
+		probe := simfs.NewCtl(-1)
+		if err := runCrashWorkload(simfs.New(probe)); err != nil {
+			t.Fatalf("probe run: %v", err)
+		}
+		ctl := simfs.NewCtl(probe.Ops() - 2)
+		fs2 := simfs.New(ctl)
 		if err := runCrashWorkload(fs2); err == nil {
 			t.Fatal("late crash never surfaced")
 		}
-		return fs2.harvest(vKeep)
+		return fs2.Harvest(simfs.Keep)
 	}()
 	for k := 0; ; k++ {
-		ctl := &crashCtl{crashAt: k}
-		again := newSimFS(ctl)
-		for name, f := range crashed.files {
-			img := append([]byte(nil), f.cur...)
-			again.files[name] = &simFile{ctl: ctl, stable: img, cur: append([]byte(nil), img...)}
-		}
+		ctl := simfs.NewCtl(k)
+		again := crashed.Clone(ctl)
 		st, err := store.OpenFS(again, "kb", 64)
 		if err == nil {
 			st.Close()
@@ -420,12 +212,10 @@ func TestRecoveryIsIdempotent(t *testing.T) {
 			}
 			break // recovery needs fewer than k ops; matrix exhausted
 		}
-		verifyRecovered(t, again.harvest(vDrop), fmt.Sprintf("recovery crash at op %d (drop)", k))
-		verifyRecovered(t, again.harvest(vTorn), fmt.Sprintf("recovery crash at op %d (torn)", k))
+		verifyRecovered(t, again.Harvest(simfs.Drop), fmt.Sprintf("recovery crash at op %d (drop)", k))
+		verifyRecovered(t, again.Harvest(simfs.Torn), fmt.Sprintf("recovery crash at op %d (torn)", k))
 	}
 }
-
-func total(fs *simFS) int { return fs.ctl.ops }
 
 // TestChecksumDetectsByteFlips closes a store cleanly, then flips
 // single bytes across every non-header frame of the raw image — data
@@ -433,11 +223,11 @@ func total(fs *simFS) int { return fs.ctl.ops }
 // to surface as ErrChecksum (never a panic, never silent) on the next
 // read of that page.
 func TestChecksumDetectsByteFlips(t *testing.T) {
-	fsys := newSimFS(nil)
+	fsys := simfs.New(nil)
 	if err := runCrashWorkload(fsys); err != nil {
 		t.Fatal(err)
 	}
-	base := fsys.files["kb"].cur
+	base := fsys.Image("kb")
 	nFrames := len(base) / store.DiskFrameSize
 	if nFrames < 10 {
 		t.Fatalf("store image holds only %d frames; workload too small", nFrames)
@@ -448,8 +238,8 @@ func TestChecksumDetectsByteFlips(t *testing.T) {
 			pos := frame*store.DiskFrameSize + off
 			img := append([]byte(nil), base...)
 			img[pos] ^= 0x40
-			fs2 := newSimFS(nil)
-			fs2.files["kb"] = &simFile{stable: img, cur: append([]byte(nil), img...)}
+			fs2 := simfs.New(nil)
+			fs2.SetImage("kb", img)
 			st, err := store.OpenFS(fs2, "kb", 64)
 			if err != nil {
 				t.Fatalf("frame %d off %d: reopen: %v", frame, off, err)
@@ -468,7 +258,7 @@ func TestChecksumDetectsByteFlips(t *testing.T) {
 // checksum cannot see (the page is internally consistent bytes, just
 // wrong) and requires the structural verifiers to object.
 func TestCheckCatchesSeededCorruption(t *testing.T) {
-	fsys := newSimFS(nil)
+	fsys := simfs.New(nil)
 	if err := runCrashWorkload(fsys); err != nil {
 		t.Fatal(err)
 	}

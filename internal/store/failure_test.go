@@ -5,8 +5,11 @@ package store
 // corrupt their in-memory state in ways that mask the failure.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"syscall"
 	"testing"
 )
 
@@ -238,6 +241,204 @@ func TestEvictionWriteBackFailure(t *testing.T) {
 	}
 	if err := pool.FlushAll(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- checkpoint fault audit -------------------------------------------------
+//
+// A checkpoint folds committed WAL images into the page file and resets
+// the log. Its failure modes must never clear p.tail or lose committed
+// images: after any injected fault the pager must keep serving every
+// committed page, accept further commits once the disk heals, and
+// reopen to the same content.
+
+// flakyFileCtl numbers durability operations (WriteAt/Sync/Truncate)
+// across the files sharing it and injects one-shot errors at chosen
+// indices.
+type flakyFileCtl struct {
+	ops    int
+	failAt map[int]error
+}
+
+func (c *flakyFileCtl) tick() error {
+	idx := c.ops
+	c.ops++
+	if err, ok := c.failAt[idx]; ok {
+		return err
+	}
+	return nil
+}
+
+type flakyFile struct {
+	ctl  *flakyFileCtl
+	data []byte
+}
+
+func (f *flakyFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *flakyFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.ctl.tick(); err != nil {
+		return 0, err
+	}
+	end := off + int64(len(p))
+	if int64(len(f.data)) < end {
+		f.data = append(f.data, make([]byte, end-int64(len(f.data)))...)
+	}
+	copy(f.data[off:end], p)
+	return len(p), nil
+}
+
+func (f *flakyFile) Sync() error { return f.ctl.tick() }
+
+func (f *flakyFile) Truncate(size int64) error {
+	if err := f.ctl.tick(); err != nil {
+		return err
+	}
+	if int64(len(f.data)) > size {
+		f.data = f.data[:size]
+	} else {
+		f.data = append(f.data, make([]byte, size-int64(len(f.data)))...)
+	}
+	return nil
+}
+
+func (f *flakyFile) Close() error         { return nil }
+func (f *flakyFile) Size() (int64, error) { return int64(len(f.data)), nil }
+
+type flakyFS struct {
+	ctl   *flakyFileCtl
+	files map[string]*flakyFile
+}
+
+func (fs *flakyFS) OpenFile(name string) (File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		f = &flakyFile{ctl: fs.ctl}
+		fs.files[name] = f
+	}
+	return f, nil
+}
+
+// checkpointWorkload commits ckptPages patterned pages, then lowers the
+// checkpoint limit and commits one more page so the very next Sync runs
+// a checkpoint. Returns the pager and the op index at which that final
+// Sync started.
+const ckptPages = 12
+
+func ckptPattern(id PageID, gen byte) []byte {
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = byte(uint32(id)*37) + gen
+	}
+	return buf
+}
+
+func checkpointWorkload(t *testing.T, ctl *flakyFileCtl) (Pager, *flakyFS, int, error) {
+	t.Helper()
+	fsys := &flakyFS{ctl: ctl, files: map[string]*flakyFile{}}
+	pg, err := OpenFilePagerFS(fsys, "kb")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < ckptPages; i++ {
+		id, err := pg.Allocate()
+		if err != nil {
+			t.Fatalf("allocate: %v", err)
+		}
+		if err := pg.WritePage(id, ckptPattern(id, 0)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := pg.Sync(); err != nil { // plain commit, no checkpoint yet
+		t.Fatalf("base commit: %v", err)
+	}
+	pg.(*filePager).setCheckpointLimit(1)
+	if err := pg.WritePage(1, ckptPattern(1, 1)); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	start := ctl.ops
+	return pg, fsys, start, pg.Sync() // commit + checkpoint
+}
+
+func verifyCkptContent(t *testing.T, pg Pager, label string) {
+	t.Helper()
+	buf := make([]byte, PageSize)
+	for id := PageID(1); id < pg.NumPages(); id++ {
+		if err := pg.ReadPage(id, buf); err != nil {
+			t.Fatalf("%s: read page %d: %v", label, id, err)
+		}
+		var gen byte
+		if id == 1 {
+			gen = 1
+		}
+		if !bytes.Equal(buf, ckptPattern(id, gen)) {
+			t.Fatalf("%s: page %d content wrong after checkpoint fault", label, id)
+		}
+	}
+}
+
+// TestCheckpointFaultKeepsPagerConsistent injects ENOSPC/EIO into every
+// durability operation of a commit-plus-checkpoint and requires that
+// the pager (a) surfaces the error, (b) keeps its committed WAL images
+// — the tail map is never cleared by a failed checkpoint and every
+// committed page still reads back correctly, (c) accepts further
+// commits once the disk heals, and (d) closes and reopens to exactly
+// the expected content.
+func TestCheckpointFaultKeepsPagerConsistent(t *testing.T) {
+	probe := &flakyFileCtl{}
+	_, _, start, err := checkpointWorkload(t, probe)
+	if err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	span := probe.ops - start
+	if span < 4 {
+		t.Fatalf("checkpoint performed only %d ops; expected log write, fsync, frame writes, file sync, truncate", span)
+	}
+	for k := start; k < start+span; k++ {
+		for _, inject := range []error{syscall.ENOSPC, syscall.EIO} {
+			label := fmt.Sprintf("fault %v at op %d/%d", inject, k-start, span)
+			ctl := &flakyFileCtl{failAt: map[int]error{k: inject}}
+			pg, fsys, _, err := checkpointWorkload(t, ctl)
+			if !errors.Is(err, inject) {
+				t.Fatalf("%s: Sync = %v, want injected fault", label, err)
+			}
+			p := pg.(*filePager)
+			// The tail must still hold an image for every page it held
+			// before the fault — a failed checkpoint may not discard them.
+			if _, ok := p.tail[1]; !ok {
+				t.Fatalf("%s: failed checkpoint cleared the tail", label)
+			}
+			verifyCkptContent(t, pg, label+" (after fault)")
+			// Healed: another write and commit must succeed, and Close
+			// completes the interrupted checkpoint.
+			if err := pg.WritePage(2, ckptPattern(2, 0)); err != nil {
+				t.Fatalf("%s: post-fault write: %v", label, err)
+			}
+			if err := pg.Sync(); err != nil {
+				t.Fatalf("%s: post-fault commit: %v", label, err)
+			}
+			verifyCkptContent(t, pg, label+" (after retry)")
+			if err := pg.Close(); err != nil {
+				t.Fatalf("%s: close: %v", label, err)
+			}
+			pg2, err := OpenFilePagerFS(fsys, "kb")
+			if err != nil {
+				t.Fatalf("%s: reopen: %v", label, err)
+			}
+			verifyCkptContent(t, pg2, label+" (reopen)")
+			if err := pg2.Close(); err != nil {
+				t.Fatalf("%s: reclose: %v", label, err)
+			}
+		}
 	}
 }
 

@@ -51,6 +51,10 @@ func OpenHeap(pool *Pool, root PageID) *Heap {
 // Root returns the first page of the heap chain.
 func (h *Heap) Root() PageID { return h.root }
 
+// Pool returns the buffer pool the heap reads through, so holders of a
+// handle can reopen it (resetting the append hint) after a rollback.
+func (h *Heap) Pool() *Pool { return h.pool }
+
 func initHeapPage(d []byte) {
 	for i := range d[:heapHdr] {
 		d[i] = 0

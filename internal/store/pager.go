@@ -127,6 +127,9 @@ type filePager struct {
 	// tail holds the latest image of every page written since the last
 	// checkpoint; reads are served from it before the page file.
 	tail map[PageID][]byte
+	// txn, when non-nil, is the undo record of the open transaction
+	// (txn.go): commits are suspended and stash records pre-images.
+	txn *pagerTxn
 
 	checkpointBytes int64
 
@@ -143,6 +146,9 @@ type memPager struct {
 	pages    [][]byte
 	freeHead PageID
 	meta     map[string]uint64
+	// txn, when non-nil, is the undo record of the open transaction
+	// (txn.go): mutations of pre-existing pages save pre-images first.
+	txn *memTxn
 }
 
 // NewMemPager returns an in-memory pager.
@@ -168,6 +174,7 @@ func (p *memPager) WritePage(id PageID, buf []byte) error {
 	if int(id) >= len(p.pages) {
 		return fmt.Errorf("store: write of unallocated page %d", id)
 	}
+	p.saveUndo(id)
 	copy(p.pages[id], buf)
 	return nil
 }
@@ -178,6 +185,7 @@ func (p *memPager) Allocate() (PageID, error) {
 	if p.freeHead != invalidPage {
 		id := p.freeHead
 		p.freeHead = PageID(binary.LittleEndian.Uint32(p.pages[id][:4]))
+		p.saveUndo(id)
 		for i := range p.pages[id] {
 			p.pages[id][i] = 0
 		}
@@ -193,6 +201,7 @@ func (p *memPager) Free(id PageID) error {
 	if int(id) >= len(p.pages) || id == 0 {
 		return fmt.Errorf("store: free of invalid page %d", id)
 	}
+	p.saveUndo(id)
 	binary.LittleEndian.PutUint32(p.pages[id][:4], uint32(p.freeHead))
 	p.freeHead = id
 	return nil
@@ -429,8 +438,18 @@ func (p *filePager) WritePage(id PageID, buf []byte) error {
 // stash records buf as the current image of page id and appends it to
 // the log buffer (lock held). Nothing touches the page file here: the
 // image becomes durable at the next Sync and reaches its home frame at
-// the next checkpoint.
+// the next checkpoint. Inside a transaction, the page's pre-transaction
+// tail image is saved first (once) so rollback can restore it.
 func (p *filePager) stash(id PageID, buf []byte) {
+	if p.txn != nil {
+		if _, seen := p.txn.preTail[id]; !seen {
+			if img, ok := p.tail[id]; ok {
+				p.txn.preTail[id] = append([]byte(nil), img...)
+			} else {
+				p.txn.preTail[id] = nil
+			}
+		}
+	}
 	img := p.tail[id]
 	if img == nil {
 		img = make([]byte, PageSize)
@@ -498,7 +517,27 @@ func (p *filePager) Sync() error {
 	return p.commit()
 }
 
+// commit makes everything pending durable, then checkpoints if the log
+// has grown past its limit — including a checkpoint left over from an
+// earlier fault, which retries here even when nothing new is pending.
+// While a transaction is open, commit is a no-op: durability waits for
+// CommitTxn.
 func (p *filePager) commit() error {
+	if p.txn != nil {
+		return nil
+	}
+	if err := p.commitOnly(); err != nil {
+		return err
+	}
+	if p.wal.size() >= p.checkpointBytes {
+		return p.checkpoint()
+	}
+	return nil
+}
+
+// commitOnly seals the pending batch with a commit marker (no
+// checkpoint). With nothing pending it is free.
+func (p *filePager) commitOnly() error {
 	if !p.hdrDirty && !p.wal.pending() {
 		return nil
 	}
@@ -511,9 +550,6 @@ func (p *filePager) commit() error {
 		return err
 	}
 	p.hdrDirty = false
-	if p.wal.size() >= p.checkpointBytes {
-		return p.checkpoint()
-	}
 	return nil
 }
 
@@ -552,6 +588,12 @@ func (p *filePager) checkpoint() error {
 func (p *filePager) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.txn != nil {
+		// An abandoned transaction is rolled back, never committed:
+		// without the rollback the commit/checkpoint below would
+		// persist its half-applied images.
+		p.rollbackLocked()
+	}
 	err := p.commit()
 	if err == nil {
 		err = p.checkpoint()

@@ -1,0 +1,298 @@
+// Package simfs is the deterministic fault-injecting filesystem behind
+// the crash and disk-fault matrices. A Ctl numbers every
+// durability-relevant operation (write, sync, truncate) across all
+// files of an FS and can, at any chosen operation index, either kill
+// the simulated process (every later operation fails too) or inject a
+// transient I/O error such as ENOSPC/EIO (that one operation fails, the
+// process lives on). After a crash, Harvest materializes the possible
+// on-disk states — unsynced writes dropped, kept, or kept with the
+// in-flight write torn in half — for recovery to be verified against.
+package simfs
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/store"
+)
+
+// ErrCrashed is the error every operation returns once the simulated
+// process has been killed.
+var ErrCrashed = errors.New("simfs: simulated crash")
+
+// Ctl numbers durability operations across all files of an FS and
+// injects crashes or transient faults at chosen indices.
+type Ctl struct {
+	ops     int
+	crashAt int // -1: never crash
+	dead    bool
+	faults  map[int]error // op index -> transient error (op fails, process lives)
+}
+
+// NewCtl returns a controller that kills the process at durability
+// operation crashAt (-1: never).
+func NewCtl(crashAt int) *Ctl { return &Ctl{crashAt: crashAt} }
+
+// Ops reports how many durability operations have been counted.
+func (c *Ctl) Ops() int {
+	if c == nil {
+		return 0
+	}
+	return c.ops
+}
+
+// FailAt makes durability operation idx fail with err — typically
+// syscall.ENOSPC or syscall.EIO — without killing the process. The
+// failed operation is not applied.
+func (c *Ctl) FailAt(idx int, err error) {
+	if c.faults == nil {
+		c.faults = map[int]error{}
+	}
+	c.faults[idx] = err
+}
+
+// tick numbers one durability operation and decides its fate.
+func (c *Ctl) tick() error {
+	if c == nil {
+		return nil
+	}
+	if c.dead {
+		return ErrCrashed
+	}
+	idx := c.ops
+	c.ops++
+	if c.crashAt >= 0 && idx >= c.crashAt {
+		c.dead = true
+		return ErrCrashed
+	}
+	if err, ok := c.faults[idx]; ok {
+		return err
+	}
+	return nil
+}
+
+func (c *Ctl) alive() error {
+	if c != nil && c.dead {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// fileOp is one applied-but-unsynced mutation. data == nil is a
+// truncate to size; otherwise a write of data at off.
+type fileOp struct {
+	seq  int // global operation index, for finding the in-flight write
+	off  int64
+	data []byte
+	size int64
+}
+
+// file models a file as the OS sees it (cur) and as the disk guarantees
+// it after a crash (stable = contents at the last sync, pending = ops
+// the disk may or may not have applied).
+type file struct {
+	ctl     *Ctl
+	stable  []byte
+	cur     []byte
+	pending []fileOp
+	writes  int
+	syncs   int
+}
+
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.ctl.alive(); err != nil {
+		return 0, err
+	}
+	if off >= int64(len(f.cur)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.cur[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.ctl.tick(); err != nil {
+		return 0, err
+	}
+	f.writes++
+	seq := 0
+	if f.ctl != nil {
+		seq = f.ctl.ops - 1
+	}
+	end := off + int64(len(p))
+	if int64(len(f.cur)) < end {
+		f.cur = append(f.cur, make([]byte, end-int64(len(f.cur)))...)
+	}
+	copy(f.cur[off:end], p)
+	f.pending = append(f.pending, fileOp{seq: seq, off: off, data: append([]byte(nil), p...)})
+	return len(p), nil
+}
+
+func (f *file) Sync() error {
+	if err := f.ctl.tick(); err != nil {
+		return err
+	}
+	f.syncs++
+	f.stable = append([]byte(nil), f.cur...)
+	f.pending = nil
+	return nil
+}
+
+func (f *file) Truncate(size int64) error {
+	if err := f.ctl.tick(); err != nil {
+		return err
+	}
+	f.cur = resizeTo(f.cur, size)
+	f.pending = append(f.pending, fileOp{off: -1, size: size})
+	return nil
+}
+
+func (f *file) Close() error { return nil }
+
+func (f *file) Size() (int64, error) {
+	if err := f.ctl.alive(); err != nil {
+		return 0, err
+	}
+	return int64(len(f.cur)), nil
+}
+
+func resizeTo(b []byte, size int64) []byte {
+	if int64(len(b)) > size {
+		return b[:size]
+	}
+	return append(b, make([]byte, size-int64(len(b)))...)
+}
+
+// image reconstructs a possible post-crash content of the file.
+// tearSeq, when >= 0, names the globally last write issued before the
+// crash; the torn variant applies only its first half.
+func (f *file) image(variant Variant, tearSeq int) []byte {
+	switch variant {
+	case Drop:
+		return append([]byte(nil), f.stable...)
+	case Keep:
+		return append([]byte(nil), f.cur...)
+	}
+	img := append([]byte(nil), f.stable...)
+	for _, op := range f.pending {
+		if op.data == nil {
+			img = resizeTo(img, op.size)
+			continue
+		}
+		d := op.data
+		if op.seq == tearSeq {
+			d = d[:len(d)/2]
+		}
+		end := op.off + int64(len(d))
+		if int64(len(img)) < end {
+			img = append(img, make([]byte, end-int64(len(img)))...)
+		}
+		copy(img[op.off:end], d)
+	}
+	return img
+}
+
+// Variant names one interpretation of the unsynced tail after a crash.
+type Variant int
+
+const (
+	// Drop: no unsynced op reached the disk.
+	Drop Variant = iota
+	// Keep: every unsynced op reached the disk.
+	Keep
+	// Torn: like Keep, but the in-flight write is half-applied.
+	Torn
+)
+
+// Variants enumerates every post-crash interpretation.
+var Variants = []Variant{Drop, Keep, Torn}
+
+func (v Variant) String() string { return [...]string{"drop", "keep", "torn"}[v] }
+
+// FS hands out files sharing one controller. It implements store.FS.
+type FS struct {
+	ctl   *Ctl
+	files map[string]*file
+}
+
+// New returns an empty filesystem under ctl (nil: never fails).
+func New(ctl *Ctl) *FS { return &FS{ctl: ctl, files: map[string]*file{}} }
+
+// OpenFile opens (creating if absent) the named file.
+func (fs *FS) OpenFile(name string) (store.File, error) {
+	if err := fs.ctl.alive(); err != nil {
+		return nil, err
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		f = &file{ctl: fs.ctl}
+		fs.files[name] = f
+	}
+	return f, nil
+}
+
+// Harvest freezes the crashed filesystem into the on-disk state a
+// reboot would find under the given variant. The result has no
+// controller: it never fails.
+func (fs *FS) Harvest(variant Variant) *FS {
+	tearSeq := -1
+	if variant == Torn {
+		for _, f := range fs.files {
+			for _, op := range f.pending {
+				if op.data != nil && op.seq > tearSeq {
+					tearSeq = op.seq
+				}
+			}
+		}
+	}
+	out := New(nil)
+	for name, f := range fs.files {
+		img := f.image(variant, tearSeq)
+		out.files[name] = &file{stable: append([]byte(nil), img...), cur: img}
+	}
+	return out
+}
+
+// Clone copies the filesystem's current contents into a new FS under
+// ctl, as if the images had been laid down on a fresh disk.
+func (fs *FS) Clone(ctl *Ctl) *FS {
+	out := New(ctl)
+	for name, f := range fs.files {
+		img := append([]byte(nil), f.cur...)
+		out.files[name] = &file{ctl: ctl, stable: append([]byte(nil), img...), cur: img}
+	}
+	return out
+}
+
+// Image returns a copy of the named file's current contents (nil if
+// absent).
+func (fs *FS) Image(name string) []byte {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), f.cur...)
+}
+
+// Counts returns the total WriteAt and Sync calls across all files
+// (write-amplification accounting for benchmarks).
+func (fs *FS) Counts() (writes, syncs int) {
+	for _, f := range fs.files {
+		writes += f.writes
+		syncs += f.syncs
+	}
+	return writes, syncs
+}
+
+// SetImage replaces the named file's contents, as if the bytes had been
+// written and synced.
+func (fs *FS) SetImage(name string, data []byte) {
+	fs.files[name] = &file{
+		ctl:    fs.ctl,
+		stable: append([]byte(nil), data...),
+		cur:    append([]byte(nil), data...),
+	}
+}

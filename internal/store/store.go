@@ -1,7 +1,9 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -16,7 +18,17 @@ type Store struct {
 	pager Pager
 	pool  *Pool
 	reg   *obs.Registry
+	// readOnly flips on when a transaction commit fails against the
+	// disk (ENOSPC, EIO, ...): the in-memory state was rolled back but
+	// the medium is suspect, so the store keeps serving reads and
+	// refuses writes until reopened. See Commit.
+	readOnly atomic.Bool
 }
+
+// ErrReadOnly reports a write attempted on a store degraded to
+// read-only mode after a failed transaction commit. Test with
+// errors.Is.
+var ErrReadOnly = errors.New("store: read-only (degraded after a failed commit)")
 
 // DefaultPoolPages is the default buffer pool capacity. The paper's test
 // configuration gave the kernel roughly 2 MB of working memory; 512 pages
@@ -57,7 +69,14 @@ func NewStore(pager Pager, poolPages int) *Store {
 	if oa, ok := pager.(obsAttacher); ok {
 		oa.attachObs(reg)
 	}
-	return &Store{pager: pager, pool: NewPoolObs(pager, poolPages, reg), reg: reg}
+	s := &Store{pager: pager, pool: NewPoolObs(pager, poolPages, reg), reg: reg}
+	reg.RegisterFunc("store.read_only", func() any {
+		if s.readOnly.Load() {
+			return uint64(1)
+		}
+		return uint64(0)
+	})
+	return s
 }
 
 // Pool returns the buffer pool.
@@ -94,6 +113,100 @@ func (s *Store) GetMeta(name string) (uint64, bool) {
 
 // Flush writes all dirty pages to the pager.
 func (s *Store) Flush() error { return s.pool.FlushAll() }
+
+// ReadOnly reports whether the store has degraded to read-only mode
+// after a failed transaction commit.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
+// txnPager returns the pager's transaction interface.
+func (s *Store) txnPager() (TxnPager, error) {
+	tp, ok := s.pager.(TxnPager)
+	if !ok {
+		return nil, fmt.Errorf("store: pager %T does not support transactions", s.pager)
+	}
+	return tp, nil
+}
+
+// Begin opens a transaction: every page written until Commit stays
+// buffered in memory, invisible to the files, and Rollback restores the
+// store exactly. The caller must serialize all access to the store for
+// the duration (the knowledge base holds its write lock across the
+// transaction). Transactions do not nest.
+func (s *Store) Begin() error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
+	tp, err := s.txnPager()
+	if err != nil {
+		return err
+	}
+	// Flush first so the pager's snapshot point contains everything the
+	// pool was holding: from here on, dirty frames belong to the
+	// transaction and are discarded wholesale on rollback.
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	return tp.BeginTxn()
+}
+
+// Commit makes the open transaction durable. On failure the
+// transaction is rolled back, every buffered frame is invalidated, and
+// the store degrades to read-only: reads keep working from the intact
+// pre-transaction state, writes return ErrReadOnly until the store is
+// reopened against a healthy disk.
+func (s *Store) Commit() error {
+	tp, err := s.txnPager()
+	if err != nil {
+		return err
+	}
+	if !tp.InTxn() {
+		return ErrNoTxn
+	}
+	if err := s.pool.FlushAll(); err != nil {
+		// Write-back into the pager failed before the commit point; the
+		// pager still holds a consistent transaction to undo.
+		if rerr := tp.RollbackTxn(); rerr == nil {
+			s.pool.Invalidate()
+		}
+		s.readOnly.Store(true)
+		return err
+	}
+	if err := tp.CommitTxn(); err != nil {
+		if errors.Is(err, ErrNoTxn) {
+			return err // caller error, not a disk fault
+		}
+		// CommitTxn rolled the pager back itself; drop every cached
+		// frame so no rolled-back bytes survive in the pool.
+		s.pool.Invalidate()
+		s.readOnly.Store(true)
+		return err
+	}
+	return nil
+}
+
+// Rollback undoes the open transaction: the pager restores its
+// pre-transaction state and the buffer pool drops every frame (clean or
+// dirty — either may hold transaction bytes).
+func (s *Store) Rollback() error {
+	tp, err := s.txnPager()
+	if err != nil {
+		return err
+	}
+	if err := tp.RollbackTxn(); err != nil {
+		return err
+	}
+	s.pool.Invalidate()
+	return nil
+}
+
+// InTxn reports whether a transaction is open.
+func (s *Store) InTxn() bool {
+	tp, err := s.txnPager()
+	if err != nil {
+		return false
+	}
+	return tp.InTxn()
+}
 
 // Close flushes and closes the underlying file.
 func (s *Store) Close() error {

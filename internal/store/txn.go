@@ -1,0 +1,231 @@
+package store
+
+// Transactions. The pager's normal regime makes every Sync a commit
+// point; a transaction suspends that — Sync becomes a no-op, page
+// images keep accumulating in memory (the WAL buffer and the tail map),
+// and nothing touches either file until CommitTxn appends the single
+// commit marker. Rollback therefore needs no disk I/O at all: it
+// discards the WAL buffer, restores the header fields and the
+// pre-transaction tail images, and the files never knew the transaction
+// happened. A crash mid-transaction recovers to the pre-transaction
+// state for the same reason.
+//
+// The one hard case is a commit that fails halfway: a failed fsync
+// happens after the marker has left the buffer, so the marker may or
+// may not be durable. CommitTxn rolls the in-memory state back and
+// truncates the log to its pre-transaction length so recovery cannot
+// resurrect the aborted transaction; if even the truncate fails, the
+// store above flips read-only, which keeps the divergence from
+// compounding (see Store.Commit).
+
+import "errors"
+
+// Transaction state errors.
+var (
+	// ErrTxnOpen reports Begin with a transaction already open
+	// (transactions do not nest).
+	ErrTxnOpen = errors.New("store: transaction already open")
+	// ErrNoTxn reports Commit/Rollback without an open transaction.
+	ErrNoTxn = errors.New("store: no transaction open")
+)
+
+// TxnPager is implemented by pagers that can group writes into an
+// atomic, rollback-able unit. Between BeginTxn and CommitTxn, Sync is a
+// no-op: nothing becomes durable until the commit, and RollbackTxn
+// restores the pager exactly to its BeginTxn state.
+type TxnPager interface {
+	BeginTxn() error
+	CommitTxn() error
+	RollbackTxn() error
+	InTxn() bool
+}
+
+// pagerTxn is the filePager's undo record: the header fields at
+// BeginTxn plus, for every page stashed during the transaction, its
+// pre-transaction tail image.
+type pagerTxn struct {
+	numPages PageID
+	freeHead PageID
+	meta     map[string]uint64
+	hdrDirty bool
+	preOff   int64 // wal.off at BeginTxn, for post-failure truncation
+	// preTail maps each page first stashed during the transaction to the
+	// tail image it had before (nil: the page was not in the tail, so
+	// rollback deletes it).
+	preTail map[PageID][]byte
+}
+
+func (p *filePager) BeginTxn() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txn != nil {
+		return ErrTxnOpen
+	}
+	// Make the pre-transaction state durable first. After this the WAL
+	// buffer is empty and nothing is pending, so everything appended
+	// while the transaction is open is exactly the transaction's redo
+	// set, and discarding the buffer is a complete log undo.
+	if err := p.commit(); err != nil {
+		return err
+	}
+	meta := make(map[string]uint64, len(p.meta))
+	for k, v := range p.meta {
+		meta[k] = v
+	}
+	p.txn = &pagerTxn{
+		numPages: p.numPages,
+		freeHead: p.freeHead,
+		meta:     meta,
+		hdrDirty: p.hdrDirty,
+		preOff:   p.wal.off,
+		preTail:  map[PageID][]byte{},
+	}
+	return nil
+}
+
+func (p *filePager) CommitTxn() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txn == nil {
+		return ErrNoTxn
+	}
+	txn := p.txn
+	p.txn = nil // lift the commit guard
+	if err := p.commitOnly(); err != nil {
+		// The marker may be partially — or, after a failed fsync, even
+		// fully — on disk. Restore the in-memory state and truncate the
+		// log back to its pre-transaction length so recovery can never
+		// resurrect the aborted transaction. If the truncate itself
+		// fails the caller degrades to read-only, so the possibly
+		// durable marker can at worst resurface the transaction at the
+		// next open, never diverge from live state that kept writing.
+		p.txn = txn
+		p.rollbackLocked()
+		if terr := p.wal.f.Truncate(txn.preOff); terr == nil {
+			p.wal.f.Sync()
+			p.wal.off = txn.preOff
+		}
+		return err
+	}
+	// The transaction is durable. Checkpoint opportunistically like any
+	// other commit, but do not fail the committed transaction over it: a
+	// checkpoint fault leaves the tail and the committed log intact
+	// (see checkpoint), and the next commit retries it.
+	if p.wal.size() >= p.checkpointBytes {
+		_ = p.checkpoint()
+	}
+	return nil
+}
+
+func (p *filePager) RollbackTxn() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txn == nil {
+		return ErrNoTxn
+	}
+	p.rollbackLocked()
+	return nil
+}
+
+// rollbackLocked restores the pre-transaction pager state (mu held,
+// p.txn non-nil). No file I/O happens while a transaction is open, so
+// dropping the WAL buffer and restoring the in-memory images is the
+// whole undo; only the commit-failure path in CommitTxn touches the log
+// file afterwards.
+func (p *filePager) rollbackLocked() {
+	txn := p.txn
+	p.txn = nil
+	p.numPages = txn.numPages
+	p.freeHead = txn.freeHead
+	p.meta = txn.meta
+	p.hdrDirty = txn.hdrDirty
+	for id, img := range txn.preTail {
+		if img == nil {
+			delete(p.tail, id)
+		} else {
+			p.tail[id] = img
+		}
+	}
+	p.wal.buf = p.wal.buf[:0]
+	p.wal.dirty = false
+}
+
+func (p *filePager) InTxn() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txn != nil
+}
+
+// memTxn is the memPager's undo record: the page-array length and
+// header fields at BeginTxn plus pre-images of the pre-existing pages
+// written during the transaction.
+type memTxn struct {
+	nPages   int
+	freeHead PageID
+	meta     map[string]uint64
+	pre      map[PageID][]byte
+}
+
+// saveUndo records page id's pre-image, once, if it predates the
+// transaction (pages allocated inside the transaction are undone by
+// truncating the page array).
+func (p *memPager) saveUndo(id PageID) {
+	if p.txn == nil || int(id) >= p.txn.nPages {
+		return
+	}
+	if _, seen := p.txn.pre[id]; !seen {
+		p.txn.pre[id] = append([]byte(nil), p.pages[id]...)
+	}
+}
+
+func (p *memPager) BeginTxn() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txn != nil {
+		return ErrTxnOpen
+	}
+	meta := make(map[string]uint64, len(p.meta))
+	for k, v := range p.meta {
+		meta[k] = v
+	}
+	p.txn = &memTxn{
+		nPages:   len(p.pages),
+		freeHead: p.freeHead,
+		meta:     meta,
+		pre:      map[PageID][]byte{},
+	}
+	return nil
+}
+
+func (p *memPager) CommitTxn() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txn == nil {
+		return ErrNoTxn
+	}
+	p.txn = nil // memory is the only store; nothing can fail
+	return nil
+}
+
+func (p *memPager) RollbackTxn() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txn == nil {
+		return ErrNoTxn
+	}
+	txn := p.txn
+	p.txn = nil
+	for id, img := range txn.pre {
+		copy(p.pages[id], img)
+	}
+	p.pages = p.pages[:txn.nPages]
+	p.freeHead = txn.freeHead
+	p.meta = txn.meta
+	return nil
+}
+
+func (p *memPager) InTxn() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txn != nil
+}

@@ -103,18 +103,24 @@ func (w *wal) commit() error {
 }
 
 // resetLog empties the log after a checkpoint has made the main file
-// current.
+// current. Once the truncate has succeeded, off/buf are reset even if
+// the fsync then fails: the file really is shorter as the OS sees it,
+// so leaving off at its old value would make the next commit write past
+// a hole of zeros that replay mistakes for the end of the log —
+// silently discarding a commit that reported success. Replaying the
+// old log instead (if the truncate never became durable before a
+// crash) merely rewrites images the checkpoint already persisted.
 func (w *wal) resetLog() error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
+	w.off = 0
+	w.buf = w.buf[:0]
+	w.dirty = false
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
 	w.fsyncs.Add(1)
-	w.off = 0
-	w.buf = w.buf[:0]
-	w.dirty = false
 	return nil
 }
 

@@ -12,13 +12,14 @@ import (
 	"testing"
 
 	"repro/internal/store"
+	"repro/internal/store/simfs"
 )
 
 // BenchmarkAllocateDurable allocates and dirties fresh pages against a
 // file-backed store, committing every 64 pages, and reports the file
 // writes and fsyncs per allocated page.
 func BenchmarkAllocateDurable(b *testing.B) {
-	fsys := newSimFS(nil)
+	fsys := simfs.New(nil)
 	st, err := store.OpenFS(fsys, "kb", 256)
 	if err != nil {
 		b.Fatal(err)
@@ -45,11 +46,7 @@ func BenchmarkAllocateDurable(b *testing.B) {
 	if err := st.Close(); err != nil {
 		b.Fatal(err)
 	}
-	var writes, syncs int
-	for _, f := range fsys.files {
-		writes += f.writes
-		syncs += f.syncs
-	}
+	writes, syncs := fsys.Counts()
 	b.ReportMetric(float64(writes)/float64(b.N), "file-writes/alloc")
 	b.ReportMetric(float64(syncs)/float64(b.N), "fsyncs/alloc")
 }

@@ -127,6 +127,9 @@ func (m *Machine) handleBuiltinError(err error) (errAction, error) {
 	if m.pendingJump != nil {
 		m.p = *m.pendingJump
 		m.pendingJump = nil
+		// Entering the recovery goal is a call: reset the cut barrier
+		// so a cut inside it is local (see the tail-call jump in run).
+		m.b0 = m.b
 	}
 	return errJump, nil
 }

@@ -562,6 +562,11 @@ func (m *Machine) runLoop() (bool, error) {
 			if m.pendingJump != nil {
 				m.p = *m.pendingJump
 				m.pendingJump = nil
+				// The jump is a procedure call (call/N, metacall): the
+				// callee's cut barrier is the current level, so a cut
+				// inside it cannot discard markers the builtin pushed
+				// (catch/3's, findall's) or older choice points.
+				m.b0 = m.b
 			} else {
 				m.p.off++
 			}

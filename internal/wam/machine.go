@@ -288,6 +288,15 @@ func ResourceBall(kind string) *ErrBall {
 		term.Atom("educe"))}
 }
 
+// TransactionBall is the catchable transaction failure for one reason
+// ("no_transaction", "nested_transaction", "read_only", "commit_failed"):
+// error(transaction_error(Reason), educe).
+func TransactionBall(reason string) *ErrBall {
+	return &ErrBall{Term: term.Comp("error",
+		term.Comp("transaction_error", term.Atom(reason)),
+		term.Atom("educe"))}
+}
+
 // ResourceKind returns the resource kind of an uncaught resource_error
 // ball, or "" when err is not one. Servers use it to count quota kills.
 func ResourceKind(err error) string {
