@@ -33,10 +33,12 @@ func (s *Session) InsertTuples(name string, ts []rel.Tuple) error {
 	return r.InsertAll(ts)
 }
 
-// Relation fetches a relation by name.
+// Relation fetches a relation by name. It goes through the session's
+// rlock so it stays safe inside an open transaction (which already
+// holds the KB lock exclusively).
 func (s *Session) Relation(name string) *rel.Relation {
-	s.kb.mu.RLock()
-	defer s.kb.mu.RUnlock()
+	unlock := s.rlock()
+	defer unlock()
 	return s.kb.cat.Get(name)
 }
 
@@ -52,9 +54,9 @@ func (s *Session) Relation(name string) *rel.Relation {
 // the KB read lock around each step, so concurrent sessions can drive
 // cursors over the same stored relation.
 func (s *Session) BindRelation(name string) error {
-	s.kb.mu.RLock()
+	unlock := s.rlock()
 	r := s.kb.cat.Get(name)
-	s.kb.mu.RUnlock()
+	unlock()
 	if r == nil {
 		return fmt.Errorf("core: no relation %s", name)
 	}

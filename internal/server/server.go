@@ -503,8 +503,10 @@ func (s *Server) acquire() (*core.Session, string) {
 // runQuery executes one goal on a pooled session, streaming solutions.
 // Inside a transaction the connection's pinned session runs the goal
 // (and keeps its pin, unless a query error auto-rolled the transaction
-// back); otherwise a session is acquired through admission control. It
-// returns false when the connection is dead and must be closed.
+// back); otherwise a session is acquired through admission control, and
+// a goal that leaves a transaction open (begin/0) pins it to the
+// connection. It returns false when the connection is dead and must be
+// closed.
 func (s *Server) runQuery(c net.Conn, goal string, pinned **core.Session) bool {
 	if goal == "" {
 		return s.writeLine(c, "err empty goal")
@@ -562,6 +564,13 @@ func (s *Server) runQuery(c net.Conn, goal string, pinned **core.Session) bool {
 			*pinned = nil
 			s.releaseSession(sess)
 		}
+	} else if sess.InTxn() {
+		// The goal itself called begin/0 (a plain `q begin.` without the
+		// TXN verb). Adopt the session as the connection's pin — exactly
+		// as if TXN had opened the transaction — instead of returning it
+		// to the pool holding the KB write lock, which would wedge every
+		// other session; disconnect rolls it back like any pinned one.
+		*pinned = sess
 	} else {
 		s.releaseSession(sess)
 	}

@@ -123,6 +123,69 @@ func TestServerTxnDisconnectRollsBack(t *testing.T) {
 	}
 }
 
+// TestServerInlineBeginPinsSession sends a plain `q begin.` — the
+// begin/0 builtin without the TXN verb — and verifies the server adopts
+// the session as the connection's pin instead of returning it to the
+// pool with the KB write lock held (which would wedge every other
+// session on its next storage access).
+func TestServerInlineBeginPinsSession(t *testing.T) {
+	kb := newTestKB(t)
+	_, addr := newTestServer(t, kb, Config{MaxSessions: 1})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if res, err := cl.Query("begin"); err != nil || res.N != 1 {
+		t.Fatalf("inline begin: %v (%v)", res, err)
+	}
+	if _, err := cl.Query("assert_external(f(995))"); err != nil {
+		t.Fatal(err)
+	}
+	// The adopted pin interoperates with the COMMIT verb.
+	if err := cl.Commit(); err != nil {
+		t.Fatalf("commit after inline begin: %v", err)
+	}
+	// The pool's only session is back and unwedged: a second connection
+	// runs queries and sees the committed write.
+	cl2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if res, err := cl2.Query("f(995)"); err != nil || res.N != 1 {
+		t.Fatalf("query after inline-begin txn: %v (%v)", res, err)
+	}
+
+	// Inline commit/0 releases the adopted pin the same way.
+	if res, err := cl2.Query("begin"); err != nil || res.N != 1 {
+		t.Fatalf("second inline begin: %v (%v)", res, err)
+	}
+	if _, err := cl2.Query("assert_external(f(996))"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := cl2.Query("commit"); err != nil || res.N != 1 {
+		t.Fatalf("inline commit: %v (%v)", res, err)
+	}
+	if res, err := cl.Query("f(996)"); err != nil || res.N != 1 {
+		t.Fatalf("inline-committed write invisible elsewhere: %v (%v)", res, err)
+	}
+
+	// A connection that vanishes after an inline begin rolls back like a
+	// TXN-opened one.
+	if res, err := cl.Query("begin"); err != nil || res.N != 1 {
+		t.Fatalf("third inline begin: %v (%v)", res, err)
+	}
+	if _, err := cl.Query("assert_external(f(997))"); err != nil {
+		t.Fatal(err)
+	}
+	cl.c.Close() // vanish mid-transaction, bypassing ROLLBACK
+	if res, err := cl2.Query("f(997)"); err != nil || res.N != 0 {
+		t.Fatalf("abandoned inline txn's write survived: %v (%v)", res, err)
+	}
+}
+
 // TestServerTxnQueryErrorUnpins checks that a query error inside a
 // transaction auto-rolls it back server-side and releases the pin.
 func TestServerTxnQueryErrorUnpins(t *testing.T) {

@@ -101,9 +101,14 @@ func (p *filePager) CommitTxn() error {
 		// next open, never diverge from live state that kept writing.
 		p.txn = txn
 		p.rollbackLocked()
+		// Adopt the shorter offset only once the truncate is durable: a
+		// failed fsync means a crash could still surface the marker, so
+		// keeping wal.off advanced makes any later append land after it
+		// instead of silently narrowing the divergence to a crash window.
 		if terr := p.wal.f.Truncate(txn.preOff); terr == nil {
-			p.wal.f.Sync()
-			p.wal.off = txn.preOff
+			if serr := p.wal.f.Sync(); serr == nil {
+				p.wal.off = txn.preOff
+			}
 		}
 		return err
 	}
