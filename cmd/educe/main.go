@@ -52,6 +52,26 @@
 //
 // The -timeout flag bounds each served query's execution like it bounds
 // shell goals.
+//
+// Backup & recovery:
+//
+//	-wal-archive DIR       archive committed WAL segments into DIR at each
+//	                       checkpoint instead of discarding them, enabling
+//	                       point-in-time recovery
+//	-wal-archive-budget N  cap the archive's total bytes; oldest segments
+//	                       are pruned first (0 = unlimited)
+//	-wal-checkpoint-bytes N  WAL size that triggers a checkpoint and log
+//	                       truncation (0 = store default)
+//	-backup FILE           stream an online backup of the knowledge base
+//	                       to FILE (after consulting any named files) and
+//	                       exit; writers in other processes of a shared
+//	                       store are not blocked
+//	-restore FILE          before opening, rebuild -db from the backup in
+//	                       FILE, rolling the -wal-archive forward, then
+//	                       verify the result with the integrity checker
+//	-restore-to-lsn N      with -restore: stop WAL replay at commit LSN N
+//	                       for point-in-time recovery (0 = roll forward
+//	                       through the whole archive)
 package main
 
 import (
@@ -76,6 +96,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -100,9 +121,31 @@ func main() {
 	quotaPages := flag.Int("quota-pages", 0, "with -serve: per-query cap on EDB pages touched (0 = none)")
 	quotaSolutions := flag.Int("quota-solutions", 0, "with -serve: per-query cap on solutions delivered (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "with -serve: grace for in-flight queries at shutdown before they are interrupted")
+	backupPath := flag.String("backup", "", "stream an online backup of the knowledge base to this file and exit")
+	restorePath := flag.String("restore", "", "before opening, restore the knowledge base from this backup file into -db, rolling -wal-archive forward")
+	restoreLSN := flag.Uint64("restore-to-lsn", 0, "with -restore: stop WAL replay at this commit LSN (0 = whole archive)")
+	walArchive := flag.String("wal-archive", "", "archive committed WAL segments into this directory at checkpoint (enables point-in-time recovery)")
+	walArchiveBudget := flag.Int64("wal-archive-budget", 0, "cap the WAL archive's total bytes, pruning oldest segments first (0 = unlimited)")
+	walCheckpointBytes := flag.Int64("wal-checkpoint-bytes", 0, "WAL size that triggers a checkpoint and log truncation (0 = store default)")
 	flag.Parse()
 
-	opts := educe.Options{StorePath: *dbPath}
+	if *restorePath != "" {
+		if *dbPath == "" {
+			fmt.Fprintln(os.Stderr, "educe: -restore needs -db to name the restore target")
+			os.Exit(2)
+		}
+		if err := runRestore(*restorePath, *dbPath, *walArchive, *restoreLSN); err != nil {
+			fmt.Fprintln(os.Stderr, "educe: restore:", err)
+			os.Exit(1)
+		}
+	}
+
+	opts := educe.Options{
+		StorePath:        *dbPath,
+		CheckpointBytes:  *walCheckpointBytes,
+		WALArchiveDir:    *walArchive,
+		WALArchiveBudget: *walArchiveBudget,
+	}
 	switch *mode {
 	case "compiled":
 	case "source":
@@ -117,6 +160,14 @@ func main() {
 		os.Exit(1)
 	}
 	defer eng.Close()
+
+	if *restorePath != "" {
+		if err := eng.KB().Check(); err != nil {
+			fmt.Fprintln(os.Stderr, "educe: restore verification:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "% restore verified")
+	}
 
 	if *check || *repair {
 		code := runCheck(eng, *repair)
@@ -175,6 +226,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%% consulted %s\n", path)
+	}
+
+	if *backupPath != "" {
+		code := runBackup(eng, *backupPath)
+		eng.Close()
+		os.Exit(code)
 	}
 
 	if *serveAddr != "" {
@@ -389,6 +446,50 @@ func runServe(eng *educe.Engine, addr string, cfg server.Config, drainTimeout ti
 		metricsSrv.Shutdown(mctx)
 	}
 	fmt.Fprintln(os.Stderr, "% drained")
+	return nil
+}
+
+// runBackup streams an online backup of the engine's knowledge base to
+// path. A failed backup removes the partial file; the primary store is
+// unaffected either way.
+func runBackup(eng *educe.Engine, path string) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "educe: backup:", err)
+		return 1
+	}
+	info, err := eng.KB().Backup(f)
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		fmt.Fprintln(os.Stderr, "educe: backup:", err)
+		return 1
+	}
+	fmt.Printf("%% backup: %d pages, LSNs %d..%d -> %s\n",
+		info.Pages, info.StartLSN, info.EndLSN, path)
+	return 0
+}
+
+// runRestore rebuilds dbPath from the backup stream in srcPath, rolling
+// archived WAL segments in archiveDir forward to targetLSN (0 = as far
+// as the archive reaches). The caller reopens and verifies the result.
+func runRestore(srcPath, dbPath, archiveDir string, targetLSN uint64) error {
+	f, err := os.Open(srcPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := store.Restore(dbPath, f, archiveDir, targetLSN); err != nil {
+		return err
+	}
+	if targetLSN != 0 {
+		fmt.Fprintf(os.Stderr, "%% restored %s from %s at LSN %d\n", dbPath, srcPath, targetLSN)
+	} else {
+		fmt.Fprintf(os.Stderr, "%% restored %s from %s\n", dbPath, srcPath)
+	}
 	return nil
 }
 

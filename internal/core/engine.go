@@ -120,6 +120,16 @@ type Options struct {
 	StorePath string
 	// PoolPages is the buffer pool size (0 = store.DefaultPoolPages).
 	PoolPages int
+	// CheckpointBytes is the WAL size past which the store checkpoints
+	// and truncates (archives) the log (0 = store default).
+	CheckpointBytes int64
+	// WALArchiveDir, when non-empty, enables WAL segment archiving: the
+	// committed log is preserved in numbered segments there instead of
+	// being discarded at checkpoint, enabling point-in-time restore.
+	WALArchiveDir string
+	// WALArchiveBudget bounds the archive's total bytes; oldest segments
+	// are pruned first (0 = unlimited).
+	WALArchiveBudget int64
 	// DictSegment is the internal dictionary segment size (0 = default).
 	DictSegment int
 	// DisableGC turns the WAM garbage collector off (ablation A5).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -108,7 +109,12 @@ func OpenKB(opts Options) (*KnowledgeBase, error) {
 // OpenKBFS is OpenKB over an explicit filesystem, letting tests run a
 // full knowledge base on a deterministic fault-injecting store.
 func OpenKBFS(fsys store.FS, opts Options) (*KnowledgeBase, error) {
-	st, err := store.OpenFS(fsys, opts.StorePath, opts.PoolPages)
+	st, err := store.OpenOptionsFS(fsys, opts.StorePath, store.Options{
+		PoolPages:       opts.PoolPages,
+		CheckpointBytes: opts.CheckpointBytes,
+		ArchiveDir:      opts.WALArchiveDir,
+		ArchiveBudget:   opts.WALArchiveBudget,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +194,69 @@ func (kb *KnowledgeBase) Flush() error { return kb.st.Flush() }
 
 // Store returns the underlying page store.
 func (kb *KnowledgeBase) Store() *store.Store { return kb.st }
+
+// Backup streams an online backup of the knowledge base to w. The read
+// lock is taken only at the start and finish edges: each edge sits on a
+// commit boundary (a transaction owner holds the write lock for its
+// whole transaction, so no open transaction can straddle an edge), and
+// the page copy in between runs without the lock, with writers
+// proceeding concurrently. The returned info carries the LSN range the
+// image plus the WAL archive covers; restore with store.Restore.
+func (kb *KnowledgeBase) Backup(w io.Writer) (store.BackupInfo, error) {
+	return kb.BackupProgress(w, nil)
+}
+
+// BackupProgress is Backup with a per-batch progress callback reporting
+// (copied, total) pages. A non-nil error from the callback aborts the
+// backup and is returned; the primary is unaffected either way.
+func (kb *KnowledgeBase) BackupProgress(w io.Writer, progress func(copied, total uint64) error) (store.BackupInfo, error) {
+	kb.mu.RLock()
+	bk, err := kb.st.StartBackup(w)
+	kb.mu.RUnlock()
+	if err != nil {
+		return store.BackupInfo{}, err
+	}
+	for {
+		done, err := bk.CopyPages(64)
+		if err != nil {
+			bk.Abort()
+			return store.BackupInfo{}, err
+		}
+		if progress != nil {
+			copied, total := bk.Progress()
+			if perr := progress(uint64(copied), uint64(total)); perr != nil {
+				bk.Abort()
+				return store.BackupInfo{}, perr
+			}
+		}
+		if done {
+			break
+		}
+	}
+	kb.mu.RLock()
+	info, err := bk.Finish()
+	kb.mu.RUnlock()
+	if err != nil {
+		return store.BackupInfo{}, err
+	}
+	return info, nil
+}
+
+// LSN reports the store's last committed log sequence number (0 for
+// in-memory stores): the point-in-time coordinate backups and restores
+// are addressed by.
+func (kb *KnowledgeBase) LSN() uint64 { return kb.st.LSN() }
+
+// ClearReadOnly is the operator repair path for a knowledge base that
+// degraded to read-only after a failed transaction commit: it verifies
+// the medium accepts writes again (repairing the log if the failed
+// commit left it diverged) and re-enables writes. It fails — leaving
+// the KB read-only — if the disk is still refusing writes.
+func (kb *KnowledgeBase) ClearReadOnly() error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	return kb.st.ClearReadOnly()
+}
 
 // Check verifies the knowledge base's on-disk integrity: every EDB
 // structure (procedure descriptors, clause heaps, grid and attribute

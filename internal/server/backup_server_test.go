@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/store/simfs"
+)
+
+// --- BACKUP verb -------------------------------------------------------------
+
+// TestServerBackupVerb drives an online backup over the wire: the
+// summary line carries the LSN range, the written image restores to a
+// KB answering the same queries, a BACKUP inside a transaction is
+// refused (it would self-deadlock on the KB lock), and a failed backup
+// leaves no partial file behind.
+func TestServerBackupVerb(t *testing.T) {
+	dir := t.TempDir()
+	arch := filepath.Join(dir, "arch")
+	kb, err := core.OpenKB(core.Options{
+		StorePath:     filepath.Join(dir, "kb.edb"),
+		PoolPages:     64,
+		WALArchiveDir: arch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kb.Close() })
+	s, err := kb.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConsultExternal("f(1). f(2). f(3)."); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := kb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, addr := newTestServer(t, kb, Config{MaxSessions: 2})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	bkPath := filepath.Join(dir, "kb.backup")
+	res, err := cl.Backup(bkPath)
+	if err != nil {
+		t.Fatalf("BACKUP: %v", err)
+	}
+	if res.Pages == 0 || res.EndLSN < res.StartLSN {
+		t.Fatalf("implausible backup summary: %+v", res)
+	}
+	// The connection stays usable and the primary keeps serving writes.
+	if _, err := cl.Query("assert_external(f(4))"); err != nil {
+		t.Fatalf("write after backup: %v", err)
+	}
+
+	// The image restores to a KB answering the same queries as the
+	// source at the backup's end LSN (f(4) came after it).
+	restored := filepath.Join(dir, "restored.edb")
+	f, err := os.Open(bkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = store.Restore(restored, f, arch, res.EndLSN)
+	f.Close()
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	rkb, err := core.OpenKB(core.Options{StorePath: restored, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rkb.Close()
+	if err := rkb.Check(); err != nil {
+		t.Fatalf("restored KB fails check: %v", err)
+	}
+	rs, err := rkb.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if n, err := rs.QueryCount("f(_)"); err != nil || n != 3 {
+		t.Fatalf("restored f/1 count = %d (%v), want 3", n, err)
+	}
+
+	// Refused inside a transaction: the pinned session holds the KB
+	// write lock, so running the backup here would deadlock.
+	if err := cl.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	var qe *QueryError
+	if _, err := cl.Backup(filepath.Join(dir, "never.backup")); !errors.As(err, &qe) ||
+		!strings.Contains(qe.Msg, "backup_in_transaction") {
+		t.Fatalf("BACKUP inside txn: %v", err)
+	}
+	if err := cl.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unwritable path fails cleanly, leaves no partial file, and the
+	// primary stays read-write.
+	bad := filepath.Join(dir, "no-such-dir", "kb.backup")
+	if _, err := cl.Backup(bad); !errors.As(err, &qe) || !strings.HasPrefix(qe.Msg, "backup ") {
+		t.Fatalf("BACKUP to bad path: %v", err)
+	}
+	if _, err := os.Open(bad); err == nil {
+		t.Fatal("failed backup left a file behind")
+	}
+	if _, err := cl.Query("assert_external(f(5))"); err != nil {
+		t.Fatalf("primary degraded after failed backup: %v", err)
+	}
+}
+
+// --- RW verb (operator recovery from read-only degradation) ------------------
+
+// TestServerRWVerbClearsReadOnly degrades the KB with an injected
+// ENOSPC at commit, then lifts the degradation over the wire with RW
+// and proves a fresh transaction commits durably again.
+func TestServerRWVerbClearsReadOnly(t *testing.T) {
+	ctl := simfs.NewCtl(-1)
+	kb, err := core.OpenKBFS(simfs.New(ctl), core.Options{StorePath: "kb", PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kb.Close() })
+	s, err := kb.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConsultExternal("f(1)."); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := kb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, addr := newTestServer(t, kb, Config{MaxSessions: 2})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// RW inside a transaction is refused like BACKUP.
+	if err := cl.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	var qe *QueryError
+	if err := cl.ClearReadOnly(); !errors.As(err, &qe) || !strings.Contains(qe.Msg, "rw_in_transaction") {
+		t.Fatalf("RW inside txn: %v", err)
+	}
+	if err := cl.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrade: the commit's first durability write hits a full disk.
+	if err := cl.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Query("assert_external(f(2))"); err != nil {
+		t.Fatal(err)
+	}
+	ctl.FailAt(ctl.Ops(), syscall.ENOSPC)
+	var ro *ReadOnlyError
+	if err := cl.Commit(); !errors.As(err, &ro) {
+		t.Fatalf("commit over full disk: %v, want ReadOnlyError", err)
+	}
+	if err := cl.Begin(); !errors.As(err, &ro) {
+		t.Fatalf("TXN on degraded KB: %v, want ReadOnlyError", err)
+	}
+
+	// Operator clears the (now healthy) store over the wire; a cleared
+	// KB accepts and durably commits transactions again.
+	if err := cl.ClearReadOnly(); err != nil {
+		t.Fatalf("RW: %v", err)
+	}
+	if err := cl.Begin(); err != nil {
+		t.Fatalf("TXN after RW: %v", err)
+	}
+	if _, err := cl.Query("assert_external(f(3))"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Commit(); err != nil {
+		t.Fatalf("commit after RW: %v", err)
+	}
+	if res, err := cl.Query("f(X)"); err != nil || res.N != 2 {
+		t.Fatalf("post-recovery f/1 count: %v (%v), want 2 (f(1), f(3))", res, err)
+	}
+	if res, err := cl.Query("f(2)"); err != nil || res.N != 0 {
+		t.Fatalf("failed commit's write resurrected: %v (%v)", res, err)
+	}
+	// A second RW on a healthy store is a no-op success.
+	if err := cl.ClearReadOnly(); err != nil {
+		t.Fatalf("RW on healthy store: %v", err)
+	}
+}
+
+// --- graceful shutdown with an open transaction ------------------------------
+
+// TestServerShutdownRollsBackOpenTxn parks a connection holding an open
+// transaction, shuts the server down, and verifies the client gets the
+// deterministic draining reply (not a hang or a bare close) while the
+// server rolls the transaction back before closing its session pool.
+func TestServerShutdownRollsBackOpenTxn(t *testing.T) {
+	kb := newTestKB(t)
+	srv, addr := newTestServer(t, kb, Config{MaxSessions: 1, DrainGrace: 200 * time.Millisecond})
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := bufio.NewScanner(c)
+	expect := func(want string) {
+		t.Helper()
+		if !r.Scan() {
+			t.Fatalf("expecting %q: %v", want, r.Err())
+		}
+		if got := r.Text(); got != want {
+			t.Fatalf("reply = %q, want %q", got, want)
+		}
+	}
+	expect(protoGreeting)
+	io.WriteString(c, "TXN\n")
+	expect(protoTxn)
+	io.WriteString(c, "q assert_external(f(998))\n")
+	expect("sol true")
+	expect("end 1")
+
+	// The connection now sits in a read holding the pool's only session
+	// pinned to an open transaction. Drain must not hang on it.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	// Deterministic goodbye: the drain nudge surfaces as "err draining",
+	// then the connection closes.
+	expect(protoDraining)
+	if r.Scan() {
+		t.Fatalf("unexpected reply after draining: %q", r.Text())
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung on the open transaction")
+	}
+
+	// The transaction was rolled back before the pool closed: the
+	// uncommitted write is gone.
+	s, err := kb.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if n, err := s.QueryCount("f(998)"); err != nil || n != 0 {
+		t.Fatalf("abandoned txn's write survived drain: %d (%v)", n, err)
+	}
+}

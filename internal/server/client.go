@@ -213,6 +213,50 @@ func (cl *Client) backoff(hint time.Duration, attempt int) {
 	}
 }
 
+// BackupResult carries the server's backup summary: the image size and
+// the LSN range the image plus the WAL archive covers.
+type BackupResult struct {
+	Pages    uint64
+	StartLSN uint64
+	EndLSN   uint64
+}
+
+// Backup asks the server to stream an online backup to path on the
+// server host, consuming "bk" progress lines until the summary arrives.
+// Failures surface as *QueryError; the server has already removed the
+// partial file.
+func (cl *Client) Backup(path string) (*BackupResult, error) {
+	if err := cl.writeLine("BACKUP " + path); err != nil {
+		return nil, err
+	}
+	for {
+		line, err := cl.readLine()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(line, "bk "):
+			continue
+		case strings.HasPrefix(line, "ok backup "):
+			res := &BackupResult{}
+			if _, err := fmt.Sscanf(line, "ok backup pages=%d start_lsn=%d end_lsn=%d",
+				&res.Pages, &res.StartLSN, &res.EndLSN); err != nil {
+				return nil, fmt.Errorf("server: malformed backup summary %q", line)
+			}
+			return res, nil
+		case strings.HasPrefix(line, "err "):
+			return nil, &QueryError{Msg: line[len("err "):]}
+		default:
+			return nil, fmt.Errorf("server: unexpected reply %q", line)
+		}
+	}
+}
+
+// ClearReadOnly asks the server to lift read-only degradation after the
+// operator has resolved the underlying fault. A *QueryError means the
+// store is still faulty (or a transaction is open on this connection).
+func (cl *Client) ClearReadOnly() error { return cl.verb("RW", protoRW) }
+
 // Ping checks liveness.
 func (cl *Client) Ping() error {
 	if err := cl.writeLine("ping"); err != nil {

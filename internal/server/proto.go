@@ -43,6 +43,23 @@ import (
 //	                               ("ok commit")
 //	                  "ROLLBACK"   undo the open transaction
 //	                               ("ok rollback")
+//	                  "BACKUP <path>"  stream an online backup of the
+//	                               knowledge base to a file on the server
+//	                               host; "bk <copied>/<total>" progress
+//	                               lines while the copy runs, then
+//	                               "ok backup pages=<p> start_lsn=<s>
+//	                               end_lsn=<e>" or "err backup <message>"
+//	                               (a failed backup removes the partial
+//	                               file and leaves the primary untouched);
+//	                               refused inside a transaction with
+//	                               "err backup_in_transaction"
+//	                  "RW"         lift read-only degradation after the
+//	                               operator fixed the underlying fault
+//	                               ("ok rw", a no-op when already
+//	                               writable; "err rw <message>" when the
+//	                               store is still faulty); refused inside
+//	                               a transaction with
+//	                               "err rw_in_transaction"
 //	query replies:    "sol <bindings>"  one per solution; bindings are
 //	                                    "X = t1, Y = t2" in variable-name
 //	                                    order, or "true" for a goal with
@@ -75,6 +92,7 @@ const (
 	protoCommit   = "ok commit"
 	protoRollback = "ok rollback"
 	protoReadOnly = "readonly"
+	protoRW       = "ok rw"
 
 	// maxLineBytes bounds one protocol line in either direction; a
 	// client sending an unbounded line is disconnected, not buffered.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -356,7 +357,18 @@ func (s *Server) handleConn(c net.Conn) {
 		default:
 		}
 		if !sc.Scan() {
-			return // EOF, oversized line, read timeout, or drain nudge
+			// EOF, oversized line, read timeout, or drain nudge. A drain
+			// nudge expires the deadline mid-Scan, so a client parked in
+			// a read (e.g. holding a transaction open) would otherwise
+			// see a bare close; give it the same deterministic draining
+			// reply an idle loop iteration would have sent. The deferred
+			// rollback then releases its transaction.
+			select {
+			case <-s.draining:
+				s.writeLine(c, protoDraining)
+			default:
+			}
+			return
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -385,6 +397,14 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 		case "ROLLBACK", "rollback":
 			if !s.cmdRollback(c, &pinned) {
+				return
+			}
+		case "BACKUP", "backup":
+			if !s.cmdBackup(c, pinned, strings.TrimSpace(rest)) {
+				return
+			}
+		case "RW", "rw":
+			if !s.cmdClearReadOnly(c, pinned) {
 				return
 			}
 		default:
@@ -455,6 +475,61 @@ func (s *Server) cmdRollback(c net.Conn, pinned **core.Session) bool {
 		return s.writeLine(c, "err "+sanitizeLine(err.Error()))
 	}
 	return s.writeLine(c, protoRollback)
+}
+
+// cmdBackup streams an online backup of the knowledge base to a file on
+// the server host, with progress lines while the copy runs. Refused
+// inside a transaction: the pinned session holds the KB write lock for
+// the transaction's whole lifetime and the backup's start/finish edges
+// need the read lock, so the connection would deadlock against itself.
+// A failed backup removes the partial file and leaves the primary (and
+// its read-write status) untouched.
+func (s *Server) cmdBackup(c net.Conn, pinned *core.Session, path string) bool {
+	if pinned != nil {
+		return s.writeLine(c, "err backup_in_transaction")
+	}
+	if path == "" {
+		return s.writeLine(c, "err backup needs a file path")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return s.writeLine(c, "err backup "+sanitizeLine(err.Error()))
+	}
+	wok := true
+	info, err := s.kb.BackupProgress(f, func(copied, total uint64) error {
+		if !s.writeLine(c, fmt.Sprintf("bk %d/%d", copied, total)) {
+			wok = false
+			return errors.New("client went away")
+		}
+		return nil
+	})
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		if !wok {
+			return false
+		}
+		return s.writeLine(c, "err backup "+sanitizeLine(err.Error()))
+	}
+	return s.writeLine(c, fmt.Sprintf("ok backup pages=%d start_lsn=%d end_lsn=%d",
+		info.Pages, info.StartLSN, info.EndLSN))
+}
+
+// cmdClearReadOnly lifts read-only degradation after the operator has
+// resolved the fault behind it (see store.ClearReadOnly); a no-op "ok
+// rw" when the store is already writable. Refused inside a transaction
+// for the same self-deadlock reason as BACKUP.
+func (s *Server) cmdClearReadOnly(c net.Conn, pinned *core.Session) bool {
+	if pinned != nil {
+		return s.writeLine(c, "err rw_in_transaction")
+	}
+	if err := s.kb.ClearReadOnly(); err != nil {
+		return s.writeLine(c, "err rw "+sanitizeLine(err.Error()))
+	}
+	return s.writeLine(c, protoRW)
 }
 
 // releaseSession returns a session to the pool.

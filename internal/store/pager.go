@@ -130,6 +130,19 @@ type filePager struct {
 	// txn, when non-nil, is the undo record of the open transaction
 	// (txn.go): commits are suspended and stash records pre-images.
 	txn *pagerTxn
+	// archive, when non-nil, receives the committed log at every
+	// checkpoint instead of it being discarded (archive.go).
+	archive *archiver
+	// backupActive, while true, blocks checkpoints: an online backup
+	// (backup.go) is copying the page file's frames and they must stay
+	// frozen at the backup-start state. Commits keep working — writers
+	// proceed into the tail and the log.
+	backupActive bool
+	// diverged, when non-nil, records a failed-commit cleanup that
+	// could not be made durable (txn.go): the log may still hold the
+	// aborted transaction's records past diverged.off. clearDiverged
+	// retries the cleanup before the store re-enables writes.
+	diverged *divergence
 
 	checkpointBytes int64
 
@@ -220,6 +233,10 @@ func OpenFilePager(path string) (Pager, error) {
 // OpenFilePagerFS is OpenFilePager over an explicit filesystem, so tests
 // can inject deterministic in-memory files and crash points.
 func OpenFilePagerFS(fsys FS, path string) (Pager, error) {
+	return openFilePagerFS(fsys, path, Options{})
+}
+
+func openFilePagerFS(fsys FS, path string, opts Options) (Pager, error) {
 	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, err
@@ -235,6 +252,23 @@ func OpenFilePagerFS(fsys FS, path string) (Pager, error) {
 		meta:            map[string]uint64{},
 		tail:            map[PageID][]byte{},
 		checkpointBytes: defaultCheckpointBytes,
+	}
+	if opts.CheckpointBytes > 0 {
+		p.checkpointBytes = opts.CheckpointBytes
+	}
+	if opts.ArchiveDir != "" {
+		afs, ok := fsys.(ArchiveFS)
+		if !ok {
+			f.Close()
+			wf.Close()
+			return nil, fmt.Errorf("store: filesystem %T cannot host a WAL archive (no directory operations)", fsys)
+		}
+		p.archive, err = openArchiver(afs, opts.ArchiveDir, opts.ArchiveBudget)
+		if err != nil {
+			f.Close()
+			wf.Close()
+			return nil, err
+		}
 	}
 	if err := p.recoverLog(); err != nil {
 		wf.Close()
@@ -265,16 +299,18 @@ func OpenFilePagerFS(fsys FS, path string) (Pager, error) {
 // recoverLog replays the WAL: committed page images are folded into the
 // page file (idempotent — a crash during recovery just replays again)
 // and the log is truncated; uncommitted or torn tail records are
-// dropped.
+// dropped. With archiving enabled, the committed prefix is appended to
+// the archive first — recovery is a checkpoint, and checkpoints never
+// discard committed history. Discarded records' LSNs are reused (the
+// log restarts at the committed LSN), keeping archived LSNs dense.
 func (p *filePager) recoverLog() error {
-	committed, maxLSN, discarded, err := p.wal.replay()
+	committed, info, err := p.wal.replay()
 	if err != nil {
 		return err
 	}
-	p.discardedRecs = uint64(discarded)
-	if maxLSN > p.wal.lsn {
-		p.wal.lsn = maxLSN
-	}
+	p.discardedRecs = uint64(info.discarded)
+	p.wal.lsn = info.committedLSN
+	p.wal.commitLSN = info.committedLSN
 	if len(committed) > 0 {
 		for _, id := range sortedPageIDs(committed) {
 			if err := p.writeFrame(id, committed[id]); err != nil {
@@ -286,12 +322,31 @@ func (p *filePager) recoverLog() error {
 		}
 		p.recoveredPages = uint64(len(committed))
 	}
-	if p.wal.off > 0 || len(committed) > 0 || discarded > 0 {
-		if err := p.wal.resetLog(); err != nil {
+	sz, err := p.wal.f.Size()
+	if err != nil {
+		return err
+	}
+	if sz == 0 && info.discarded == 0 {
+		return nil
+	}
+	if p.archive != nil && info.committedOff > 0 {
+		// The pre-crash archived offset is unknown, so the whole
+		// committed prefix is (re-)archived; replay deduplicates by LSN.
+		recs := make([]byte, info.committedOff)
+		if _, err := p.wal.f.ReadAt(recs, 0); err != nil && err != io.EOF {
 			return err
 		}
+		if err := p.archive.append(recs, info.committedLSN); err != nil {
+			// Archive fault: keep the committed log live instead of
+			// truncating history away. New records overwrite the
+			// discarded tail; a later checkpoint retries the archive.
+			p.archive.faults.Add(1)
+			p.wal.off = info.committedOff
+			p.wal.archivedOff = 0
+			return nil
+		}
 	}
-	return nil
+	return p.wal.resetLog()
 }
 
 func (p *filePager) encodeHeaderPage() ([]byte, error) {
@@ -328,7 +383,10 @@ func (p *filePager) readHeader() error {
 	p.numPages = PageID(binary.LittleEndian.Uint32(buf[4:8]))
 	p.freeHead = PageID(binary.LittleEndian.Uint32(buf[8:12]))
 	if lsn := binary.LittleEndian.Uint64(buf[12:20]); lsn > p.wal.lsn {
+		// The header was written at a checkpoint, i.e. a commit
+		// boundary, so its LSN is a committed LSN.
 		p.wal.lsn = lsn
+		p.wal.commitLSN = lsn
 	}
 	off := 20
 	n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
@@ -555,8 +613,51 @@ func (p *filePager) commitOnly() error {
 
 // checkpoint folds every committed page image into the page file and
 // truncates the log. Called only at commit points, so the tail holds
-// committed images exclusively.
+// committed images exclusively. During an online backup it is a no-op
+// (the page file's frames must stay frozen; the log simply keeps
+// growing until the backup finishes), and with archiving enabled an
+// archive fault skips the checkpoint rather than either failing the
+// commit or truncating unarchived history — the committed log stays
+// live and a later checkpoint retries.
 func (p *filePager) checkpoint() error {
+	if p.backupActive {
+		return nil
+	}
+	if p.diverged != nil {
+		// The log may hold an aborted transaction past diverged.off;
+		// neither archive nor truncate it until clearDiverged repairs
+		// the log (the store is read-only in this state anyway).
+		return nil
+	}
+	if err := p.archiveBarrier(); err != nil {
+		p.archive.faults.Add(1)
+		return nil
+	}
+	return p.checkpointLocked()
+}
+
+// archiveBarrier appends the not-yet-archived committed log prefix
+// [archivedOff, off) to the archive. Must be called at a commit
+// boundary (the flushed log ends at a commit marker). No-op when
+// archiving is disabled.
+func (p *filePager) archiveBarrier() error {
+	if p.archive == nil || p.wal.off == p.wal.archivedOff {
+		return nil
+	}
+	recs := make([]byte, p.wal.off-p.wal.archivedOff)
+	if _, err := p.wal.f.ReadAt(recs, p.wal.archivedOff); err != nil && err != io.EOF {
+		return fmt.Errorf("%w: %v", errArchive, err)
+	}
+	if err := p.archive.append(recs, p.wal.commitLSN); err != nil {
+		return err
+	}
+	p.wal.archivedOff = p.wal.off
+	return nil
+}
+
+// checkpointLocked is the fold half of a checkpoint, past the archive
+// barrier and the backup guard.
+func (p *filePager) checkpointLocked() error {
 	if p.wal.size() == 0 && len(p.tail) == 0 {
 		if sz, err := p.f.Size(); err == nil && sz > 0 {
 			return nil // nothing new and the header is already on disk
@@ -637,6 +738,37 @@ func (p *filePager) attachObs(reg *obs.Registry) {
 	reg.RegisterFunc("store.wal.recovered_pages", func() any { return p.recoveredPages })
 	reg.RegisterFunc("store.wal.discarded_records", func() any { return p.discardedRecs })
 	reg.RegisterFunc("store.checksum_errors", func() any { return p.checksumErrors.Load() })
+	reg.RegisterFunc("store.wal.archive_segments", func() any {
+		if p.archive == nil {
+			return uint64(0)
+		}
+		return p.archive.segments.Load()
+	})
+	reg.RegisterFunc("store.wal.archive_bytes", func() any {
+		if p.archive == nil {
+			return uint64(0)
+		}
+		return p.archive.abytes.Load()
+	})
+	reg.RegisterFunc("store.wal.archive_pruned", func() any {
+		if p.archive == nil {
+			return uint64(0)
+		}
+		return p.archive.pruned.Load()
+	})
+	reg.RegisterFunc("store.wal.archive_errors", func() any {
+		if p.archive == nil {
+			return uint64(0)
+		}
+		return p.archive.faults.Load()
+	})
+}
+
+// commitLSNNow returns the LSN of the last durable commit marker.
+func (p *filePager) commitLSNNow() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wal.commitLSN
 }
 
 // obsAttacher is implemented by pagers that contribute metrics to the

@@ -12,6 +12,8 @@ package simfs
 import (
 	"errors"
 	"io"
+	"sort"
+	"strings"
 
 	"repro/internal/store"
 )
@@ -232,6 +234,45 @@ func (fs *FS) OpenFile(name string) (store.File, error) {
 		fs.files[name] = f
 	}
 	return f, nil
+}
+
+// MkdirAll is a no-op: the simulated namespace is flat, directories
+// exist implicitly.
+func (fs *FS) MkdirAll(dir string) error { return fs.ctl.alive() }
+
+// List returns the full paths of the files under dir, sorted. Files
+// live in a flat namespace, so "under dir" means "name starts with
+// dir + '/'".
+func (fs *FS) List(dir string) ([]string, error) {
+	if err := fs.ctl.alive(); err != nil {
+		return nil, err
+	}
+	prefix := dir + "/"
+	var names []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes the named file. It counts as a durability operation
+// (a directory mutation that must reach the disk), so crash and fault
+// injection cover the archive-pruning path too. Crash semantics are
+// simplified: a removal is applied immediately and survives every
+// Harvest variant — for archive pruning, the file reappearing after a
+// crash would only mean it gets pruned again.
+func (fs *FS) Remove(name string) error {
+	if err := fs.ctl.tick(); err != nil {
+		return err
+	}
+	if _, ok := fs.files[name]; !ok {
+		return errors.New("simfs: remove " + name + ": no such file")
+	}
+	delete(fs.files, name)
+	return nil
 }
 
 // Harvest freezes the crashed filesystem into the on-disk state a

@@ -35,6 +35,27 @@ var ErrReadOnly = errors.New("store: read-only (degraded after a failed commit)"
 // of 4 KiB matches that footprint.
 const DefaultPoolPages = 512
 
+// Options configures a store beyond its path. The zero value selects
+// the defaults (DefaultPoolPages, the built-in checkpoint threshold,
+// no WAL archiving).
+type Options struct {
+	// PoolPages is the buffer pool capacity (<= 0: DefaultPoolPages).
+	PoolPages int
+	// CheckpointBytes is the WAL size past which a commit checkpoints
+	// and truncates the log (<= 0: the built-in 4 MiB default). Small
+	// thresholds cut archive segments more often.
+	CheckpointBytes int64
+	// ArchiveDir, when non-empty, enables WAL segment archiving: every
+	// checkpoint appends the committed log to a numbered segment there
+	// instead of discarding it, enabling point-in-time restore
+	// (Backup/Restore). The filesystem must support directory
+	// operations (ArchiveFS; the real filesystem and simfs both do).
+	ArchiveDir string
+	// ArchiveBudget bounds the archive's total size in bytes; oldest
+	// segments are pruned first (0: unlimited).
+	ArchiveBudget int64
+}
+
 // Open opens (or creates) a store. An empty path yields an in-memory
 // store. poolPages <= 0 selects DefaultPoolPages.
 func Open(path string, poolPages int) (*Store, error) {
@@ -44,6 +65,17 @@ func Open(path string, poolPages int) (*Store, error) {
 // OpenFS is Open over an explicit filesystem, letting tests inject
 // deterministic in-memory files and crash points under a real store.
 func OpenFS(fsys FS, path string, poolPages int) (*Store, error) {
+	return OpenOptionsFS(fsys, path, Options{PoolPages: poolPages})
+}
+
+// OpenOptions opens (or creates) a store with explicit options.
+func OpenOptions(path string, opts Options) (*Store, error) {
+	return OpenOptionsFS(OSFS{}, path, opts)
+}
+
+// OpenOptionsFS is OpenOptions over an explicit filesystem.
+func OpenOptionsFS(fsys FS, path string, opts Options) (*Store, error) {
+	poolPages := opts.PoolPages
 	if poolPages <= 0 {
 		poolPages = DefaultPoolPages
 	}
@@ -52,7 +84,7 @@ func OpenFS(fsys FS, path string, poolPages int) (*Store, error) {
 	if path == "" {
 		pager = NewMemPager()
 	} else {
-		pager, err = OpenFilePagerFS(fsys, path)
+		pager, err = openFilePagerFS(fsys, path, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -48,11 +48,23 @@ type pagerTxn struct {
 	freeHead PageID
 	meta     map[string]uint64
 	hdrDirty bool
-	preOff   int64 // wal.off at BeginTxn, for post-failure truncation
+	preOff   int64  // wal.off at BeginTxn, for post-failure truncation
+	preLSN   uint64 // wal.lsn at BeginTxn; rollback reuses the discarded LSNs
 	// preTail maps each page first stashed during the transaction to the
 	// tail image it had before (nil: the page was not in the tail, so
 	// rollback deletes it).
 	preTail map[PageID][]byte
+}
+
+// divergence records a failed-commit cleanup that could not be made
+// durable: the log file may still hold the aborted transaction's
+// records (possibly including its commit marker) past off. While it
+// stands, the pager neither checkpoints nor archives — the store above
+// is read-only — and clearDiverged retries the truncation before
+// writes are re-enabled.
+type divergence struct {
+	off int64
+	lsn uint64
 }
 
 func (p *filePager) BeginTxn() error {
@@ -78,6 +90,7 @@ func (p *filePager) BeginTxn() error {
 		meta:     meta,
 		hdrDirty: p.hdrDirty,
 		preOff:   p.wal.off,
+		preLSN:   p.wal.lsn,
 		preTail:  map[PageID][]byte{},
 	}
 	return nil
@@ -100,15 +113,26 @@ func (p *filePager) CommitTxn() error {
 		// durable marker can at worst resurface the transaction at the
 		// next open, never diverge from live state that kept writing.
 		p.txn = txn
+		advancedLSN := p.wal.lsn
 		p.rollbackLocked()
 		// Adopt the shorter offset only once the truncate is durable: a
 		// failed fsync means a crash could still surface the marker, so
 		// keeping wal.off advanced makes any later append land after it
 		// instead of silently narrowing the divergence to a crash window.
+		// In that diverged state the discarded LSNs stay burned too (the
+		// file still holds records carrying them), and the divergence is
+		// recorded so clearDiverged can repair the log before the store
+		// re-enables writes.
+		durable := false
 		if terr := p.wal.f.Truncate(txn.preOff); terr == nil {
 			if serr := p.wal.f.Sync(); serr == nil {
 				p.wal.off = txn.preOff
+				durable = true
 			}
+		}
+		if !durable {
+			p.wal.lsn = advancedLSN
+			p.diverged = &divergence{off: txn.preOff, lsn: txn.preLSN}
 		}
 		return err
 	}
@@ -153,12 +177,52 @@ func (p *filePager) rollbackLocked() {
 	}
 	p.wal.buf = p.wal.buf[:0]
 	p.wal.dirty = false
+	// The discarded records never reached the file (no I/O inside a
+	// transaction), so their LSNs are reused — keeping the LSN sequence
+	// of what does reach the log (and hence the archive) dense.
+	p.wal.lsn = txn.preLSN
 }
 
 func (p *filePager) InTxn() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.txn != nil
+}
+
+// clearDiverged is the operator repair path behind Store.ClearReadOnly:
+// it proves the medium is writable again before the store re-enables
+// writes. If a failed commit left the log diverged, the truncation is
+// retried (restoring the pre-transaction offset and LSN); then a full
+// commit + checkpoint forces the page file and an empty log to reflect
+// the consistent in-memory state. Any failure leaves the store
+// read-only.
+func (p *filePager) clearDiverged() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txn != nil {
+		return ErrTxnOpen
+	}
+	if p.backupActive {
+		return errors.New("store: cannot clear read-only during an online backup")
+	}
+	if d := p.diverged; d != nil {
+		if err := p.wal.f.Truncate(d.off); err != nil {
+			return err
+		}
+		if err := p.wal.f.Sync(); err != nil {
+			return err
+		}
+		p.wal.off = d.off
+		p.wal.lsn = d.lsn
+		p.diverged = nil
+	}
+	if err := p.commitOnly(); err != nil {
+		return err
+	}
+	if err := p.archiveBarrier(); err != nil {
+		return err
+	}
+	return p.checkpointLocked()
 }
 
 // memTxn is the memPager's undo record: the page-array length and

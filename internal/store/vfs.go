@@ -3,6 +3,7 @@ package store
 import (
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // File is the I/O surface the pager needs from a backing file. It is
@@ -21,6 +22,21 @@ type File interface {
 // FS opens backing files by name, creating them when absent.
 type FS interface {
 	OpenFile(name string) (File, error)
+}
+
+// ArchiveFS extends FS with the directory operations WAL archiving
+// needs: creating the archive directory, enumerating its segments, and
+// pruning old ones. OSFS and the test filesystem (simfs) both implement
+// it; enabling archiving on an FS without these operations is an open
+// error, not a silent no-op.
+type ArchiveFS interface {
+	FS
+	// MkdirAll ensures dir exists.
+	MkdirAll(dir string) error
+	// List returns the full paths of the files under dir, sorted.
+	List(dir string) ([]string, error)
+	// Remove deletes the named file.
+	Remove(name string) error
 }
 
 // OSFS is the real filesystem.
@@ -44,3 +60,26 @@ func (OSFS) OpenFile(name string) (File, error) {
 	}
 	return osFile{f}, nil
 }
+
+// MkdirAll ensures dir exists.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// List returns the full paths of the regular files under dir, sorted
+// (os.ReadDir sorts by name).
+func (OSFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	return names, nil
+}
+
+// Remove deletes the named file.
+func (OSFS) Remove(name string) error { return os.Remove(name) }

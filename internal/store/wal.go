@@ -49,6 +49,16 @@ type wal struct {
 	off   int64  // flushed bytes in f
 	lsn   uint64
 	dirty bool // page records appended since the last commit
+	// commitLSN is the LSN of the last durable commit marker. Unlike
+	// lsn it never counts records that were later discarded (a rolled
+	// back transaction, a torn tail), so it is the LSN a backup or an
+	// archive segment can be stamped with.
+	commitLSN uint64
+	// archivedOff is how much of the flushed log [0, off) has been
+	// copied into an archive segment (archive.go). Only ever advanced
+	// at commit boundaries, so the archived prefix always ends at a
+	// commit marker.
+	archivedOff int64
 
 	appends atomic.Uint64
 	commits atomic.Uint64
@@ -99,6 +109,8 @@ func (w *wal) commit() error {
 	w.fsyncs.Add(1)
 	w.commits.Add(1)
 	w.dirty = false
+	// The marker was the last record appended, so w.lsn is its LSN.
+	w.commitLSN = w.lsn
 	return nil
 }
 
@@ -115,6 +127,7 @@ func (w *wal) resetLog() error {
 		return err
 	}
 	w.off = 0
+	w.archivedOff = 0
 	w.buf = w.buf[:0]
 	w.dirty = false
 	if err := w.f.Sync(); err != nil {
@@ -124,25 +137,11 @@ func (w *wal) resetLog() error {
 	return nil
 }
 
-// replay scans the log and returns the page images established by the
-// last durable commit, the highest LSN seen (committed or not, so new
-// records never reuse one), and how many records were discarded as
-// uncommitted or torn tail.
-func (w *wal) replay() (committed map[PageID][]byte, maxLSN uint64, discarded int, err error) {
-	committed = map[PageID][]byte{}
-	sz, err := w.f.Size()
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	if sz == 0 {
-		return committed, 0, 0, nil
-	}
-	log := make([]byte, sz)
-	if _, err := w.f.ReadAt(log, 0); err != nil && err != io.EOF {
-		return nil, 0, 0, err
-	}
-	pending := map[PageID][]byte{}
-	pendingN := 0
+// scanRecords walks the valid record prefix of log, calling fn for each
+// record (data is nil for commit markers, the page image otherwise).
+// It stops at the first torn or corrupt record — or when fn returns
+// false — and returns the byte offset it stopped at.
+func scanRecords(log []byte, fn func(kind byte, lsn uint64, id PageID, data []byte) bool) int {
 	off := 0
 	for off+walRecHdr <= len(log) {
 		hdr := log[off : off+walRecHdr]
@@ -165,27 +164,69 @@ func (w *wal) replay() (committed map[PageID][]byte, maxLSN uint64, discarded in
 			break
 		}
 		lsn := binary.LittleEndian.Uint64(hdr[1:9])
-		if lsn > maxLSN {
-			maxLSN = lsn
+		id := PageID(binary.LittleEndian.Uint32(hdr[9:13]))
+		if !fn(kind, lsn, id, data) {
+			return off
 		}
 		off += recLen
+	}
+	return off
+}
+
+// walReplayInfo summarises one log replay.
+type walReplayInfo struct {
+	// maxLSN is the highest LSN seen, committed or not, so new records
+	// never reuse the LSN of a record a crash may yet surface.
+	maxLSN uint64
+	// committedLSN is the LSN of the last valid commit marker and
+	// committedOff the byte offset just past it: log[0:committedOff] is
+	// the committed prefix a WAL archive preserves.
+	committedLSN uint64
+	committedOff int64
+	// discarded counts records dropped as uncommitted or torn tail.
+	discarded int
+}
+
+// replay scans the log and returns the page images established by the
+// last durable commit, plus the scan summary (see walReplayInfo).
+func (w *wal) replay() (committed map[PageID][]byte, info walReplayInfo, err error) {
+	committed = map[PageID][]byte{}
+	sz, err := w.f.Size()
+	if err != nil {
+		return nil, info, err
+	}
+	if sz == 0 {
+		return committed, info, nil
+	}
+	log := make([]byte, sz)
+	if _, err := w.f.ReadAt(log, 0); err != nil && err != io.EOF {
+		return nil, info, err
+	}
+	pending := map[PageID][]byte{}
+	recEnd := int64(0)
+	off := scanRecords(log, func(kind byte, lsn uint64, id PageID, data []byte) bool {
+		if lsn > info.maxLSN {
+			info.maxLSN = lsn
+		}
 		if kind == walPage {
-			id := PageID(binary.LittleEndian.Uint32(hdr[9:13]))
 			img := make([]byte, PageSize)
 			copy(img, data)
 			pending[id] = img
-			pendingN++
+			recEnd += walRecHdr + PageSize
 		} else {
-			for id, img := range pending {
-				committed[id] = img
+			for pid, img := range pending {
+				committed[pid] = img
 			}
 			pending = map[PageID][]byte{}
-			pendingN = 0
+			recEnd += walRecHdr
+			info.committedLSN = lsn
+			info.committedOff = recEnd
 		}
-	}
-	discarded = pendingN
+		return true
+	})
+	info.discarded = len(pending)
 	if off < len(log) {
-		discarded++ // the torn or corrupt record that ended the scan
+		info.discarded++ // the torn or corrupt record that ended the scan
 	}
-	return committed, maxLSN, discarded, nil
+	return committed, info, nil
 }
