@@ -11,6 +11,7 @@
 //	benchtool -table phases     # §3.1 compile-phase split
 //	benchtool -table ruleuse    # §2 per-use rule cost
 //	benchtool -table server     # served MVV: concurrent wire clients
+//	benchtool -table datalog    # R5: recursive Datalog, tuple vs set strategy
 //	benchtool -table scaling    # R3: sessions-vs-throughput (JSON)
 //	benchtool -table profile    # R4: profiled MVV (trace + profile JSON)
 //	benchtool -table all        # every table except scaling and profile
@@ -45,7 +46,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: mvv, wisconsin, icheck, cpuscale, phases, ruleuse, server, scaling, all")
+	table := flag.String("table", "all", "table to regenerate: mvv, wisconsin, icheck, cpuscale, phases, ruleuse, server, datalog, scaling, all")
 	wiscN := flag.Int("wisconsin-n", 10000, "Wisconsin relation cardinality")
 	clients := flag.Int("clients", 8, "with -table server: concurrent wire clients")
 	queries := flag.Int("queries", 20, "with -table server: queries per client")
@@ -53,6 +54,9 @@ func main() {
 	scalingSessions := flag.String("scaling-sessions", "1,2,4,8", "with -table scaling: comma-separated session counts")
 	scalingRounds := flag.Int("scaling-rounds", 3, "with -table scaling: work units per session")
 	checkScaling := flag.Bool("check-scaling", false, "with -table scaling: exit nonzero if max-session throughput < baseline")
+	datalogChains := flag.Int("datalog-chains", 60, "with -table datalog: number of disjoint TC chains")
+	datalogChainLen := flag.Int("datalog-chainlen", 20, "with -table datalog: nodes per TC chain")
+	checkDatalog := flag.Bool("check-datalog", false, "with -table datalog: exit nonzero unless strategies agree and set reads >=5x fewer pages")
 	slowQuery := flag.Duration("slow-query", time.Nanosecond, "with -table profile: slow-query threshold")
 	metricsOut := flag.String("metrics-out", "", "with -table profile: write the profile+metrics JSON document to this file instead of stdout")
 	flag.Parse()
@@ -73,6 +77,7 @@ func main() {
 	run("phases", printPhases)
 	run("ruleuse", printRuleUse)
 	run("server", func() error { return printServer(*clients, *queries, *sessions) })
+	run("datalog", func() error { return printDatalog(*datalogChains, *datalogChainLen, *checkDatalog) })
 	// Scaling and profile run only when asked for by name: scaling builds
 	// file-backed stores; profile interleaves trace records with tables.
 	if *table == "scaling" {
@@ -158,6 +163,32 @@ func printServer(clients, queries, sessions int) error {
 }
 
 func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
+
+// printDatalog runs the dual-strategy recursive workloads (R5): each
+// generated workload evaluated tuple-at-a-time and set-at-a-time over a
+// file-backed KB, with per-strategy page-read counts.
+func printDatalog(chains, chainLen int, check bool) error {
+	rows, err := bench.DatalogTable(chains, chainLen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("R5 — Dual strategy: recursive Datalog, tuple- vs set-at-a-time (TC: %d chains x %d nodes)\n", chains, chainLen)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\tstrategy\tqueries\tsolutions\telapsed(ms)\tedb-page-reads")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.2f\t%d\n",
+			r.Workload, r.Strategy, r.Queries, r.Solutions, r.ElapsedMS, r.Pages)
+	}
+	w.Flush()
+	fmt.Println()
+	if check {
+		if err := bench.CheckDatalog(rows, 5); err != nil {
+			return fmt.Errorf("datalog check failed: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "datalog check passed: identical solution sets, set strategy >=5x fewer page reads")
+	}
+	return nil
+}
 
 func printMVV() error {
 	rows, err := bench.MVVTable()

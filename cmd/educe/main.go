@@ -2,13 +2,21 @@
 //
 // Usage:
 //
-//	educe [-db kb.edb] [-mode compiled|source] [-external] [file.pl ...]
+//	educe [-db kb.edb] [-mode compiled|source] [-strategy auto|tuple|set]
+//	      [-external] [file.pl ...]
 //
 // Files named on the command line are consulted into main memory (or, with
 // -external, compiled into the EDB). The shell then reads goals, one per
 // line, and prints solutions; press enter on an empty line (or type ';')
 // for more solutions, anything else for the next goal. Type 'halt.' to
 // leave.
+//
+// -strategy selects how stored rule predicates are evaluated: "auto"
+// (default; set-at-a-time semi-naive evaluation for eligible recursive
+// predicates, the WAM for everything else), "tuple" (WAM everywhere),
+// or "set" (semi-naive for any eligible stored predicate). The choice
+// applies to the shell session and every served session; goals can
+// override it per session with educe_strategy/1. See DESIGN.md §14.
 //
 // Robustness:
 //
@@ -102,6 +110,7 @@ import (
 func main() {
 	dbPath := flag.String("db", "", "page file backing the EDB (empty = in-memory)")
 	mode := flag.String("mode", "compiled", "rule storage: compiled (Educe*) or source (Educe baseline)")
+	strategy := flag.String("strategy", "auto", "evaluation strategy for stored rule predicates: auto, tuple, or set (DESIGN.md §14)")
 	external := flag.Bool("external", false, "consult files into the EDB instead of main memory")
 	stats := flag.Bool("stats", false, "print engine statistics after every goal")
 	goal := flag.String("goal", "", "run one goal non-interactively, print all solutions, exit")
@@ -154,6 +163,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "educe: -mode must be compiled or source")
 		os.Exit(2)
 	}
+	st, err := educe.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "educe:", err)
+		os.Exit(2)
+	}
+	opts.Strategy = st
 	eng, err := educe.NewWithOptions(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "educe:", err)

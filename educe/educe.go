@@ -127,6 +127,58 @@ const (
 	RuleStorageSource = core.RuleStorageSource
 )
 
+// Strategy selects how externally stored rule predicates are evaluated:
+// tuple-at-a-time on the WAM, or set-at-a-time by the semi-naive
+// relational fixpoint driver (DESIGN.md §14).
+type Strategy = core.Strategy
+
+// Evaluation strategies.
+const (
+	// StrategyAuto (the default) uses set-at-a-time evaluation for
+	// eligible recursive predicates and the WAM for everything else.
+	StrategyAuto = core.StrategyAuto
+	// StrategyTuple forces tuple-at-a-time WAM evaluation everywhere.
+	StrategyTuple = core.StrategyTuple
+	// StrategySet uses set-at-a-time evaluation for any eligible stored
+	// rule predicate, recursive or not.
+	StrategySet = core.StrategySet
+)
+
+// ParseStrategy parses "auto", "tuple" or "set" (the -strategy flag).
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// Option configures a Session at creation time (KnowledgeBase.NewSession).
+// The With* constructors below consolidate the per-feature Session setters
+// into one declarative surface:
+//
+//	s, err := kb.NewSession(
+//	    educe.WithTimeout(2*time.Second),
+//	    educe.WithStrategy(educe.StrategySet),
+//	)
+type Option = core.Option
+
+// Session options (see the core package for full semantics).
+var (
+	// WithOptions replaces the session-level Options block.
+	WithOptions = core.WithOptions
+	// WithRuleStorage selects compiled (Educe*) or source (baseline) mode.
+	WithRuleStorage = core.WithRuleStorage
+	// WithStrategy selects tuple- vs set-at-a-time evaluation.
+	WithStrategy = core.WithStrategy
+	// WithTimeout arms a per-query wall-clock budget, re-armed each query.
+	WithTimeout = core.WithTimeout
+	// WithQuota installs per-query resource caps.
+	WithQuota = core.WithQuota
+	// WithTracer directs per-query trace events to a tracer.
+	WithTracer = core.WithTracer
+	// WithTraceWriter is WithTracer over a JSON-lines writer.
+	WithTraceWriter = core.WithTraceWriter
+	// WithSlowThreshold arms the slow-query diagnostic log.
+	WithSlowThreshold = core.WithSlowThreshold
+	// WithProfiling enables the per-predicate 4-port profiler.
+	WithProfiling = core.WithProfiling
+)
+
 // Term is a Prolog term as returned by Solutions bindings.
 type Term = term.Term
 

@@ -103,6 +103,30 @@ func main() {
 			fmt.Printf("  %s is the top earner of %s\n", t[1].S, t[2].S)
 		}
 	}
+
+	// Set-at-a-time recursion (DESIGN.md §14): a reporting chain stored
+	// in the EDB, its transitive closure answered by the semi-naive
+	// fixpoint driver instead of tuple-at-a-time resolution. A session
+	// opts in with WithStrategy (or educe_strategy/1 from Prolog).
+	var chain string
+	for i := 0; i < 19; i++ {
+		chain += fmt.Sprintf("boss(m%d, m%d).\n", i, i+1)
+	}
+	chain += "above(X, Y) :- boss(X, Y).\n"
+	chain += "above(X, Z) :- boss(X, Y), above(Y, Z).\n"
+	if err := eng.ConsultExternal(chain); err != nil {
+		log.Fatal(err)
+	}
+	s, err := eng.KB().NewSession(educe.WithStrategy(educe.StrategySet))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	n, err := s.QueryCount("above(m0, X)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSet-at-a-time recursion: m0 is above %d people (semi-naive fixpoint)\n", n)
 }
 
 const striding = 7919 // prime stride spreads salaries deterministically

@@ -1,0 +1,217 @@
+package bench
+
+// The dual-strategy Datalog experiment (EXPERIMENTS.md R5): the same
+// recursive query workload evaluated tuple-at-a-time (the WAM with
+// per-resolution-step EDB retrieval) and set-at-a-time (the semi-naive
+// relational fixpoint of internal/setops), over a file-backed knowledge
+// base. Tuple-at-a-time pays one pre-unified retrieval per distinct call
+// pattern — for a recursive predicate that is one retrieval per visited
+// node per query — while the set-at-a-time driver reads each stored
+// predicate once (the all-wild retrieval), materializes, and serves
+// every query from the fixpoint. The page-read ratio is the table's
+// point; CI smoke-checks that the two strategies agree on solution
+// counts and that the set strategy reads at least 5x fewer pages.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DatalogRow is one strategy's run of one recursive workload.
+type DatalogRow struct {
+	Workload  string  `json:"workload"`
+	Strategy  string  `json:"strategy"`
+	Queries   int     `json:"queries"`
+	Solutions int     `json:"solutions"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Pages     uint64  `json:"edb_pages_read"`
+}
+
+// datalogWorkload is a generated program plus a bound-query sequence.
+type datalogWorkload struct {
+	name    string
+	program string
+	queries []string
+}
+
+// tcWorkload generates the transitive-closure graph: chains disjoint
+// chains of chainLen nodes each (chains*chainLen nodes total, all edges
+// in the EDB), the two-clause path/2 program, and one bound query per
+// source node — the selective-access workload of the paper's §4, where
+// tuple-at-a-time pays per-call-pattern EDB retrievals on every query
+// while the set strategy materializes once and serves all of them.
+// Every path within a chain is unique, so tuple- and set-at-a-time
+// agree on exact solution counts (no duplicate derivations to
+// collapse).
+func tcWorkload(chains, chainLen int) datalogWorkload {
+	// edge is the union of two base relations (the classic multi-source
+	// reachability formulation): chain links alternate between fwd and
+	// alt, so every tuple-at-a-time edge expansion retrieves the edge
+	// rules plus both base relations, while the set-at-a-time driver
+	// still scans each base relation exactly once.
+	var prog []byte
+	queries := make([]string, 0, chains*(chainLen-1))
+	for c := 0; c < chains; c++ {
+		for i := 0; i < chainLen-1; i++ {
+			base := "fwd"
+			if i%2 == 1 {
+				base = "alt"
+			}
+			prog = append(prog, fmt.Sprintf("%s(n%d_%d, n%d_%d).\n", base, c, i, c, i+1)...)
+			queries = append(queries, fmt.Sprintf("path(n%d_%d, X)", c, i))
+		}
+	}
+	prog = append(prog, "edge(X, Y) :- fwd(X, Y).\n"...)
+	prog = append(prog, "edge(X, Y) :- alt(X, Y).\n"...)
+	prog = append(prog, "path(X, Y) :- edge(X, Y).\n"...)
+	prog = append(prog, "path(X, Z) :- edge(X, Y), path(Y, Z).\n"...)
+	return datalogWorkload{name: "tc", program: string(prog), queries: queries}
+}
+
+// sgWorkload generates a complete binary tree of the given depth
+// (2^(depth+1)-1 nodes; node/1 and par/2 facts in the EDB), the
+// same-generation program, and one bound query per leaf (up to
+// nQueries leaves).
+func sgWorkload(depth, nQueries int) datalogWorkload {
+	// par is the union of mother and father (the textbook
+	// same-generation program): a node's parent link alternates between
+	// the two base relations by index parity.
+	var prog []byte
+	n := 1<<(depth+1) - 1
+	for i := 0; i < n; i++ {
+		prog = append(prog, fmt.Sprintf("node(t%d).\n", i)...)
+		if i > 0 {
+			base := "mother"
+			if i%2 == 0 {
+				base = "father"
+			}
+			prog = append(prog, fmt.Sprintf("%s(t%d, t%d).\n", base, i, (i-1)/2)...)
+		}
+	}
+	prog = append(prog, "par(X, P) :- mother(X, P).\n"...)
+	prog = append(prog, "par(X, P) :- father(X, P).\n"...)
+	prog = append(prog, "sg(X, X) :- node(X).\n"...)
+	prog = append(prog, "sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n"...)
+	first := 1<<depth - 1 // index of the first leaf
+	queries := make([]string, 0, nQueries)
+	for i := 0; i < nQueries; i++ {
+		queries = append(queries, fmt.Sprintf("sg(t%d, Y)", first+i))
+	}
+	return datalogWorkload{name: "sg", program: string(prog), queries: queries}
+}
+
+// runDatalogStrategy runs one workload's query sequence on a fresh
+// session with the given strategy, counting distinct solutions per query
+// (set semantics, so the two strategies are comparable) and the
+// session's EDB page reads.
+func runDatalogStrategy(kb *core.KnowledgeBase, w datalogWorkload, st core.Strategy) (DatalogRow, error) {
+	s, err := kb.NewSession(core.WithStrategy(st))
+	if err != nil {
+		return DatalogRow{}, err
+	}
+	defer s.Close()
+	row := DatalogRow{Workload: w.name, Strategy: st.String(), Queries: len(w.queries)}
+	start := time.Now()
+	for _, q := range w.queries {
+		sols, err := s.QueryAll(q)
+		if err != nil {
+			return DatalogRow{}, fmt.Errorf("%s [%s]: %w", q, st, err)
+		}
+		seen := map[string]bool{}
+		for _, m := range sols {
+			fp := ""
+			for _, v := range m {
+				fp += v.String() + "|"
+			}
+			if !seen[fp] {
+				seen[fp] = true
+				row.Solutions++
+			}
+		}
+	}
+	row.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	row.Pages = s.Cost().PagesTouched
+	return row, nil
+}
+
+// DatalogTable builds the file-backed knowledge base (chains disjoint
+// chains of chainLen nodes for TC; a binary tree for same-generation)
+// and runs each workload under both strategies, returning one row per
+// (workload, strategy).
+func DatalogTable(chains, chainLen int) ([]DatalogRow, error) {
+	dir, err := os.MkdirTemp("", "educe-datalog")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	workloads := []datalogWorkload{
+		tcWorkload(chains, chainLen),
+		sgWorkload(6, 64),
+	}
+	var rows []DatalogRow
+	for _, w := range workloads {
+		kb, err := core.OpenKB(core.Options{StorePath: filepath.Join(dir, w.name+".pages")})
+		if err != nil {
+			return nil, err
+		}
+		seed, err := kb.NewSession()
+		if err != nil {
+			kb.Close()
+			return nil, err
+		}
+		if err := seed.ConsultExternal(w.program); err != nil {
+			kb.Close()
+			return nil, err
+		}
+		seed.Close()
+		for _, st := range []core.Strategy{core.StrategyTuple, core.StrategySet} {
+			row, err := runDatalogStrategy(kb, w, st)
+			if err != nil {
+				kb.Close()
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		kb.Close()
+	}
+	return rows, nil
+}
+
+// CheckDatalog validates a DatalogTable result: per workload, both
+// strategies must agree on the distinct-solution count, and the set
+// strategy must touch at most 1/minRatio of the tuple strategy's pages.
+// This is the CI smoke gate for the set-at-a-time pipeline.
+func CheckDatalog(rows []DatalogRow, minRatio float64) error {
+	byWorkload := map[string][]DatalogRow{}
+	for _, r := range rows {
+		byWorkload[r.Workload] = append(byWorkload[r.Workload], r)
+	}
+	for w, rs := range byWorkload {
+		var tuple, set *DatalogRow
+		for i := range rs {
+			switch rs[i].Strategy {
+			case "tuple":
+				tuple = &rs[i]
+			case "set":
+				set = &rs[i]
+			}
+		}
+		if tuple == nil || set == nil {
+			return fmt.Errorf("datalog %s: missing a strategy row", w)
+		}
+		if tuple.Solutions != set.Solutions {
+			return fmt.Errorf("datalog %s: solution sets diverge: tuple %d, set %d",
+				w, tuple.Solutions, set.Solutions)
+		}
+		if float64(set.Pages)*minRatio > float64(tuple.Pages) {
+			return fmt.Errorf("datalog %s: set strategy read %d pages, tuple %d — below the %gx gate",
+				w, set.Pages, tuple.Pages, minRatio)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/wam"
+)
+
+// isWallTimeout reports whether err is the machine's wall-clock
+// timeout ball.
+func isWallTimeout(err error) bool {
+	var ball *wam.ErrBall
+	return errors.As(err, &ball) && ball.Term.String() == "error(timeout,educe)"
+}
+
+// QueryCtx is Query under a context: the context's deadline (if any, and
+// if earlier than whatever deadline the session already has armed) bounds
+// the query through the machine's wall-clock deadline, and a context
+// already cancelled fails fast. Cancellation *during* solution iteration
+// is handled per step by Solutions.NextCtx; pair the two:
+//
+//	sols, err := s.QueryCtx(ctx, "path(a, X)")
+//	for err == nil && sols.NextCtx(ctx) { ... }
+//
+// The context deadline armed here is restored to its previous value when
+// the iteration finishes, so one query's context cannot shorten the next
+// query's budget.
+func (s *Session) QueryCtx(ctx context.Context, q string) (*Solutions, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sol, err := s.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if cur := s.m.Deadline(); cur.IsZero() || d.Before(cur) {
+			sol.prevDeadline = cur
+			sol.ctxDeadline = d
+			s.m.SetDeadline(d)
+		}
+	}
+	return sol, nil
+}
+
+// NextCtx is Next under a context: while the machine resolves, a watcher
+// maps ctx cancellation onto Session.Interrupt, aborting the step. When
+// the context is the cause of failure, Err reports the context's error
+// (context.Canceled / DeadlineExceeded) instead of the Prolog ball the
+// abort surfaced as.
+func (s *Solutions) NextCtx(ctx context.Context) bool {
+	if err := ctx.Err(); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		s.finish()
+		return false
+	}
+	if ctx.Done() == nil {
+		return s.Next()
+	}
+	done := make(chan struct{})
+	fired := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.e.m.Interrupt()
+			close(fired)
+		case <-done:
+			close(fired)
+		}
+	}()
+	armed := s.ctxDeadline // finish() clears it before we can look
+	ok := s.Next()
+	close(done)
+	<-fired // watcher has either interrupted or stood down; no stray Interrupt later
+	if !ok && ctx.Err() != nil {
+		// A step killed by the watcher surfaces as an interrupted/timeout
+		// ball; report the cancellation idiomatically at the Go boundary.
+		s.err = ctx.Err()
+	} else if !ok && !armed.IsZero() && isWallTimeout(s.err) {
+		// The machine's deadline — armed by QueryCtx from this very
+		// context — can fire a beat before Go's context timer marks the
+		// context done; it is still the context's deadline expiring.
+		s.err = context.DeadlineExceeded
+	}
+	if ctx.Err() != nil {
+		// The watcher may have fired after Next delivered its solution;
+		// drop the pending interrupt so it cannot kill an unrelated later
+		// query on this session.
+		s.e.m.ClearInterrupt()
+	}
+	return ok
+}
+
+// restoreCtxDeadline undoes QueryCtx's deadline arming at iteration end.
+func (s *Solutions) restoreCtxDeadline() {
+	if s.ctxDeadline.IsZero() {
+		return
+	}
+	if cur := s.e.m.Deadline(); cur.Equal(s.ctxDeadline) {
+		s.e.m.SetDeadline(s.prevDeadline)
+	}
+	s.ctxDeadline = time.Time{}
+}

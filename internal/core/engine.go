@@ -141,6 +141,10 @@ type Options struct {
 	DisablePreUnification bool
 	// RuleStorage selects the mode (default RuleStorageCompiled).
 	RuleStorage RuleStorage
+	// Strategy selects tuple-at-a-time vs set-at-a-time evaluation of
+	// externally stored rule predicates (default StrategyAuto: semi-naive
+	// set-at-a-time for eligible recursive predicates, WAM otherwise).
+	Strategy Strategy
 }
 
 // Session is one Educe* session over a shared KnowledgeBase: the WAM
@@ -183,6 +187,19 @@ type Session struct {
 	// this session owns the KB write lock (see txn.go).
 	txn *sessionTxn
 
+	// strategyDirty defers a mid-query educe_strategy/1 switch to the
+	// next query start, when materialized set-at-a-time results can be
+	// dropped safely (their blocks may be executing right now).
+	strategyDirty bool
+
+	// defTimeout, when positive, re-arms a fresh deadline at every query
+	// start (the WithTimeout option); SetTimeout's one-shot deadline is
+	// unaffected. defArmed remembers the deadline value armed from
+	// defTimeout, so beginQuery can tell its own stale deadline (replace)
+	// from a manually set one (keep if earlier).
+	defTimeout time.Duration
+	defArmed   time.Time
+
 	// quota caps each query's resource consumption (see SetQuota); the
 	// machine enforces the heap/trail/solution limits and calls back
 	// into quotaHook for the EDB pages-touched limit.
@@ -219,12 +236,15 @@ type Session struct {
 }
 
 // loadedEntry is one session-resident dynamically loaded procedure, with
-// the KB invalidation version of its stored source at link time.
+// the KB invalidation version of its stored source at link time. setops,
+// when non-nil, marks a materialized set-at-a-time result and carries
+// the dependency snapshot revalidateSetops checks at query start.
 type loadedEntry struct {
-	proc  *wam.Proc
-	name  string
-	arity int
-	ver   uint64
+	proc   *wam.Proc
+	name   string
+	arity  int
+	ver    uint64
+	setops *setopsInfo
 }
 
 type dynPred struct {
@@ -363,8 +383,26 @@ func (s *Session) Interp() *interp.Interp { return s.in }
 // RuleStorage reports the current mode.
 func (s *Session) RuleStorage() RuleStorage { return s.opts.RuleStorage }
 
-// SetRuleStorage switches between Educe* and baseline evaluation.
-func (s *Session) SetRuleStorage(rs RuleStorage) { s.opts.RuleStorage = rs }
+// SetRuleStorage switches between Educe* and baseline evaluation
+// (legacy wrapper; prefer WithRuleStorage at NewSession time). The switch
+// is rejected with store.ErrTxnOpen while a transaction is open: the two
+// modes resolve clauses through different caches, so changing modes
+// mid-transaction would let one goal see pre-snapshot code the rollback
+// path cannot restore. On success any loaded compiled code and baseline
+// fact caches are dropped, so the next query resolves everything afresh
+// in the new mode.
+func (s *Session) SetRuleStorage(rs RuleStorage) error {
+	if rs == s.opts.RuleStorage {
+		return nil
+	}
+	if s.txn != nil {
+		return store.ErrTxnOpen
+	}
+	s.endQuery()
+	s.evictLoadedCode()
+	s.opts.RuleStorage = rs
+	return nil
+}
 
 // Stats returns aggregated counters.
 func (s *Session) Stats() Stats {
@@ -398,7 +436,10 @@ func (s *Session) ID() uint64 { return s.id }
 // dispatch loop; baseline (source-mode) queries are not covered.
 func (s *Session) SetDeadline(t time.Time) { s.m.SetDeadline(t) }
 
-// SetTimeout arms a deadline d from now; d <= 0 removes any deadline.
+// SetTimeout arms a one-shot deadline d from now; d <= 0 removes any
+// deadline (legacy wrapper; prefer WithTimeout at NewSession time, which
+// re-arms a fresh budget at every query start instead of bounding all
+// queries by one wall-clock instant).
 func (s *Session) SetTimeout(d time.Duration) {
 	if d <= 0 {
 		s.m.SetDeadline(time.Time{})
@@ -434,7 +475,8 @@ type Quota struct {
 	Solutions int
 }
 
-// SetQuota installs per-query resource caps on this session. Unlike
+// SetQuota installs per-query resource caps on this session (the
+// imperative form of WithQuota). Unlike
 // SetTimeout and Interrupt, SetQuota must be called from the session's
 // own goroutine between queries — it is not safe to change a quota while
 // a query is in flight. The quota persists until changed; the zero Quota
@@ -462,8 +504,8 @@ func (s *Session) quotaHook() error {
 }
 
 // SetTracer directs the session's per-query trace events to t (nil
-// disables tracing). One tracer may be shared by many sessions; its
-// output is serialised internally.
+// disables tracing; the imperative form of WithTracer). One tracer may be
+// shared by many sessions; its output is serialised internally.
 func (s *Session) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // SetTraceWriter is SetTracer with a fresh JSON-lines tracer over w.

@@ -85,8 +85,16 @@ type KnowledgeBase struct {
 	txnCommits       *obs.Counter
 	txnRollbacks     *obs.Counter
 	txnAutoRollbacks *obs.Counter
-	sessionSeq       atomic.Uint64
-	querySeq         atomic.Uint64
+	// Set-at-a-time evaluation: fixpoint runs, eligibility fallbacks to
+	// the tuple-at-a-time WAM, semi-naive rounds, new tuples derived,
+	// and the EDB pages read while materializing programs.
+	setopsQueries     *obs.Counter
+	setopsFallbacks   *obs.Counter
+	setopsIterations  *obs.Counter
+	setopsDeltaTuples *obs.Counter
+	setopsPages       *obs.Counter
+	sessionSeq        atomic.Uint64
+	querySeq          atomic.Uint64
 
 	// profile accumulates per-predicate 4-port counters and cost
 	// attribution across every profiled session (sessions merge their
@@ -130,22 +138,27 @@ func OpenKBFS(fsys store.FS, opts Options) (*KnowledgeBase, error) {
 	}
 	reg := st.Obs()
 	kb := &KnowledgeBase{
-		opts:             opts,
-		st:               st,
-		db:               db,
-		cat:              cat,
-		codeCache:        map[string][]compiler.ClauseCode{},
-		procVers:         map[string]uint64{},
-		reg:              reg,
-		cacheHits:        reg.Counter("core.codecache.hits"),
-		cacheMisses:      reg.Counter("core.codecache.misses"),
-		cacheInvals:      reg.Counter("core.codecache.invalidations"),
-		cacheEntries:     reg.Gauge("core.codecache.entries"),
-		panicsRecovered:  reg.Counter("core.panics_recovered"),
-		txnCommits:       reg.Counter("core.txn.commits"),
-		txnRollbacks:     reg.Counter("core.txn.rollbacks"),
-		txnAutoRollbacks: reg.Counter("core.txn.auto_rollbacks"),
-		profile:          obs.NewProfileTable(),
+		opts:              opts,
+		st:                st,
+		db:                db,
+		cat:               cat,
+		codeCache:         map[string][]compiler.ClauseCode{},
+		procVers:          map[string]uint64{},
+		reg:               reg,
+		cacheHits:         reg.Counter("core.codecache.hits"),
+		cacheMisses:       reg.Counter("core.codecache.misses"),
+		cacheInvals:       reg.Counter("core.codecache.invalidations"),
+		cacheEntries:      reg.Gauge("core.codecache.entries"),
+		panicsRecovered:   reg.Counter("core.panics_recovered"),
+		txnCommits:        reg.Counter("core.txn.commits"),
+		txnRollbacks:      reg.Counter("core.txn.rollbacks"),
+		txnAutoRollbacks:  reg.Counter("core.txn.auto_rollbacks"),
+		setopsQueries:     reg.Counter("setops.queries"),
+		setopsFallbacks:   reg.Counter("setops.fallbacks"),
+		setopsIterations:  reg.Counter("setops.iterations"),
+		setopsDeltaTuples: reg.Counter("setops.delta_tuples"),
+		setopsPages:       reg.Counter("setops.pages_read"),
+		profile:           obs.NewProfileTable(),
 	}
 	reg.RegisterFunc("core.codecache.hit_ratio", func() any {
 		h := kb.cacheHits.Value()
@@ -179,11 +192,6 @@ func (kb *KnowledgeBase) nextSessionID() uint64 { return kb.sessionSeq.Add(1) }
 
 // nextQueryID allocates a KB-unique query identifier.
 func (kb *KnowledgeBase) nextQueryID() uint64 { return kb.querySeq.Add(1) }
-
-// NewSession creates a session with the knowledge base's default options.
-func (kb *KnowledgeBase) NewSession() (*Session, error) {
-	return kb.NewSessionWithOptions(kb.opts)
-}
 
 // Close flushes and closes the store. Sessions must not be used after
 // their knowledge base is closed.
@@ -325,6 +333,13 @@ func (kb *KnowledgeBase) procVersion(name string, arity int) uint64 {
 }
 
 func verKey(name string, arity int) string { return fmt.Sprintf("%s/%d", name, arity) }
+
+// procVersionByKey is procVersion over an already-formatted verKey.
+func (kb *KnowledgeBase) procVersionByKey(vk string) uint64 {
+	kb.cacheMu.Lock()
+	defer kb.cacheMu.Unlock()
+	return kb.procVers[vk]
+}
 
 // lookupShared returns the cached candidate set for a cache key, if any.
 // Callers must hold kb.mu (shared or exclusive) so the entry cannot be

@@ -23,11 +23,11 @@ func TestKBMetricsSchemaGolden(t *testing.T) {
 	defer kb.Close()
 
 	// The in-memory KB registers a stable name set (no WAL or per-shard
-	// file metrics vary with it); keep only the core.* and query-phase
-	// names so store-layer shape changes do not churn this golden too.
+	// file metrics vary with it); keep only the core.* and setops.* names
+	// so store-layer shape changes do not churn this golden too.
 	var names []string
 	for _, n := range kb.Obs().Names() {
-		if strings.HasPrefix(n, "core.") {
+		if strings.HasPrefix(n, "core.") || strings.HasPrefix(n, "setops.") {
 			names = append(names, n)
 		}
 	}
@@ -48,7 +48,11 @@ func TestKBMetricsSchemaGolden(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("core metric names diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
-	for _, must := range []string{"core.txn.commits", "core.txn.rollbacks", "core.txn.auto_rollbacks"} {
+	for _, must := range []string{
+		"core.txn.commits", "core.txn.rollbacks", "core.txn.auto_rollbacks",
+		"setops.queries", "setops.fallbacks", "setops.iterations",
+		"setops.delta_tuples", "setops.pages_read",
+	} {
 		if !strings.Contains(got, must+"\n") {
 			t.Errorf("transaction counter %s missing from KB registry", must)
 		}

@@ -35,6 +35,12 @@ type Solutions struct {
 
 	// baseline (interpreter) execution
 	gen *interpGen
+
+	// QueryCtx deadline bookkeeping (see ctx.go): ctxDeadline is the
+	// machine deadline armed from the context, prevDeadline the value it
+	// displaced, restored when the iteration finishes.
+	ctxDeadline  time.Time
+	prevDeadline time.Time
 }
 
 // Query parses and runs a goal, returning a Solutions iterator. The query
@@ -51,6 +57,7 @@ func (s *Session) Query(q string) (sol *Solutions, err error) {
 	}()
 	s.endQuery()
 	s.syncWithKB()
+	s.revalidateSetops()
 	s.beginQuery(q)
 	// An interrupt aimed at the previous query must not kill this one.
 	s.m.ClearInterrupt()
@@ -211,6 +218,16 @@ func (s *Session) containPanic(r any) error {
 // abandoned query are drained (attributed to that query) before the
 // per-query profile resets.
 func (s *Session) beginQuery(goal string) {
+	if s.defTimeout > 0 {
+		// Re-arm the per-query budget (WithTimeout). A manually set
+		// earlier deadline (SetTimeout/SetDeadline) is kept; our own
+		// previous arming is stale and replaced.
+		d := time.Now().Add(s.defTimeout)
+		if cur := s.m.Deadline(); cur.IsZero() || cur.Equal(s.defArmed) || d.Before(cur) {
+			s.m.SetDeadline(d)
+			s.defArmed = d
+		}
+	}
 	s.drainProfile()
 	s.qProf = nil
 	s.cum.AddQuery(&s.q)
@@ -269,6 +286,7 @@ func (s *Solutions) finish() {
 		return
 	}
 	s.released = true
+	s.restoreCtxDeadline()
 	if s.gen != nil {
 		s.gen.stop()
 	}

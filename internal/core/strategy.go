@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/dict"
+	"repro/internal/edb"
+	"repro/internal/rel"
+	"repro/internal/setops"
+	"repro/internal/term"
+	"repro/internal/wam"
+)
+
+// Strategy selects how eligible externally stored rule predicates are
+// evaluated — the two faces of the paper's §4 dual evaluation strategy.
+type Strategy int
+
+// Evaluation strategies.
+const (
+	// StrategyAuto (the default) uses set-at-a-time evaluation for
+	// eligible predicates in a recursive component — where the WAM
+	// re-fetches EDB pages per resolution step and semi-naive deltas pay
+	// off — and the tuple-at-a-time WAM everywhere else.
+	StrategyAuto Strategy = iota
+	// StrategyTuple always runs the tuple-at-a-time WAM (the paper's
+	// term-oriented strategy; also the pre-setops engine behaviour).
+	StrategyTuple
+	// StrategySet uses set-at-a-time evaluation for every eligible rule
+	// predicate, recursive or not.
+	StrategySet
+)
+
+func (st Strategy) String() string {
+	switch st {
+	case StrategyTuple:
+		return "tuple"
+	case StrategySet:
+		return "set"
+	default:
+		return "auto"
+	}
+}
+
+// ParseStrategy parses "auto", "tuple" or "set".
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "auto":
+		return StrategyAuto, nil
+	case "tuple":
+		return StrategyTuple, nil
+	case "set":
+		return StrategySet, nil
+	}
+	return StrategyAuto, fmt.Errorf("core: unknown strategy %q (want auto, tuple or set)", s)
+}
+
+// Strategy reports the session's evaluation strategy.
+func (s *Session) Strategy() Strategy { return s.opts.Strategy }
+
+// SetStrategy switches the evaluation strategy between queries. Cached
+// set-at-a-time results are dropped so the next query re-plans under the
+// new strategy. (Thin wrapper over the WithStrategy option.)
+func (s *Session) SetStrategy(st Strategy) {
+	if s.opts.Strategy == st {
+		return
+	}
+	s.opts.Strategy = st
+	s.dropSetops()
+}
+
+// setopsInfo records what a materialized set-at-a-time result depends
+// on: the invalidation version of every stored procedure involved
+// (target, recursive companions, EDB fact leaves) and the cardinality of
+// every relational-catalog leaf. revalidateSetops compares these at
+// query start and drops stale results.
+type setopsInfo struct {
+	builtAt uint64            // kb invalidation version at build time
+	deps    map[string]uint64 // verKey -> procedure version
+	relDeps map[string]int    // relation name -> tuple count
+}
+
+func setopsCacheKey(name string, arity int) string {
+	return fmt.Sprintf("%s/%d|setops", name, arity)
+}
+
+// dropSetops removes every materialized set-at-a-time result, restoring
+// trap stubs. Must run between queries (blocks are removed).
+func (s *Session) dropSetops() {
+	for key, le := range s.loadedCache {
+		if le.setops != nil {
+			s.dropSetopsEntry(key, le)
+		}
+	}
+}
+
+func (s *Session) dropSetopsEntry(key string, le *loadedEntry) {
+	if le.proc != nil && le.proc.Block != nil {
+		s.m.RemoveBlock(le.proc.Block)
+	}
+	delete(s.loadedCache, key)
+	fn := s.m.Dict.Intern(le.name, le.arity)
+	if p := s.m.Proc(fn); p == le.proc {
+		s.m.DefineProc(&wam.Proc{Fn: fn, Arity: le.arity, External: true})
+	}
+}
+
+// revalidateSetops runs at query start: it applies a pending strategy
+// change (made mid-query via educe_strategy/1, when blocks could not be
+// removed) and drops any materialized result whose dependencies — not
+// just its own predicate, which syncWithKB already covers — have
+// changed. A dropped result re-traps and is rebuilt from the EDB on next
+// use.
+func (s *Session) revalidateSetops() {
+	if s.strategyDirty {
+		s.strategyDirty = false
+		s.dropSetops()
+		return
+	}
+	kbVer := s.kb.version.Load()
+	for key, le := range s.loadedCache {
+		info := le.setops
+		if info == nil {
+			continue
+		}
+		stale := false
+		if info.builtAt != kbVer {
+			for vk, ver := range info.deps {
+				if s.kb.procVersionByKey(vk) != ver {
+					stale = true
+					break
+				}
+			}
+			if !stale {
+				info.builtAt = kbVer
+			}
+		}
+		if !stale && len(info.relDeps) > 0 {
+			// Relation inserts do not bump the KB invalidation version,
+			// so catalog leaves are checked by cardinality every query.
+			unlock := s.rlock()
+			for rn, cnt := range info.relDeps {
+				r := s.kb.cat.Get(rn)
+				if r == nil || r.Count() != cnt {
+					stale = true
+					break
+				}
+			}
+			unlock()
+		}
+		if stale {
+			s.dropSetopsEntry(key, le)
+		}
+	}
+}
+
+// trySetops attempts set-at-a-time evaluation for an external rule
+// predicate reached by the interpreter trap: it decompiles the
+// predicate's stored clauses (and, transitively, every rule predicate
+// they call) into Datalog, materializes the EDB and catalog leaves,
+// runs the semi-naive fixpoint, and installs the result as a frozen
+// binding-stream procedure. A nil, nil return means ineligible — the
+// caller falls back to tuple-at-a-time loading.
+func (s *Session) trySetops(fn dict.ID, name string, arity int) (*wam.Proc, error) {
+	key := setopsCacheKey(name, arity)
+	if le, ok := s.loadedCache[key]; ok {
+		return le.proc, nil
+	}
+	pages0 := s.q.PagesTouched
+	target := term.Indicator{Name: name, Arity: arity}
+
+	prog, info, leaves, err := s.buildSetopsRules(target)
+	if err != nil {
+		return nil, err
+	}
+	if prog == nil {
+		s.kb.setopsFallbacks.Inc()
+		return nil, nil
+	}
+	if s.opts.Strategy == StrategyAuto && prog.RecursiveComponent(target) == nil {
+		// Auto reserves the set-at-a-time pipeline for recursion, where
+		// the WAM's per-resolution-step page traffic compounds.
+		s.kb.setopsFallbacks.Inc()
+		return nil, nil
+	}
+	ok, err := s.materializeLeaves(prog, info, leaves)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		s.kb.setopsFallbacks.Inc()
+		return nil, nil
+	}
+
+	var st setops.Stats
+	check := func() error {
+		if err := s.m.CheckCancel(); err != nil {
+			return err
+		}
+		return s.quotaHook()
+	}
+	totals, err := prog.Eval(&st, check)
+	if err != nil {
+		return nil, err
+	}
+	s.kb.setopsQueries.Inc()
+	s.kb.setopsIterations.Add(uint64(st.Iterations))
+	s.kb.setopsDeltaTuples.Add(uint64(st.DeltaTuples))
+	s.kb.setopsPages.Add(s.q.PagesTouched - pages0)
+
+	// Feed the materialized result back into the WAM as a deterministic
+	// collect-all binding stream (the mixed-strategy boundary of §4):
+	// a nondeterministic builtin enumerating the tuples in derivation
+	// order, installed and frozen like any loaded definition.
+	tuples := totals[target].Tuples()
+	cursor := func(m *wam.Machine, args []wam.Cell) (bool, error) {
+		pos := 0
+		redo := func(m *wam.Machine) (bool, error) {
+			for pos < len(tuples) {
+				t := tuples[pos]
+				pos++
+				ok := m.TryUnify(func() bool {
+					for i := 0; i < arity; i++ {
+						if !m.Unify(m.Reg(i), s.relValueToCell(t[i])) {
+							return false
+						}
+					}
+					return true
+				})
+				if ok {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		m.PushRedo(redo)
+		return redo(m)
+	}
+	idx := s.m.RegisterBuiltin(wam.Builtin{
+		Name:  fmt.Sprintf("$setops_%s_%d", name, arity),
+		Arity: arity,
+		Fn:    cursor,
+	})
+	blk := s.m.AddBlock(&wam.CodeBlock{
+		Name: fmt.Sprintf("$setops %s/%d", name, arity),
+		Instrs: []wam.Instr{
+			{Op: wam.OpBuiltin, N: int32(idx), Ar: int32(arity)},
+			{Op: wam.OpProceed},
+		},
+	})
+	proc := &wam.Proc{Fn: fn, Arity: arity, Block: blk, External: true, Transient: true}
+	s.m.DefineProc(proc) // freeze: later calls skip the trap entirely
+	s.loadedCache[key] = &loadedEntry{
+		proc:   proc,
+		name:   name,
+		arity:  arity,
+		ver:    info.deps[verKey(name, arity)],
+		setops: info,
+	}
+	return proc, nil
+}
+
+// buildSetopsRules walks the dependency closure of the target predicate,
+// decompiling every reachable stored rule predicate into Datalog rules.
+// Leaf predicates (EDB facts-only procedures and relational-catalog
+// relations) are collected for materialization but not yet read. A nil
+// program (with nil error) means some reachable predicate is outside the
+// safe fragment.
+func (s *Session) buildSetopsRules(target term.Indicator) (*setops.Program, *setopsInfo, []term.Indicator, error) {
+	prog := setops.NewProgram()
+	info := &setopsInfo{
+		builtAt: s.kb.version.Load(),
+		deps:    map[string]uint64{},
+		relDeps: map[string]int{},
+	}
+	var leaves []term.Indicator
+	visited := map[term.Indicator]bool{}
+	queue := []term.Indicator{target}
+	for len(queue) > 0 {
+		pi := queue[0]
+		queue = queue[1:]
+		if visited[pi] {
+			continue
+		}
+		visited[pi] = true
+
+		unlock := s.rlock()
+		p := s.kb.db.Proc(pi.Name, pi.Arity)
+		if p == nil {
+			r := s.kb.cat.Get(pi.Name)
+			unlock()
+			if r == nil || len(r.Schema.Attrs) != pi.Arity {
+				return nil, nil, nil, nil // unresolved: outside the EDB/rel reach
+			}
+			leaves = append(leaves, pi)
+			continue
+		}
+		if p.Form != edb.FormCode {
+			unlock()
+			return nil, nil, nil, nil // source form: baseline territory
+		}
+		info.deps[verKey(pi.Name, pi.Arity)] = s.kb.procVersion(pi.Name, pi.Arity)
+		if p.FactsOnly {
+			unlock()
+			leaves = append(leaves, pi)
+			continue
+		}
+		clauses, err := s.fetchAllClauses(p)
+		unlock()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rules := make([]setops.Rule, 0, len(clauses))
+		for _, cc := range clauses {
+			r, ok := setops.DecompileClause(cc)
+			if !ok {
+				return nil, nil, nil, nil // cut/builtin/structure: not Datalog
+			}
+			rules = append(rules, r)
+		}
+		prog.AddRules(pi, rules)
+		for _, r := range rules {
+			for _, lit := range r.Body {
+				queue = append(queue, lit.Pred)
+			}
+		}
+	}
+	return prog, info, leaves, nil
+}
+
+// fetchAllClauses retrieves a stored procedure's full clause set (the
+// all-wild variant) through the shared decoded-code cache. Caller holds
+// the KB read lock.
+func (s *Session) fetchAllClauses(p *edb.ProcInfo) ([]compiler.ClauseCode, error) {
+	keys := make([]edb.ArgKey, p.K)
+	for i := range keys {
+		keys[i] = edb.WildKey()
+	}
+	cacheKey := cacheKeyFor(p.Name, p.Arity, keys)
+	if clauses, ok := s.kb.lookupShared(cacheKey); ok {
+		s.q.CacheHits++
+		return clauses, nil
+	}
+	s.q.CacheMisses++
+	scs, err := s.kb.db.RetrieveObs(p, keys, &s.q)
+	if err != nil {
+		return nil, err
+	}
+	clauses, err := decodeClauses(scs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%d: %w", p.Name, p.Arity, err)
+	}
+	s.kb.storeShared(cacheKey, clauses)
+	return clauses, nil
+}
+
+// materializeLeaves reads every leaf relation into memory: EDB
+// facts-only procedures are fetched whole (one all-wild retrieval — the
+// set-at-a-time page-traffic win) and decompiled to ground tuples;
+// relational-catalog relations are scanned sequentially. false (with
+// nil error) means a leaf holds non-atomic facts and the build falls
+// back.
+func (s *Session) materializeLeaves(prog *setops.Program, info *setopsInfo, leaves []term.Indicator) (bool, error) {
+	for _, pi := range leaves {
+		unlock := s.rlock()
+		p := s.kb.db.Proc(pi.Name, pi.Arity)
+		if p != nil {
+			clauses, err := s.fetchAllClauses(p)
+			unlock()
+			if err != nil {
+				return false, err
+			}
+			leaf := rel.NewMemRel(pi.Arity)
+			for _, cc := range clauses {
+				r, ok := setops.DecompileClause(cc)
+				if !ok || len(r.Body) != 0 || r.NVars != 0 {
+					return false, nil // compound-valued or non-ground fact
+				}
+				t := make(rel.Tuple, pi.Arity)
+				for i, a := range r.Head.Args {
+					t[i] = a.Val
+				}
+				leaf.Insert(t)
+			}
+			prog.AddLeaf(pi, leaf)
+			continue
+		}
+		r := s.kb.cat.Get(pi.Name)
+		if r == nil || len(r.Schema.Attrs) != pi.Arity {
+			unlock()
+			return false, nil
+		}
+		leaf := rel.NewMemRel(pi.Arity)
+		it := rel.SeqScan(r)
+		for {
+			t, err := it.Next()
+			if err != nil {
+				it.Close()
+				unlock()
+				return false, err
+			}
+			if t == nil {
+				break
+			}
+			leaf.Insert(t)
+		}
+		it.Close()
+		info.relDeps[r.Schema.Name] = r.Count()
+		unlock()
+		prog.AddLeaf(pi, leaf)
+	}
+	return true, nil
+}
+
+// biStrategy implements educe_strategy/1: with an atom argument (auto,
+// tuple, set) it switches the session's evaluation strategy — applied
+// from the next query on, since materialized results cannot be unloaded
+// mid-execution; with an unbound argument it reports the current one.
+func (s *Session) biStrategy(m *wam.Machine, args []wam.Cell) (bool, error) {
+	c := m.Deref(m.Reg(0))
+	if c.Tag() == wam.TagCon {
+		st, err := ParseStrategy(m.Dict.Name(c.AtomID()))
+		if err != nil {
+			return false, &wam.ErrBall{Term: term.Comp("error",
+				term.Comp("domain_error", term.Atom("strategy"), term.Atom(m.Dict.Name(c.AtomID()))),
+				term.Atom("educe_strategy/1"))}
+		}
+		if st != s.opts.Strategy {
+			s.opts.Strategy = st
+			s.strategyDirty = true
+		}
+		return true, nil
+	}
+	return m.Unify(m.Reg(0), wam.MakeCon(m.Dict.Intern(s.opts.Strategy.String(), 0))), nil
+}

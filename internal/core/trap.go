@@ -40,6 +40,25 @@ func (s *Session) onUndefined(m *wam.Machine, fn dict.ID) (*wam.Proc, error) {
 		return nil, nil // genuinely unknown
 	}
 
+	// Set-at-a-time attempt (§4's second evaluation strategy): an
+	// external rule predicate whose dependency closure is safe Datalog
+	// over EDB/catalog leaves is evaluated bottom-up with semi-naive
+	// deltas and frozen as a materialized binding stream. Ineligible
+	// predicates (and StrategyTuple sessions) continue below on the
+	// tuple-at-a-time loader path.
+	if s.opts.Strategy != StrategyTuple && p.Form == edb.FormCode && !p.FactsOnly {
+		unlock()
+		proc, err := s.trySetops(fn, name, arity)
+		if err != nil || proc != nil {
+			return proc, err
+		}
+		unlock = s.rlock()
+		if p = s.kb.db.Proc(name, arity); p == nil {
+			unlock()
+			return nil, nil
+		}
+	}
+
 	// Build the pre-unification filter from the call's argument
 	// registers. Rule procedures are always loaded whole and frozen for
 	// the query (the paper's §3.2.1 "freeze the definition": in-memory

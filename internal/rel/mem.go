@@ -1,0 +1,107 @@
+package rel
+
+// MemRel is a materialized in-memory relation: the delta relations and
+// materialized intermediates of set-at-a-time evaluation (paper §4). It
+// deduplicates on insertion (a relation is a set, which is what makes
+// semi-naive iteration converge), preserves insertion order (so the
+// binding stream fed back into the WAM is deterministic), and grows
+// per-column hash indexes lazily for join probes.
+type MemRel struct {
+	arity  int
+	tuples []Tuple
+	seen   map[string]struct{}
+	// idx maps a column to (encoded value -> positions). Built on first
+	// Lookup of the column and maintained by later inserts.
+	idx map[int]map[string][]int
+}
+
+// NewMemRel creates an empty materialized relation of the given arity.
+func NewMemRel(arity int) *MemRel {
+	return &MemRel{arity: arity, seen: map[string]struct{}{}}
+}
+
+// Arity returns the relation's arity.
+func (m *MemRel) Arity() int { return m.arity }
+
+// Len returns the number of (distinct) tuples.
+func (m *MemRel) Len() int { return len(m.tuples) }
+
+// Tuples exposes the stored tuples in insertion order. The slice is
+// shared: callers must not mutate it.
+func (m *MemRel) Tuples() []Tuple { return m.tuples }
+
+// Insert adds a tuple unless it is already present, reporting whether it
+// was new. The tuple is stored as-is (not copied).
+func (m *MemRel) Insert(t Tuple) bool {
+	k := string(encodeTuple(t))
+	if _, dup := m.seen[k]; dup {
+		return false
+	}
+	m.seen[k] = struct{}{}
+	pos := len(m.tuples)
+	m.tuples = append(m.tuples, t)
+	for col, buckets := range m.idx {
+		vk := string(t[col].Key()) + "\x00" + t[col].Type.String()
+		buckets[vk] = append(buckets[vk], pos)
+	}
+	return true
+}
+
+// Contains reports whether the tuple is present.
+func (m *MemRel) Contains(t Tuple) bool {
+	_, ok := m.seen[string(encodeTuple(t))]
+	return ok
+}
+
+func valueBucketKey(v Value) string {
+	return string(v.Key()) + "\x00" + v.Type.String()
+}
+
+// Lookup returns the positions of tuples whose column col equals v,
+// building the column's hash index on first use. Returned positions
+// index into Tuples() and are in insertion order.
+func (m *MemRel) Lookup(col int, v Value) []int {
+	if m.idx == nil {
+		m.idx = map[int]map[string][]int{}
+	}
+	buckets, ok := m.idx[col]
+	if !ok {
+		buckets = map[string][]int{}
+		for pos, t := range m.tuples {
+			vk := valueBucketKey(t[col])
+			buckets[vk] = append(buckets[vk], pos)
+		}
+		m.idx[col] = buckets
+	}
+	return buckets[valueBucketKey(v)]
+}
+
+// memScan iterates a MemRel snapshot taken at creation (inserts during
+// the scan are not observed, which is what delta iteration needs).
+type memScan struct {
+	tuples []Tuple
+	pos    int
+}
+
+// Scan returns an iterator over the relation's tuples in insertion
+// order. The iteration covers the tuples present at Scan time only.
+func (m *MemRel) Scan() Iterator {
+	return &memScan{tuples: m.tuples}
+}
+
+func (s *memScan) Next() (Tuple, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, nil
+}
+
+func (s *memScan) Close() { s.tuples = nil }
+
+// ValueEq reports whether two values are equal, treating values of
+// different types as distinct (Compare assumes same-typed operands).
+func ValueEq(a, b Value) bool {
+	return a.Type == b.Type && a.Compare(b) == 0
+}

@@ -608,15 +608,18 @@ func (s *Server) runQuery(c net.Conn, goal string, pinned **core.Session) bool {
 		quota = core.Quota{Solutions: -1}
 	}
 	sess.SetQuota(quota)
+	ctx := context.Background()
 	if s.cfg.QueryTimeout > 0 {
-		sess.SetTimeout(s.cfg.QueryTimeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
 	}
 
 	n := 0
 	wok := true
-	sols, err := sess.Query(goal)
+	sols, err := sess.QueryCtx(ctx, goal)
 	if err == nil {
-		for sols.Next() {
+		for sols.NextCtx(ctx) {
 			n++
 			if wok = s.writeLine(c, "sol "+renderSolution(sols)); !wok {
 				break
@@ -625,8 +628,6 @@ func (s *Server) runQuery(c net.Conn, goal string, pinned **core.Session) bool {
 		sols.Close()
 		err = sols.Err()
 	}
-
-	sess.SetTimeout(0)
 	s.mu.Lock()
 	delete(s.inflight, sess)
 	s.mu.Unlock()

@@ -1,0 +1,255 @@
+// Package setops implements the paper's set-at-a-time evaluation
+// strategy (§4): eligible compiled predicates are translated back into a
+// Datalog rule form, evaluated bottom-up over relational operators with
+// semi-naive (delta-driven) iteration, and the materialized result is
+// fed to the WAM as a deterministic binding stream. The analyzer in this
+// file is the safety gate: only predicates whose compiled code proves
+// them to be pure, range-restricted Datalog are accepted; everything
+// else falls back to the tuple-at-a-time WAM strategy.
+package setops
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/rel"
+	"repro/internal/term"
+	"repro/internal/wam"
+)
+
+// Arg is one argument of a literal: a variable (rule-local index) or a
+// constant mapped into the relational domain (atoms become strings).
+type Arg struct {
+	IsVar bool
+	Var   int
+	Val   rel.Value
+}
+
+// Literal is one atomic goal p(t1..tn).
+type Literal struct {
+	Pred term.Indicator
+	Args []Arg
+}
+
+// Rule is a range-restricted Datalog rule (facts have an empty body).
+type Rule struct {
+	Head  Literal
+	Body  []Literal
+	NVars int
+}
+
+// DecompileClause reconstructs a Datalog rule from one clause's compiled
+// code. It simulates the compiler's emission contract instruction by
+// instruction; any opcode outside the pure-Datalog fragment (structures,
+// lists, nil, cuts, inline builtins, arithmetic) rejects the clause.
+// The second result reports acceptance.
+func DecompileClause(cc compiler.ClauseCode) (Rule, bool) {
+	arity := cc.Pred.Arity
+	r := Rule{Head: Literal{Pred: cc.Pred, Args: make([]Arg, arity)}}
+	headSet := make([]bool, arity)
+
+	type regKey struct {
+		y   bool
+		reg int32
+	}
+	vars := map[regKey]int{}
+	newVar := func(k regKey) int {
+		v := r.NVars
+		r.NVars++
+		vars[k] = v
+		return v
+	}
+
+	const (
+		phaseHead = iota
+		phaseBody
+		phaseDone
+	)
+	phase := phaseHead
+
+	// pending collects the put instructions of the goal currently being
+	// assembled; OpCall/OpExecute consumes them.
+	pending := map[int32]Arg{}
+
+	setHead := func(pos int32, a Arg) bool {
+		if phase != phaseHead || pos < 0 || int(pos) >= arity || headSet[pos] {
+			return false
+		}
+		r.Head.Args[pos] = a
+		headSet[pos] = true
+		return true
+	}
+	setPending := func(pos int32, a Arg) bool {
+		if phase == phaseDone {
+			return false
+		}
+		phase = phaseBody
+		if _, dup := pending[pos]; dup {
+			return false
+		}
+		pending[pos] = a
+		return true
+	}
+	sym := func(fn int32) (compiler.Symbol, bool) {
+		if fn < 0 || int(fn) >= len(cc.Symbols) {
+			return compiler.Symbol{}, false
+		}
+		return cc.Symbols[fn], true
+	}
+	callGoal := func(fn int32) bool {
+		s, ok := sym(fn)
+		if !ok || s.Kind != compiler.SymPred {
+			return false
+		}
+		phase = phaseBody
+		lit := Literal{
+			Pred: term.Indicator{Name: s.Name, Arity: s.Arity},
+			Args: make([]Arg, s.Arity),
+		}
+		for i := 0; i < s.Arity; i++ {
+			a, ok := pending[int32(i)]
+			if !ok {
+				return false
+			}
+			lit.Args[i] = a
+		}
+		if len(pending) != s.Arity {
+			return false
+		}
+		r.Body = append(r.Body, lit)
+		pending = map[int32]Arg{}
+		return true
+	}
+
+	for i, ins := range cc.Instrs {
+		last := i == len(cc.Instrs)-1
+		switch ins.Op {
+		case wam.OpAllocate, wam.OpDeallocate:
+			// Environment management carries no logical content.
+		case wam.OpGetVariableX:
+			if phase != phaseHead {
+				return Rule{}, false
+			}
+			k := regKey{false, ins.Reg}
+			if _, dup := vars[k]; dup {
+				return Rule{}, false
+			}
+			if !setHead(ins.Arg, Arg{IsVar: true, Var: newVar(k)}) {
+				return Rule{}, false
+			}
+		case wam.OpGetVariableY:
+			if phase != phaseHead {
+				return Rule{}, false
+			}
+			k := regKey{true, ins.Reg}
+			if _, dup := vars[k]; dup {
+				return Rule{}, false
+			}
+			if !setHead(ins.Arg, Arg{IsVar: true, Var: newVar(k)}) {
+				return Rule{}, false
+			}
+		case wam.OpGetValueX, wam.OpGetValueY:
+			k := regKey{ins.Op == wam.OpGetValueY, ins.Reg}
+			v, ok := vars[k]
+			if !ok || !setHead(ins.Arg, Arg{IsVar: true, Var: v}) {
+				return Rule{}, false
+			}
+		case wam.OpGetConstant:
+			s, ok := sym(int32(ins.Fn))
+			if !ok || s.Kind != compiler.SymAtom {
+				return Rule{}, false
+			}
+			if !setHead(ins.Arg, Arg{Val: rel.StringV(s.Name)}) {
+				return Rule{}, false
+			}
+		case wam.OpGetInteger:
+			if !setHead(ins.Arg, Arg{Val: rel.IntV(ins.Int)}) {
+				return Rule{}, false
+			}
+		case wam.OpGetFloat:
+			if !setHead(ins.Arg, Arg{Val: rel.FloatV(ins.Flt)}) {
+				return Rule{}, false
+			}
+		case wam.OpPutVariableX:
+			k := regKey{false, ins.Reg}
+			if _, dup := vars[k]; dup {
+				return Rule{}, false
+			}
+			if !setPending(ins.Arg, Arg{IsVar: true, Var: newVar(k)}) {
+				return Rule{}, false
+			}
+		case wam.OpPutVariableY:
+			k := regKey{true, ins.Reg}
+			if _, dup := vars[k]; dup {
+				return Rule{}, false
+			}
+			if !setPending(ins.Arg, Arg{IsVar: true, Var: newVar(k)}) {
+				return Rule{}, false
+			}
+		case wam.OpPutValueX, wam.OpPutValueY:
+			k := regKey{ins.Op == wam.OpPutValueY, ins.Reg}
+			v, ok := vars[k]
+			if !ok || !setPending(ins.Arg, Arg{IsVar: true, Var: v}) {
+				return Rule{}, false
+			}
+		case wam.OpPutConstant:
+			s, ok := sym(int32(ins.Fn))
+			if !ok || s.Kind != compiler.SymAtom {
+				return Rule{}, false
+			}
+			if !setPending(ins.Arg, Arg{Val: rel.StringV(s.Name)}) {
+				return Rule{}, false
+			}
+		case wam.OpPutInteger:
+			if !setPending(ins.Arg, Arg{Val: rel.IntV(ins.Int)}) {
+				return Rule{}, false
+			}
+		case wam.OpPutFloat:
+			if !setPending(ins.Arg, Arg{Val: rel.FloatV(ins.Flt)}) {
+				return Rule{}, false
+			}
+		case wam.OpCall:
+			if !callGoal(int32(ins.Fn)) {
+				return Rule{}, false
+			}
+		case wam.OpExecute:
+			// Last-call optimization: the tail goal ends the clause.
+			if !last || !callGoal(int32(ins.Fn)) {
+				return Rule{}, false
+			}
+			phase = phaseDone
+		case wam.OpProceed:
+			if !last || len(pending) != 0 {
+				return Rule{}, false
+			}
+			phase = phaseDone
+		default:
+			// Anything else — structures, lists, nil, unify stream, cuts,
+			// builtins, choice/indexing ops — is outside the Datalog
+			// fragment.
+			return Rule{}, false
+		}
+	}
+	if phase != phaseDone {
+		return Rule{}, false
+	}
+	// Range restriction: every head position is written (a void head
+	// variable emits no instruction and would surface here), and every
+	// head variable also occurs in the body. Ground facts pass trivially.
+	bodyVars := map[int]bool{}
+	for _, lit := range r.Body {
+		for _, a := range lit.Args {
+			if a.IsVar {
+				bodyVars[a.Var] = true
+			}
+		}
+	}
+	for pos := 0; pos < arity; pos++ {
+		if !headSet[pos] {
+			return Rule{}, false
+		}
+		a := r.Head.Args[pos]
+		if a.IsVar && !bodyVars[a.Var] {
+			return Rule{}, false
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,189 @@
+package setops
+
+import (
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// Stats accumulates fixpoint metrics for the obs counters.
+type Stats struct {
+	// Iterations is the number of evaluation rounds (the naive seed
+	// round plus each delta round).
+	Iterations int
+	// DeltaTuples is the total number of new tuples produced across all
+	// rounds — the real work the semi-naive optimization bounds.
+	DeltaTuples int
+}
+
+// Eval computes the fixpoint of the program bottom-up, stratum by
+// stratum, using semi-naive (delta-driven) iteration inside recursive
+// components. It returns one materialized relation per IDB predicate,
+// each in a deterministic derivation order. check, when non-nil, is
+// called between rounds so callers can map deadlines and interrupts onto
+// the set-at-a-time evaluator.
+func (p *Program) Eval(stats *Stats, check func() error) (map[term.Indicator]*rel.MemRel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	totals := map[term.Indicator]*rel.MemRel{}
+	for _, pred := range p.Order {
+		totals[pred] = rel.NewMemRel(pred.Arity)
+	}
+	src := func(pred term.Indicator) *rel.MemRel {
+		if leaf, ok := p.Leaves[pred]; ok {
+			return leaf
+		}
+		return totals[pred]
+	}
+
+	for _, st := range p.Stratify() {
+		if check != nil {
+			if err := check(); err != nil {
+				return nil, err
+			}
+		}
+		members := map[term.Indicator]bool{}
+		for _, m := range st.Preds {
+			members[m] = true
+		}
+		plans := map[term.Indicator][]plan{}
+		for _, m := range st.Preds {
+			for _, r := range p.Rules[m] {
+				plans[m] = append(plans[m], planRule(r))
+			}
+		}
+
+		// Naive seed round: every rule once against the current totals
+		// (component members start empty, so only derivations grounded
+		// in lower strata and leaves fire).
+		deltas := map[term.Indicator]*rel.MemRel{}
+		stats.Iterations++
+		for _, m := range st.Preds {
+			delta := rel.NewMemRel(m.Arity)
+			total := totals[m]
+			for _, pl := range plans[m] {
+				runPlan(pl, func(i int) *rel.MemRel {
+					return src(pl.rule.Body[i].Pred)
+				}, func(t rel.Tuple) {
+					if total.Insert(t) {
+						delta.Insert(t)
+						stats.DeltaTuples++
+					}
+				})
+			}
+			deltas[m] = delta
+		}
+		if !st.Recursive {
+			continue
+		}
+
+		// Delta rounds: re-evaluate each rule once per body occurrence
+		// of a component member, with that occurrence reading the
+		// member's delta and every other literal reading the full
+		// current total. Sound and complete: any new derivation must use
+		// at least one tuple from the previous round, and dedup absorbs
+		// re-derivations.
+		for {
+			any := false
+			for _, d := range deltas {
+				if d.Len() > 0 {
+					any = true
+					break
+				}
+			}
+			if !any {
+				break
+			}
+			if check != nil {
+				if err := check(); err != nil {
+					return nil, err
+				}
+			}
+			stats.Iterations++
+			next := map[term.Indicator]*rel.MemRel{}
+			for _, m := range st.Preds {
+				next[m] = rel.NewMemRel(m.Arity)
+			}
+			for _, m := range st.Preds {
+				total := totals[m]
+				for _, pl := range plans[m] {
+					for j, lit := range pl.rule.Body {
+						if !members[lit.Pred] {
+							continue
+						}
+						deltaPos := j
+						runPlan(pl, func(i int) *rel.MemRel {
+							if i == deltaPos {
+								return deltas[pl.rule.Body[i].Pred]
+							}
+							return src(pl.rule.Body[i].Pred)
+						}, func(t rel.Tuple) {
+							if total.Insert(t) {
+								next[m].Insert(t)
+								stats.DeltaTuples++
+							}
+						})
+					}
+				}
+			}
+			deltas = next
+		}
+	}
+	return totals, nil
+}
+
+// runPlan executes a compiled rule plan: nested-loop joins with hash
+// probes where a column is statically bound, equality selections for
+// repeated variables and constants, and a final projection onto the
+// head. emit receives each derived head tuple.
+func runPlan(pl plan, src func(int) *rel.MemRel, emit func(rel.Tuple)) {
+	env := make([]rel.Value, pl.rule.NVars)
+	var rec func(si int)
+	rec = func(si int) {
+		if si == len(pl.steps) {
+			head := make(rel.Tuple, len(pl.rule.Head.Args))
+			for i, a := range pl.rule.Head.Args {
+				if a.IsVar {
+					head[i] = env[a.Var]
+				} else {
+					head[i] = a.Val
+				}
+			}
+			emit(head)
+			return
+		}
+		st := pl.steps[si]
+		reln := src(si)
+		try := func(t rel.Tuple) {
+			for _, cc := range st.constChecks {
+				if !rel.ValueEq(t[cc.col], cc.val) {
+					return
+				}
+			}
+			for _, b := range st.binds {
+				env[b[1]] = t[b[0]]
+			}
+			for _, ch := range st.checks {
+				if !rel.ValueEq(t[ch[0]], env[ch[1]]) {
+					return
+				}
+			}
+			rec(si + 1)
+		}
+		if st.probeCol >= 0 {
+			key := st.probeConst
+			if !st.isConstKey {
+				key = env[st.probeVar]
+			}
+			tuples := reln.Tuples()
+			for _, pos := range reln.Lookup(st.probeCol, key) {
+				try(tuples[pos])
+			}
+			return
+		}
+		for _, t := range reln.Tuples() {
+			try(t)
+		}
+	}
+	rec(0)
+}

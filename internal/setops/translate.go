@@ -1,0 +1,244 @@
+package setops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// Program is a stratified Datalog program: IDB rules keyed by predicate,
+// plus materialized EDB leaf relations. Order preserves the sequence in
+// which IDB predicates were added, keeping evaluation deterministic.
+type Program struct {
+	Rules  map[term.Indicator][]Rule
+	Leaves map[term.Indicator]*rel.MemRel
+	Order  []term.Indicator
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		Rules:  map[term.Indicator][]Rule{},
+		Leaves: map[term.Indicator]*rel.MemRel{},
+	}
+}
+
+// AddRules registers the IDB predicate's rules.
+func (p *Program) AddRules(pred term.Indicator, rules []Rule) {
+	if _, dup := p.Rules[pred]; !dup {
+		p.Order = append(p.Order, pred)
+	}
+	p.Rules[pred] = rules
+}
+
+// AddLeaf registers a materialized EDB relation.
+func (p *Program) AddLeaf(pred term.Indicator, r *rel.MemRel) {
+	p.Leaves[pred] = r
+}
+
+// Validate checks that every body literal resolves to an IDB predicate
+// or a leaf with matching arity.
+func (p *Program) Validate() error {
+	for pred, rules := range p.Rules {
+		for _, r := range rules {
+			if r.Head.Pred != pred {
+				return fmt.Errorf("setops: rule head %v under predicate %v", r.Head.Pred, pred)
+			}
+			for _, lit := range r.Body {
+				if _, ok := p.Rules[lit.Pred]; ok {
+					continue
+				}
+				if leaf, ok := p.Leaves[lit.Pred]; ok {
+					if leaf.Arity() != lit.Pred.Arity {
+						return fmt.Errorf("setops: leaf %v arity mismatch", lit.Pred)
+					}
+					continue
+				}
+				return fmt.Errorf("setops: unresolved predicate %v", lit.Pred)
+			}
+		}
+	}
+	return nil
+}
+
+// Stratum is one strongly connected component of the IDB dependency
+// graph, in bottom-up evaluation order. Recursive is set when the
+// component needs fixpoint iteration (self-loop or size > 1).
+type Stratum struct {
+	Preds     []term.Indicator
+	Recursive bool
+}
+
+// Stratify orders the IDB predicates into SCC strata, dependencies
+// first (Tarjan's algorithm; the reverse finishing order of SCCs is a
+// topological order of the condensation).
+func (p *Program) Stratify() []Stratum {
+	index := map[term.Indicator]int{}
+	low := map[term.Indicator]int{}
+	onStack := map[term.Indicator]bool{}
+	var stack []term.Indicator
+	var strata []Stratum
+	next := 0
+
+	var strongconnect func(v term.Indicator)
+	strongconnect = func(v term.Indicator) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		selfLoop := false
+		for _, r := range p.Rules[v] {
+			for _, lit := range r.Body {
+				w := lit.Pred
+				if _, idb := p.Rules[w]; !idb {
+					continue
+				}
+				if w == v {
+					selfLoop = true
+				}
+				if _, seen := index[w]; !seen {
+					strongconnect(w)
+					if low[w] < low[v] {
+						low[v] = low[w]
+					}
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var comp []term.Indicator
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			// Deterministic member order within the component.
+			sort.Slice(comp, func(i, j int) bool {
+				if comp[i].Name != comp[j].Name {
+					return comp[i].Name < comp[j].Name
+				}
+				return comp[i].Arity < comp[j].Arity
+			})
+			strata = append(strata, Stratum{
+				Preds:     comp,
+				Recursive: len(comp) > 1 || selfLoop,
+			})
+		}
+	}
+	for _, v := range p.Order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return strata
+}
+
+// RecursiveComponent returns the set of predicates in pred's SCC if that
+// SCC is recursive, or nil otherwise.
+func (p *Program) RecursiveComponent(pred term.Indicator) map[term.Indicator]bool {
+	for _, st := range p.Stratify() {
+		for _, m := range st.Preds {
+			if m == pred {
+				if !st.Recursive {
+					return nil
+				}
+				set := map[term.Indicator]bool{}
+				for _, q := range st.Preds {
+					set[q] = true
+				}
+				return set
+			}
+		}
+	}
+	return nil
+}
+
+// step is one join stage of a compiled rule plan: scan or probe one body
+// literal, filter on constants and already-bound variables, and bind the
+// rest.
+type step struct {
+	lit Literal
+	// probeCol is the column to probe via the source relation's hash
+	// index, or -1 for a full scan. probeVar/probeConst describe the
+	// probe key (a bound variable or a constant).
+	probeCol   int
+	probeVar   int
+	probeConst rel.Value
+	isConstKey bool
+	// checks are (column, variable) pairs that must match an
+	// already-bound variable; constChecks are (column, value) filters
+	// not covered by the probe.
+	checks      [][2]int
+	constChecks []struct {
+		col int
+		val rel.Value
+	}
+	// binds are (column, variable) pairs bound by this step.
+	binds [][2]int
+}
+
+// plan is the compiled operator pipeline of one rule: a sequence of join
+// steps followed by the head projection.
+type plan struct {
+	rule  Rule
+	steps []step
+}
+
+// planRule compiles a rule into join steps with static knowledge of
+// which variables are bound at each stage (the translator's analogue of
+// access-path selection: probe a hash index when a column is bound,
+// otherwise scan).
+func planRule(r Rule) plan {
+	bound := make([]bool, r.NVars)
+	pl := plan{rule: r, steps: make([]step, 0, len(r.Body))}
+	for _, lit := range r.Body {
+		st := step{lit: lit, probeCol: -1, probeVar: -1}
+		seenHere := map[int]int{}
+		for col, a := range lit.Args {
+			if !a.IsVar {
+				if st.probeCol < 0 {
+					st.probeCol = col
+					st.probeConst = a.Val
+					st.isConstKey = true
+				} else {
+					st.constChecks = append(st.constChecks, struct {
+						col int
+						val rel.Value
+					}{col, a.Val})
+				}
+				continue
+			}
+			if bound[a.Var] {
+				if st.probeCol < 0 {
+					st.probeCol = col
+					st.probeVar = a.Var
+				} else {
+					st.checks = append(st.checks, [2]int{col, a.Var})
+				}
+				continue
+			}
+			if first, dup := seenHere[a.Var]; dup {
+				// Repeated fresh variable within the literal: the second
+				// occurrence is an equality selection against the first.
+				_ = first
+				st.checks = append(st.checks, [2]int{col, a.Var})
+				continue
+			}
+			seenHere[a.Var] = col
+			st.binds = append(st.binds, [2]int{col, a.Var})
+		}
+		for _, b := range st.binds {
+			bound[b[1]] = true
+		}
+		pl.steps = append(pl.steps, st)
+	}
+	return pl
+}

@@ -235,6 +235,16 @@ func (m *Machine) SetDeadline(t time.Time) {
 	m.deadline.Store(t.UnixNano())
 }
 
+// Deadline reports the currently armed wall-clock bound (zero when
+// disarmed). Safe to call from any goroutine.
+func (m *Machine) Deadline() time.Time {
+	d := m.deadline.Load()
+	if d == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, d)
+}
+
 // Interrupt asynchronously aborts the running query with a catchable
 // error(interrupted, educe) ball at the next dispatch-loop poll. One
 // interrupt aborts one query; the flag clears when delivered. Safe to
@@ -244,6 +254,23 @@ func (m *Machine) Interrupt() { m.interrupted.Store(true) }
 // ClearInterrupt discards a pending interrupt (a new query starting
 // should not die for its predecessor's abort).
 func (m *Machine) ClearInterrupt() { m.interrupted.Store(false) }
+
+// CheckCancel reports a pending interrupt or an expired deadline as the
+// same catchable error ball the dispatch loop would raise. It serves
+// evaluation loops running outside the dispatch loop (the set-at-a-time
+// fixpoint driver), which poll it between rounds. Quota caps are not
+// checked here — they reference dispatch state; callers enforce their
+// own resource hooks.
+func (m *Machine) CheckCancel() error {
+	if m.interrupted.Load() {
+		m.interrupted.Store(false)
+		return &ErrBall{Term: term.Comp("error", term.Atom("interrupted"), term.Atom("educe"))}
+	}
+	if d := m.deadline.Load(); d != 0 && time.Now().UnixNano() > d {
+		return &ErrBall{Term: term.Comp("error", term.Atom("timeout"), term.Atom("educe"))}
+	}
+	return nil
+}
 
 // Quota caps one query's resource consumption inside the machine. Zero
 // fields are unlimited. Limits are enforced at the dispatch loop's
